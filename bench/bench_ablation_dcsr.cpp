@@ -1,0 +1,52 @@
+// Ablation: doubly-compressed (DCSR) vs plain CSR wire format for the
+// hypersparse blocks this library broadcasts (Section IV: "doubly compressed
+// layouts substantially decrease communication volume when hypersparse
+// matrices need to be communicated").
+#include "bench_common.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dcsr.hpp"
+
+using namespace dsg;
+using namespace dsg::bench;
+
+namespace {
+
+/// Bytes a CSR block would need on the wire: full rowptr + colidx + values.
+std::size_t csr_wire_size(index_t nrows, std::size_t nnz) {
+    return (static_cast<std::size_t>(nrows) + 1) * sizeof(index_t) +
+           nnz * (sizeof(index_t) + sizeof(double));
+}
+
+}  // namespace
+
+int main() {
+    print_header("Ablation: DCSR vs CSR communication volume (hypersparse blocks)",
+                 "Section IV claim");
+    std::printf("%-12s %-10s | %12s %12s | %s\n", "block rows", "nnz",
+                "CSR bytes", "DCSR bytes", "reduction");
+    std::mt19937_64 rng(17);
+    for (index_t nrows : {index_t{1} << 14, index_t{1} << 17, index_t{1} << 20}) {
+        for (std::size_t nnz : {64u, 1'024u, 16'384u}) {
+            std::vector<Triple<double>> ts;
+            ts.reserve(nnz);
+            for (std::size_t x = 0; x < nnz; ++x)
+                ts.push_back({static_cast<index_t>(rng() % nrows),
+                              static_cast<index_t>(rng() % nrows), 1.0});
+            sparse::combine_duplicates<sparse::PlusTimes<double>>(ts);
+            auto dcsr = sparse::Dcsr<double>::from_row_grouped(nrows, nrows, ts);
+            const std::size_t csr_bytes = csr_wire_size(nrows, dcsr.nnz());
+            const std::size_t dcsr_bytes = dcsr.wire_size();
+            std::printf("%-12lld %-10zu | %12zu %12zu | %7.1fx\n",
+                        static_cast<long long>(nrows), dcsr.nnz(), csr_bytes,
+                        dcsr_bytes,
+                        static_cast<double>(csr_bytes) /
+                            static_cast<double>(dcsr_bytes));
+        }
+    }
+    std::printf(
+        "\nA CSR rowptr costs O(rows) regardless of content; the DCSR wire\n"
+        "size is O(nnz). At the paper's scales (blocks with millions of rows,\n"
+        "update matrices with thousands of entries) the difference dominates\n"
+        "the broadcast volume of Algorithms 1 and 2.\n");
+    return 0;
+}

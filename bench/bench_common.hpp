@@ -1,0 +1,140 @@
+// Shared infrastructure of the benchmark harness.
+//
+// Every binary bench_figN_* regenerates one table/figure of the paper's
+// evaluation (Section VII); see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for measured-vs-paper results. The real-world instances of
+// Table I are replaced by shape-preserving synthetic stand-ins (R-MAT with
+// Graph500 parameters for the skewed social/web graphs, Erdős–Rényi for the
+// peer-to-peer network), scaled by ~2^12 so the whole harness runs in
+// minutes on one core. All benchmarks use the paper's setup: indices are
+// randomly permuted before distribution, graphs are read undirected (both
+// edge directions inserted), and batch sizes are *per rank*.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/update_ops.hpp"
+#include "graph/generators.hpp"
+#include "par/comm.hpp"
+#include "par/profiler.hpp"
+
+namespace dsg::bench {
+
+using Clock = std::chrono::steady_clock;
+using sparse::index_t;
+using sparse::Triple;
+
+inline double ms_since(Clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// A Table-I instance and its synthetic stand-in.
+struct Instance {
+    const char* name;        ///< the paper's instance name
+    const char* type;        ///< Social / Web / Peer-to-Peer
+    double paper_n_million;  ///< paper's vertex count (millions)
+    double paper_nnz_million;///< paper's non-zeros (millions)
+    int scale;               ///< our stand-in: 2^scale vertices
+    std::size_t edges;       ///< our stand-in: directed edges before symmetrize
+    bool rmat;               ///< R-MAT (skewed) or Erdős–Rényi
+};
+
+/// The twelve instances of Table I with scaled stand-ins (nnz ratios roughly
+/// preserved; the absolute scale-down is ~2^12).
+inline const std::vector<Instance>& instances() {
+    static const std::vector<Instance> table = {
+        {"LiveJournal", "Social", 4, 86, 12, 10'000, true},
+        {"orkut", "Social", 3, 234, 12, 28'000, true},
+        {"tech-p2p", "Peer-to-Peer", 5, 295, 13, 36'000, false},
+        {"indochina", "Web", 7, 304, 13, 37'000, true},
+        {"sinaweibo", "Social", 58, 522, 14, 64'000, true},
+        {"uk2002", "Web", 18, 529, 14, 64'000, true},
+        {"wikipedia", "Web", 27, 1088, 14, 132'000, true},
+        {"PayDomain", "Web", 42, 1165, 15, 142'000, true},
+        {"uk2005", "Web", 39, 1581, 15, 193'000, true},
+        {"webbase", "Web", 118, 1736, 15, 212'000, true},
+        {"twitter", "Social", 41, 2405, 15, 293'000, true},
+        {"friendster", "Social", 124, 3612, 16, 441'000, true},
+    };
+    return table;
+}
+
+/// A small subset used by the batch-sweep figures to bound total runtime.
+/// Deliberately weighted toward the larger stand-ins: the rebuild-vs-dynamic
+/// contrast the paper measures lives in the nnz/batch ratio, and tiny
+/// instances would be dominated by fixed per-collective overheads of the
+/// threaded rank runtime.
+inline std::vector<Instance> representative_instances() {
+    const auto& all = instances();
+    return {all[1], all[6], all[10]};
+}
+
+/// Generates this rank's slice of the instance's edges (directed), values 1,
+/// indices randomly permuted — the paper's load-balancing step.
+inline std::vector<Triple<double>> instance_edges(const Instance& inst,
+                                                  int rank, int ranks,
+                                                  std::uint64_t seed) {
+    const std::size_t mine = inst.edges / static_cast<std::size_t>(ranks);
+    auto edges = inst.rmat
+                     ? graph::rmat_edges(inst.scale, mine,
+                                         seed + static_cast<std::uint64_t>(rank))
+                     : graph::erdos_renyi_edges(
+                           index_t{1} << inst.scale, mine,
+                           seed + static_cast<std::uint64_t>(rank));
+    for (auto& e : edges) e.value = 1.0;
+    sparse::IndexPermutation perm(index_t{1} << inst.scale, seed * 77 + 1);
+    perm.apply(edges);
+    return graph::symmetrize(std::move(edges));
+}
+
+/// Splits edges into an initial half and a stream of per-batch slices.
+struct EdgeStream {
+    std::vector<Triple<double>> initial;
+    std::vector<Triple<double>> remaining;
+
+    explicit EdgeStream(std::vector<Triple<double>> edges) {
+        const std::size_t half = edges.size() / 2;
+        initial.assign(edges.begin(), edges.begin() + half);
+        remaining.assign(edges.begin() + half, edges.end());
+    }
+
+    /// The b-th batch of `size` tuples (wraps around if exhausted).
+    [[nodiscard]] std::vector<Triple<double>> batch(std::size_t b,
+                                                    std::size_t size) const {
+        std::vector<Triple<double>> out;
+        out.reserve(size);
+        for (std::size_t x = 0; x < size && !remaining.empty(); ++x)
+            out.push_back(remaining[(b * size + x) % remaining.size()]);
+        return out;
+    }
+};
+
+/// Barrier + wall-clock around a collective workload; returns milliseconds
+/// (identical on all ranks up to scheduling noise; rank 0's value is used).
+template <typename Fn>
+double timed_ms(par::Comm& comm, Fn&& fn) {
+    comm.barrier();
+    const auto t0 = Clock::now();
+    fn();
+    comm.barrier();
+    return ms_since(t0);
+}
+
+/// Resets the world's communication counters race-free.
+inline void reset_stats(par::Comm& comm) {
+    comm.barrier();
+    if (comm.rank() == 0) comm.stats().reset();
+    comm.barrier();
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+    std::printf("\n================================================================\n");
+    std::printf("%s\n  (reproduces %s; see EXPERIMENTS.md)\n", title, paper_ref);
+    std::printf("================================================================\n");
+}
+
+}  // namespace dsg::bench

@@ -1,0 +1,80 @@
+// Figure 2/3: matrix construction performance on the (stand-in) real-world
+// graphs, relative to the CombBLAS-like baseline.
+//
+// Paper result: ours is 1.68x-2.59x faster than CombBLAS on every instance;
+// CTF and PETSc are slower than both. The advantage comes from (i) the
+// two-phase counting-sort redistribution vs comparison sort + global
+// alltoall, and (ii) the dynamic (DHB) local structure vs sorted rebuilds.
+#include "baseline/static_rebuild.hpp"
+#include "bench_common.hpp"
+
+using namespace dsg;
+using namespace dsg::bench;
+
+namespace {
+
+constexpr int kRanks = 4;
+
+struct Row {
+    double ours_ms, ours_dcsr_ms, combblas_ms, ctf_ms, petsc_ms;
+};
+
+Row run_instance(const Instance& inst) {
+    Row row{};
+    par::run_world(kRanks, [&](par::Comm& comm) {
+        core::ProcessGrid grid(comm);
+        const index_t n = index_t{1} << inst.scale;
+        auto mine = instance_edges(inst, comm.rank(), kRanks, 11);
+
+        // Ours: two-phase redistribution into the dynamic matrix.
+        const double ours = timed_ms(comm, [&] {
+            auto A = core::build_dynamic_matrix<sparse::PlusTimes<double>>(
+                grid, n, n, mine);
+        });
+        // Ours, but building a DCSR instead of the dynamic structure (the
+        // paper's "even when constructing a DCSR we are 1.15x faster" note).
+        const double ours_dcsr = timed_ms(comm, [&] {
+            auto U = core::build_update_matrix(grid, n, n, mine);
+        });
+        const double combblas = timed_ms(comm, [&] {
+            baseline::StaticRebuildMatrix<double> m(grid, n, n);
+            m.construct<sparse::PlusTimes<double>>(mine);
+        });
+        const double ctf = timed_ms(comm, [&] {
+            baseline::SortedTupleMatrix<double> m(grid, n, n);
+            m.construct<sparse::PlusTimes<double>>(mine);
+        });
+        const double petsc = timed_ms(comm, [&] {
+            baseline::PreallocCsrMatrix<double> m(grid, n, n);
+            m.construct<sparse::PlusTimes<double>>(mine);
+        });
+        if (comm.rank() == 0)
+            row = {ours, ours_dcsr, combblas, ctf, petsc};
+    });
+    return row;
+}
+
+}  // namespace
+
+int main() {
+    print_header("Figure 2/3: matrix construction, relative to CombBLAS",
+                 "Fig. 2");
+    std::printf("%-12s | %8s %9s %9s %7s %7s | %s\n", "Instance", "ours",
+                "ours-dcsr", "CombBLAS", "CTF", "PETSc",
+                "rel. perf (CombBLAS/ours)");
+    double geo = 1.0;
+    int count = 0;
+    for (const auto& inst : instances()) {
+        const Row r = run_instance(inst);
+        const double rel = r.combblas_ms / r.ours_ms;
+        geo *= rel;
+        ++count;
+        std::printf("%-12s | %6.1fms %7.1fms %7.1fms %5.1fms %5.1fms | %.2fx\n",
+                    inst.name, r.ours_ms, r.ours_dcsr_ms, r.combblas_ms,
+                    r.ctf_ms, r.petsc_ms, rel);
+    }
+    std::printf("\ngeometric-mean speedup over CombBLAS-like baseline: %.2fx\n",
+                std::pow(geo, 1.0 / count));
+    std::printf("paper: 1.68x-2.59x faster than CombBLAS on every instance.\n");
+    return 0;
+}

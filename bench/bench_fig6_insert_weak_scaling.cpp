@@ -1,0 +1,85 @@
+// Figure 6: weak scalability of insertions over compute-node counts.
+//
+// Paper setup: 1x4, 4x4, 16x4 MPI processes (we scale the process count
+// p in {1, 4, 16}), fixed batch size, fixed insertions per rank; metric is
+// time per inserted non-zero.
+//
+// NOTE on this host: ranks are threads on a single core, so wall time per
+// rank *cannot* drop with p here; the table therefore also reports the
+// per-rank communication volume and the total alltoall traffic, which are
+// the quantities whose scaling the paper's figure demonstrates (they must
+// stay ~flat per rank as p grows). See EXPERIMENTS.md.
+#include "bench_common.hpp"
+
+using namespace dsg;
+using namespace dsg::bench;
+
+namespace {
+
+constexpr std::size_t kBatchSize = 4096;  // per rank (scaled from 131072)
+constexpr std::size_t kInsertsPerRank = 32'768;  // scaled from 1.3M
+
+struct Row {
+    double ns_per_nnz;
+    double bytes_per_rank;
+};
+
+Row run_p(int p) {
+    Row row{};
+    par::run_world(p, [&](par::Comm& comm) {
+        core::ProcessGrid grid(comm);
+        const int scale = 13;
+        const index_t n = index_t{1} << scale;
+        auto mine = graph::rmat_edges(scale, kInsertsPerRank,
+                                      5 + static_cast<std::uint64_t>(comm.rank()));
+        sparse::IndexPermutation perm(n, 99);
+        perm.apply(mine);
+        // Half up front, half streamed.
+        const std::size_t half = mine.size() / 2;
+        auto A = core::build_dynamic_matrix<sparse::PlusTimes<double>>(
+            grid, n, n,
+            std::vector<Triple<double>>(mine.begin(), mine.begin() + half));
+
+        reset_stats(comm);
+        double total_ms = 0;
+        std::size_t inserted = 0;
+        for (std::size_t off = half; off < mine.size(); off += kBatchSize) {
+            const std::size_t end = std::min(off + kBatchSize, mine.size());
+            std::vector<Triple<double>> batch(mine.begin() + off,
+                                              mine.begin() + end);
+            inserted += batch.size();
+            total_ms += timed_ms(comm, [&] {
+                auto U = core::build_update_matrix(grid, n, n, batch);
+                core::add_update<sparse::PlusTimes<double>>(A, U);
+            });
+        }
+        comm.barrier();
+        if (comm.rank() == 0) {
+            const auto s = comm.stats().snapshot();
+            row.ns_per_nnz = total_ms * 1e6 /
+                             static_cast<double>(inserted * static_cast<std::size_t>(p));
+            row.bytes_per_rank =
+                static_cast<double>(s.total_bytes()) / static_cast<double>(p);
+        }
+    });
+    return row;
+}
+
+}  // namespace
+
+int main() {
+    print_header("Figure 6: weak scaling of insertions", "Fig. 6");
+    std::printf("%-8s | %14s | %18s\n", "ranks", "time per nnz", "comm bytes/rank");
+    for (int p : {1, 4, 16}) {
+        const Row r = run_p(p);
+        std::printf("%-8d | %11.1f ns | %15.0f B\n", p, r.ns_per_nnz,
+                    r.bytes_per_rank);
+    }
+    std::printf(
+        "\npaper: time per non-zero *decreases* with more compute nodes. On\n"
+        "this single-core host wall time cannot improve with p (ranks are\n"
+        "time-sliced threads); the per-rank communication volume staying\n"
+        "near-flat is the scalable-algorithm signal (two-phase exchange\n"
+        "touches only sqrt(p) peers; each rank sends only its own tuples).\n");
+    return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 7: breakdown of insertion running time into the paper's phases
+// (redistribution sort, redistribution communication, memory management,
+// local construction, local addition), per rank count.
+//
+// Paper result: all phases scale with node count and local work dominates
+// communication.
+#include "bench_common.hpp"
+
+using namespace dsg;
+using namespace dsg::bench;
+
+namespace {
+
+constexpr std::size_t kBatchSize = 4096;
+constexpr std::size_t kInsertsPerRank = 32'768;
+
+const par::Phase kPhases[] = {
+    par::Phase::RedistSort, par::Phase::RedistComm, par::Phase::MemManagement,
+    par::Phase::LocalConstruct, par::Phase::LocalAddition,
+};
+
+std::vector<double> run_p(int p) {
+    par::Profiler::reset();
+    par::Profiler::set_enabled(true);
+    std::size_t total_inserted = 0;
+    par::run_world(p, [&](par::Comm& comm) {
+        core::ProcessGrid grid(comm);
+        const int scale = 13;
+        const index_t n = index_t{1} << scale;
+        auto mine = graph::rmat_edges(scale, kInsertsPerRank,
+                                      15 + static_cast<std::uint64_t>(comm.rank()));
+        sparse::IndexPermutation perm(n, 7);
+        perm.apply(mine);
+        const std::size_t half = mine.size() / 2;
+        auto A = core::build_dynamic_matrix<sparse::PlusTimes<double>>(
+            grid, n, n,
+            std::vector<Triple<double>>(mine.begin(), mine.begin() + half));
+        // Only the streamed batches are profiled.
+        par::Profiler::reset();
+        for (std::size_t off = half; off < mine.size(); off += kBatchSize) {
+            const std::size_t end = std::min(off + kBatchSize, mine.size());
+            std::vector<Triple<double>> batch(mine.begin() + off,
+                                              mine.begin() + end);
+            auto U = core::build_update_matrix(grid, n, n, batch);
+            core::add_update<sparse::PlusTimes<double>>(A, U);
+        }
+        if (comm.rank() == 0)
+            total_inserted = (kInsertsPerRank - half) * static_cast<std::size_t>(p);
+    });
+    par::Profiler::set_enabled(false);
+    std::vector<double> ns_per_nnz;
+    for (auto ph : kPhases)
+        ns_per_nnz.push_back(par::Profiler::total_seconds(ph) * 1e9 /
+                             static_cast<double>(total_inserted));
+    return ns_per_nnz;
+}
+
+}  // namespace
+
+int main() {
+    print_header("Figure 7: breakdown of insertion running time (ns per nnz)",
+                 "Fig. 7");
+    std::printf("%-8s |", "ranks");
+    for (auto ph : kPhases)
+        std::printf(" %16s", std::string(par::phase_name(ph)).c_str());
+    std::printf("\n");
+    for (int p : {1, 4, 16}) {
+        auto row = run_p(p);
+        std::printf("%-8d |", p);
+        for (double v : row) std::printf(" %13.1f ns", v);
+        std::printf("\n");
+    }
+    std::printf(
+        "\npaper: local operations dominate communication; every phase's cost\n"
+        "per non-zero stays bounded as nodes are added. (Phase times here sum\n"
+        "across all rank-threads of the single-core host.)\n");
+    return 0;
+}

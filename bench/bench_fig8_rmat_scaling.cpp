@@ -1,0 +1,81 @@
+// Figure 8: parallel scalability of insertions on synthetic R-MAT graphs
+// with Graph500 parameters.
+//  (a) strong scaling: a fixed 2^20 total insertions split across p ranks
+//      (paper: 2^30; ~2^10 scale-down);
+//  (b) weak scaling: 2^16 insertions per rank (paper: 2^28).
+// Batch size fixed (scaled from 131072); a global index permutation balances
+// load as in the paper.
+#include "bench_common.hpp"
+
+using namespace dsg;
+using namespace dsg::bench;
+
+namespace {
+
+constexpr std::size_t kBatchSize = 4096;
+constexpr int kScale = 14;
+
+struct Row {
+    double total_ms;
+    double ns_per_nnz;
+};
+
+Row run(int p, std::size_t inserts_per_rank) {
+    Row row{};
+    par::run_world(p, [&](par::Comm& comm) {
+        core::ProcessGrid grid(comm);
+        const index_t n = index_t{1} << kScale;
+        auto mine = graph::rmat_edges(kScale, inserts_per_rank,
+                                      41 + static_cast<std::uint64_t>(comm.rank()));
+        sparse::IndexPermutation perm(n, 3);
+        perm.apply(mine);
+        core::DistDynamicMatrix<double> A(grid, n, n);
+        double total_ms = 0;
+        for (std::size_t off = 0; off < mine.size(); off += kBatchSize) {
+            const std::size_t end = std::min(off + kBatchSize, mine.size());
+            std::vector<Triple<double>> batch(mine.begin() + off,
+                                              mine.begin() + end);
+            total_ms += timed_ms(comm, [&] {
+                auto U = core::build_update_matrix(grid, n, n, batch);
+                core::add_update<sparse::PlusTimes<double>>(A, U);
+            });
+        }
+        if (comm.rank() == 0) {
+            row.total_ms = total_ms;
+            row.ns_per_nnz =
+                total_ms * 1e6 /
+                static_cast<double>(inserts_per_rank * static_cast<std::size_t>(p));
+        }
+    });
+    return row;
+}
+
+}  // namespace
+
+int main() {
+    print_header("Figure 8: scalability of insertions on R-MAT (Graph500 params)",
+                 "Fig. 8a/8b");
+    std::printf("-- (a) strong scaling: 2^20 total insertions --\n");
+    std::printf("%-8s | %10s | %10s\n", "ranks", "total", "speedup");
+    double base_ms = 0;
+    for (int p : {1, 4, 16}) {
+        const Row r = run(p, (std::size_t{1} << 20) / static_cast<std::size_t>(p));
+        if (p == 1) base_ms = r.total_ms;
+        std::printf("%-8d | %8.1fms | %9.2fx\n", p, r.total_ms,
+                    base_ms / r.total_ms);
+    }
+    std::printf("\n-- (b) weak scaling: 2^16 insertions per rank --\n");
+    std::printf("%-8s | %10s | %14s\n", "ranks", "total", "time per nnz");
+    for (int p : {1, 4, 16}) {
+        const Row r = run(p, std::size_t{1} << 16);
+        std::printf("%-8d | %8.1fms | %11.1f ns\n", p, r.total_ms, r.ns_per_nnz);
+    }
+    std::printf(
+        "\npaper: strong-scaling speedup 10.85x at 16 nodes; weak-scaling time\n"
+        "per non-zero drops with node count. On this single-core host all\n"
+        "ranks share one CPU, so speedup > 1 is not attainable in wall time —\n"
+        "the strong-scaling column instead verifies that total work does not\n"
+        "blow up with p (the algorithmic prerequisite); run on real MPI for\n"
+        "the wall-clock figure.\n");
+    return 0;
+}

@@ -1,0 +1,167 @@
+// Micro-benchmarks (google-benchmark) of the local kernels behind the
+// distributed algorithms: DHB dynamic-matrix operations, the open-addressing
+// hash map, counting sort vs comparison sort (the redistribution ablation at
+// kernel level), and local Gustavson SpGEMM.
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <unordered_map>
+
+#include "sparse/coo.hpp"
+#include "sparse/dynamic_matrix.hpp"
+#include "sparse/local_spgemm.hpp"
+
+using namespace dsg::sparse;
+
+namespace {
+
+std::vector<Triple<double>> random_triples(std::size_t count, index_t n,
+                                           std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::vector<Triple<double>> ts;
+    ts.reserve(count);
+    for (std::size_t x = 0; x < count; ++x)
+        ts.push_back({static_cast<index_t>(rng() % n),
+                      static_cast<index_t>(rng() % n), 1.0});
+    return ts;
+}
+
+void BM_DynamicMatrixInsert(benchmark::State& state) {
+    const auto n = static_cast<index_t>(state.range(0));
+    auto ts = random_triples(1 << 16, n, 1);
+    for (auto _ : state) {
+        DynamicMatrix<double> m(n, n);
+        for (const auto& t : ts) m.insert_or_assign(t.row, t.col, t.value);
+        benchmark::DoNotOptimize(m.nnz());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(ts.size()));
+}
+BENCHMARK(BM_DynamicMatrixInsert)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_DynamicMatrixFind(benchmark::State& state) {
+    const index_t n = 1 << 12;
+    auto ts = random_triples(1 << 16, n, 2);
+    DynamicMatrix<double> m(n, n);
+    for (const auto& t : ts) m.insert_or_assign(t.row, t.col, t.value);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto& t = ts[i++ % ts.size()];
+        benchmark::DoNotOptimize(m.find(t.row, t.col));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DynamicMatrixFind);
+
+void BM_DynamicMatrixEraseInsert(benchmark::State& state) {
+    const index_t n = 1 << 12;
+    auto ts = random_triples(1 << 15, n, 3);
+    DynamicMatrix<double> m(n, n);
+    for (const auto& t : ts) m.insert_or_assign(t.row, t.col, t.value);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto& t = ts[i++ % ts.size()];
+        m.erase(t.row, t.col);
+        m.insert_or_assign(t.row, t.col, t.value);
+    }
+    state.SetItemsProcessed(2 * state.iterations());
+}
+BENCHMARK(BM_DynamicMatrixEraseInsert);
+
+void BM_FlatMapInsert(benchmark::State& state) {
+    std::mt19937_64 rng(4);
+    std::vector<index_t> keys(1 << 16);
+    for (auto& k : keys) k = static_cast<index_t>(rng() % (1 << 20));
+    for (auto _ : state) {
+        FlatMap<std::uint32_t> m;
+        for (auto k : keys) m.get_or_insert(k, 0);
+        benchmark::DoNotOptimize(m.size());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(keys.size()));
+}
+BENCHMARK(BM_FlatMapInsert);
+
+void BM_StdUnorderedMapInsert(benchmark::State& state) {
+    std::mt19937_64 rng(4);
+    std::vector<index_t> keys(1 << 16);
+    for (auto& k : keys) k = static_cast<index_t>(rng() % (1 << 20));
+    for (auto _ : state) {
+        std::unordered_map<index_t, std::uint32_t> m;
+        for (auto k : keys) m.try_emplace(k, 0);
+        benchmark::DoNotOptimize(m.size());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(keys.size()));
+}
+BENCHMARK(BM_StdUnorderedMapInsert);
+
+void BM_CountingSortByOwner(benchmark::State& state) {
+    const int buckets = static_cast<int>(state.range(0));
+    auto ts = random_triples(1 << 16, 1 << 16, 5);
+    for (auto _ : state) {
+        auto copy = ts;
+        auto offsets = counting_sort(
+            copy, static_cast<std::size_t>(buckets), [&](const Triple<double>& t) {
+                return static_cast<std::size_t>(t.row) % buckets;
+            });
+        benchmark::DoNotOptimize(offsets.back());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(ts.size()));
+}
+BENCHMARK(BM_CountingSortByOwner)->Arg(4)->Arg(16);
+
+void BM_ComparisonSortByOwner(benchmark::State& state) {
+    const int buckets = static_cast<int>(state.range(0));
+    auto ts = random_triples(1 << 16, 1 << 16, 5);
+    for (auto _ : state) {
+        auto copy = ts;
+        std::sort(copy.begin(), copy.end(),
+                  [&](const Triple<double>& a, const Triple<double>& b) {
+                      return static_cast<int>(a.row) % buckets <
+                             static_cast<int>(b.row) % buckets;
+                  });
+        benchmark::DoNotOptimize(copy.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(ts.size()));
+}
+BENCHMARK(BM_ComparisonSortByOwner)->Arg(4)->Arg(16);
+
+void BM_LocalSpgemm(benchmark::State& state) {
+    const index_t n = static_cast<index_t>(state.range(0));
+    auto ta = random_triples(static_cast<std::size_t>(n) * 8, n, 6);
+    auto tb = random_triples(static_cast<std::size_t>(n) * 8, n, 7);
+    combine_duplicates<PlusTimes<double>>(ta);
+    combine_duplicates<PlusTimes<double>>(tb);
+    auto a = Dcsr<double>::from_row_grouped(n, n, ta);
+    DynamicMatrix<double> b(n, n);
+    for (const auto& t : tb) b.insert_or_assign(t.row, t.col, t.value);
+    for (auto _ : state) {
+        auto c = spgemm<PlusTimes<double>>(n, n, as_left(a), as_right(b));
+        benchmark::DoNotOptimize(c.nnz());
+    }
+}
+BENCHMARK(BM_LocalSpgemm)->Arg(1 << 10)->Arg(1 << 12);
+
+void BM_LocalSpgemmHypersparseLeft(benchmark::State& state) {
+    // The Algorithm-1 shape: tiny A* against a large B'.
+    const index_t n = 1 << 14;
+    auto ta = random_triples(static_cast<std::size_t>(state.range(0)), n, 8);
+    auto tb = random_triples(1 << 17, n, 9);
+    combine_duplicates<PlusTimes<double>>(ta);
+    combine_duplicates<PlusTimes<double>>(tb);
+    auto a = Dcsr<double>::from_row_grouped(n, n, ta);
+    DynamicMatrix<double> b(n, n);
+    for (const auto& t : tb) b.insert_or_assign(t.row, t.col, t.value);
+    for (auto _ : state) {
+        auto c = spgemm<PlusTimes<double>>(n, n, as_left(a), as_right(b));
+        benchmark::DoNotOptimize(c.nnz());
+    }
+}
+BENCHMARK(BM_LocalSpgemmHypersparseLeft)->Arg(256)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

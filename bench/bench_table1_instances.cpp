@@ -1,0 +1,32 @@
+// Table I: the benchmark instances. Prints the paper's twelve real-world
+// graphs next to the synthetic stand-ins this harness uses (see DESIGN.md,
+// substitution table) with their actual generated sizes.
+#include "bench_common.hpp"
+
+using namespace dsg;
+using namespace dsg::bench;
+
+int main() {
+    print_header("Table I: benchmark instances and synthetic stand-ins",
+                 "Table I");
+    std::printf("%-12s %-13s | %10s %9s | %12s %10s %10s\n", "Instance",
+                "Type", "paper n", "paper nnz", "stand-in", "our n",
+                "our nnz");
+    std::printf("%-12s %-13s | %10s %9s | %12s %10s %10s\n", "", "",
+                "(million)", "(million)", "", "", "(sym.)");
+    for (const auto& inst : instances()) {
+        // Generate once (as 1 rank) to report the true symmetrized size.
+        auto edges = instance_edges(inst, 0, 1, 1);
+        std::printf("%-12s %-13s | %10.0f %8.0fM | %12s %10lld %10zu\n",
+                    inst.name, inst.type, inst.paper_n_million,
+                    inst.paper_nnz_million, inst.rmat ? "R-MAT" : "Erdos-Renyi",
+                    static_cast<long long>(1) << inst.scale, edges.size());
+    }
+    std::printf(
+        "\nAll stand-ins are scaled by ~2^12 relative to the paper; R-MAT uses\n"
+        "the Graph500 parameters (a=0.57, b=0.19, c=0.19, d=0.05) as in the\n"
+        "paper's synthetic experiments. Graphs are read undirected (both\n"
+        "directions inserted) and indices are randomly permuted, as in the\n"
+        "paper's setup (Section VII-A).\n");
+    return 0;
+}

@@ -1,0 +1,447 @@
+// Dynamic distributed SpGEMM for algebraic updates — Algorithm 1 of the
+// paper — plus the COMPUTEPATTERN variant that Algorithm 2 builds on.
+//
+// Given C = AB and hypersparse update matrices A*, B* with A' = A + A*,
+// B' = B + B* (semiring addition), distributivity gives
+//     C' = C + C*,   C* = A* B' + A B*.                            (Eq. 1)
+//
+// Instead of SUMMA (which would broadcast blocks of the *large* operands A
+// and B'), the algorithm broadcasts only the hypersparse blocks of A* and B*
+// and pays for that with a non-local aggregation of the partial results:
+//
+//   round k (of sqrt(p)):
+//     - A*_{k,i} is broadcast along grid row i (it was moved to rank (i,k)
+//       by one initial transpose send/receive), B*_{j,k} along grid col j;
+//     - rank (i,j) computes X^i_{k,j} = A*_{k,i} B'_{i,j} and
+//       Y^j_{i,k} = A_{i,j} B*_{j,k} locally;
+//     - X^i_{k,j} is tree-reduced over grid column j onto rank (k,j), and
+//       Y^j_{i,k} over grid row i onto rank (i,k) (sparse reduce, Sec. VI-A).
+//
+// Communication volume is O((nnz(A*) + nnz(B*) + nnz(C*)) / sqrt(p)) versus
+// SUMMA's O((nnz(A) + nnz(B')) / sqrt(p)).
+#pragma once
+
+#include "core/dist_matrix.hpp"
+#include "par/profiler.hpp"
+#include "sparse/dcsr_ops.hpp"
+#include "sparse/local_spgemm.hpp"
+#include "sparse/transposed_spgemm.hpp"
+
+namespace dsg::core {
+
+struct DynamicSpgemmOptions {
+    par::ThreadPool* pool = nullptr;
+};
+
+namespace detail {
+
+/// The communication skeleton shared by the algebraic algorithm and
+/// COMPUTEPATTERN. MultX(a_star_ki, k) and MultY(b_star_jk, k) produce the
+/// local partial products (Dcsr<V>); AddV combines overlapping entries in the
+/// tree reduction; AbsorbX/AbsorbY consume the fully reduced X_{i,j} / Y_{i,j}
+/// on their owner rank.
+template <typename T, typename V, typename MultX, typename MultY,
+          typename AddV, typename AbsorbX, typename AbsorbY>
+void algebraic_rounds(ProcessGrid& grid, const Dcsr<T>& astar_local,
+                      const Dcsr<T>& bstar_local, MultX&& mult_x,
+                      MultY&& mult_y, AddV&& add_v, AbsorbX&& absorb_x,
+                      AbsorbY&& absorb_y) {
+    using par::Phase;
+    using par::Profiler;
+    constexpr int kTagA = 101;
+    constexpr int kTagB = 102;
+    const int q = grid.q();
+    const int i = grid.grid_row();
+    const int j = grid.grid_col();
+
+    // Initial transpose exchange: rank (i,j) sends its A*_{i,j} and B*_{i,j}
+    // to rank (j,i); afterwards it holds A*_{j,i} and B*_{j,i}, which makes
+    // all q broadcasts of a round run in parallel (Fig. 1a).
+    Dcsr<T> astar_t;
+    Dcsr<T> bstar_t;
+    {
+        Profiler::Scope scope(Phase::SendRecv);
+        const int peer = grid.transposed_rank();
+        astar_t = Dcsr<T>::deserialize(
+            grid.world().sendrecv(peer, kTagA, astar_local.serialize()));
+        bstar_t = Dcsr<T>::deserialize(
+            grid.world().sendrecv(peer, kTagB, bstar_local.serialize()));
+    }
+
+    auto merge_buffers = [&](par::Buffer a, par::Buffer b) {
+        auto ma = Dcsr<V>::deserialize(a);
+        auto mb = Dcsr<V>::deserialize(b);
+        return sparse::dcsr_add(ma, mb, add_v).serialize();
+    };
+
+    for (int k = 0; k < q; ++k) {
+        // Broadcast A*_{k,i} along row i (root: column k holds it after the
+        // transpose exchange) and B*_{j,k} along column j (root: row k).
+        Dcsr<T> astar_ki;
+        Dcsr<T> bstar_jk;
+        {
+            Profiler::Scope scope(Phase::Bcast);
+            par::Buffer abuf;
+            if (j == k) abuf = astar_t.serialize();
+            astar_ki =
+                Dcsr<T>::deserialize(grid.row_comm().bcast(k, std::move(abuf)));
+            par::Buffer bbuf;
+            if (i == k) bbuf = bstar_t.serialize();
+            bstar_jk =
+                Dcsr<T>::deserialize(grid.col_comm().bcast(k, std::move(bbuf)));
+        }
+
+        Dcsr<V> x_part;
+        Dcsr<V> y_part;
+        {
+            Profiler::Scope scope(Phase::LocalMult);
+            x_part = mult_x(astar_ki, k);
+            y_part = mult_y(bstar_jk, k);
+        }
+
+        par::Buffer x_wire;
+        par::Buffer y_wire;
+        {
+            // Packing the partial results for the tree reduction (the
+            // "Scatter" bar of Fig. 12).
+            Profiler::Scope scope(Phase::Scatter);
+            x_wire = x_part.serialize();
+            y_wire = y_part.serialize();
+        }
+        {
+            Profiler::Scope scope(Phase::ReduceScatter);
+            // X^i_{k,j} -> rank (k,j): reduce over this grid column, root k.
+            par::Buffer xr = grid.col_comm().reduce_merge(
+                k, std::move(x_wire), merge_buffers);
+            if (i == k) absorb_x(Dcsr<V>::deserialize(xr));
+            // Y^j_{i,k} -> rank (i,k): reduce over this grid row, root k.
+            par::Buffer yr = grid.row_comm().reduce_merge(
+                k, std::move(y_wire), merge_buffers);
+            if (j == k) absorb_y(Dcsr<V>::deserialize(yr));
+        }
+    }
+}
+
+}  // namespace detail
+
+/// Algorithm 1: C <- C + A* B' + A B* over SR. A is the matrix *before* the
+/// update, Bprime the one *after*; Astar/Bstar are the hypersparse update
+/// matrices (semiring addition semantics). Collective.
+template <sparse::Semiring SR, typename T = typename SR::value_type>
+void dynamic_spgemm_algebraic(DistDynamicMatrix<T>& C,
+                              const DistDynamicMatrix<T>& A,
+                              const DistDcsr<T>& Astar,
+                              const DistDynamicMatrix<T>& Bprime,
+                              const DistDcsr<T>& Bstar,
+                              const DynamicSpgemmOptions& opts = {},
+                              DistDynamicMatrix<T>* cstar_out = nullptr) {
+    ProcessGrid& grid = C.shape().grid();
+    const auto& rp = C.shape().row_partition();
+    const auto& cp = C.shape().col_partition();
+    sparse::SpgemmOptions sopts;
+    sopts.pool = opts.pool;
+
+    auto absorb = [&](const Dcsr<T>& reduced) {
+        par::Profiler::Scope scope(par::Phase::LocalAddition);
+        reduced.for_each([&](index_t u, index_t v, const T& x) {
+            C.local().insert_or_add(u, v, x, SR::add);
+            // Optionally collect C* itself (distributed), e.g. to feed the
+            // next stage of a chained product (graph contraction).
+            if (cstar_out != nullptr)
+                cstar_out->local().insert_or_add(u, v, x, SR::add);
+        });
+    };
+    detail::algebraic_rounds<T, T>(
+        grid, Astar.local(), Bstar.local(),
+        // X^i_{k,j} = A*_{k,i} · B'_{i,j}
+        [&](const Dcsr<T>& astar_ki, int k) {
+            return sparse::spgemm<SR>(rp.size(k), C.shape().local_cols(),
+                                      sparse::as_left(astar_ki),
+                                      sparse::as_right(Bprime.local()), sopts);
+        },
+        // Y^j_{i,k} = A_{i,j} · B*_{j,k}
+        [&](const Dcsr<T>& bstar_jk, int k) {
+            return sparse::spgemm<SR>(C.shape().local_rows(), cp.size(k),
+                                      sparse::as_left(A.local()),
+                                      sparse::as_right(bstar_jk), sopts);
+        },
+        [](const T& a, const T& b) { return SR::add(a, b); }, absorb, absorb);
+}
+
+/// Algorithm 1 with a transposed left operand (Section V-C):
+/// C <- C + A*^T B' + A^T B*, where A and A* are (inner x n) and C is n x m.
+///
+/// Differences from the untransposed flow, exactly as the paper describes:
+///  - no initial transpose send/receive is needed for A*: block A*_{i,r} is
+///    broadcast along grid row i directly from its owner (i, r), locally
+///    pre-transposed (hypersparse, O(nnz));
+///  - B* is broadcast over *rows* instead of columns;
+///  - the Y-term partial (A_{i,j})^T B*_{i,r} is computed against the stored
+///    (row-major) A block by pairing the few non-empty rows of B* with the
+///    matching rows of A (sparse/transposed_spgemm.hpp), and the reduced
+///    block is forwarded to its owner with one transposed-rank message (the
+///    send/receive that disappeared at the start reappears here).
+/// Collective.
+template <sparse::Semiring SR, typename T = typename SR::value_type>
+void dynamic_spgemm_algebraic_transA(DistDynamicMatrix<T>& C,
+                                     const DistDynamicMatrix<T>& A,
+                                     const DistDcsr<T>& Astar,
+                                     const DistDynamicMatrix<T>& Bprime,
+                                     const DistDcsr<T>& Bstar,
+                                     const DynamicSpgemmOptions& opts = {}) {
+    using par::Phase;
+    using par::Profiler;
+    constexpr int kTagY = 105;
+    ProcessGrid& grid = C.shape().grid();
+    const int q = grid.q();
+    const int i = grid.grid_row();
+    const int j = grid.grid_col();
+    // C rows are partitioned like A's columns (nu), C cols like B's (mu).
+    const auto& nu = C.shape().row_partition();
+    const auto& mu = C.shape().col_partition();
+    sparse::SpgemmOptions sopts;
+    sopts.pool = opts.pool;
+
+    auto add = [](const T& a, const T& b) { return SR::add(a, b); };
+    auto merge_buffers = [&](par::Buffer a, par::Buffer b) {
+        auto ma = Dcsr<T>::deserialize(a);
+        auto mb = Dcsr<T>::deserialize(b);
+        return sparse::dcsr_add(ma, mb, add).serialize();
+    };
+    auto absorb = [&](const Dcsr<T>& reduced) {
+        Profiler::Scope scope(Phase::LocalAddition);
+        reduced.for_each([&](index_t u, index_t v, const T& x) {
+            C.local().insert_or_add(u, v, x, SR::add);
+        });
+    };
+
+    for (int r = 0; r < q; ++r) {
+        // X-term: (A*_{i,r})^T broadcast along grid row i, root column r.
+        Dcsr<T> astar_t;
+        {
+            Profiler::Scope scope(Phase::Bcast);
+            par::Buffer abuf;
+            if (j == r) abuf = sparse::dcsr_transpose(Astar.local()).serialize();
+            astar_t =
+                Dcsr<T>::deserialize(grid.row_comm().bcast(r, std::move(abuf)));
+        }
+        Dcsr<T> x_part;
+        {
+            Profiler::Scope scope(Phase::LocalMult);
+            // (A*_{i,r})^T is nu_r x kappa_i; B'_{i,j} is kappa_i x mu_j.
+            x_part = sparse::spgemm<SR>(nu.size(r), C.shape().local_cols(),
+                                        sparse::as_left(astar_t),
+                                        sparse::as_right(Bprime.local()), sopts);
+        }
+        {
+            Profiler::Scope scope(Phase::ReduceScatter);
+            par::Buffer xr = grid.col_comm().reduce_merge(
+                r, x_part.serialize(), merge_buffers);
+            if (i == r) absorb(Dcsr<T>::deserialize(xr));
+        }
+
+        // Y-term: B*_{i,r} broadcast along grid row i, root column r.
+        Dcsr<T> bstar_ir;
+        {
+            Profiler::Scope scope(Phase::Bcast);
+            par::Buffer bbuf;
+            if (j == r) bbuf = Bstar.local().serialize();
+            bstar_ir =
+                Dcsr<T>::deserialize(grid.row_comm().bcast(r, std::move(bbuf)));
+        }
+        Dcsr<T> y_part;
+        {
+            Profiler::Scope scope(Phase::LocalMult);
+            // (A_{i,j})^T B*_{i,r} -> block (j, r) of C: nu_j x mu_r.
+            y_part = sparse::spgemm_transposed_left<SR>(
+                A.shape().local_cols(), mu.size(r), A.local(), bstar_ir);
+        }
+        {
+            Profiler::Scope scope(Phase::ReduceScatter);
+            // Partials for block (j, r) live on grid column j; reduce to the
+            // rank in grid row r, then forward to the owner (j, r) with one
+            // transposed-rank message.
+            par::Buffer yr = grid.col_comm().reduce_merge(
+                r, y_part.serialize(), merge_buffers);
+            if (i == r && j == r) {
+                absorb(Dcsr<T>::deserialize(yr));
+            } else if (i == r) {
+                grid.world().send(grid.transposed_rank(), kTagY + r,
+                                  std::move(yr));
+            }
+            if (j == r && i != r) {
+                par::Buffer in =
+                    grid.world().recv(grid.transposed_rank(), kTagY + r);
+                absorb(Dcsr<T>::deserialize(in));
+            }
+        }
+    }
+}
+
+/// Algorithm 1 with a transposed right operand (Section V-C):
+/// C <- C + A* B'^T + A B*^T, where B and B* are (m x inner), A and A* are
+/// (n x inner) and C is n x m.
+///
+/// As the paper notes, A* is now broadcast over *columns* of the grid (no
+/// initial transpose exchange), and so is B*. Local multiplications against
+/// transposed right operands are rewritten to keep both operands streamable:
+///  - X-term: A*_{k,c} (B'_{j,c})^T = (B'_{j,c} (A*_{k,c})^T)^T — one
+///    ordinary Gustavson multiply against the locally transposed hypersparse
+///    A* block, plus a transpose of the (small) partial result;
+///  - Y-term: A_{i,c} (B*_{k,c})^T multiplies the stored A block against the
+///    locally transposed hypersparse B* block directly.
+/// X partials are reduced along grid rows and forwarded to the owner with a
+/// transposed-rank message; Y partials reduce along grid rows straight onto
+/// their owner. Collective.
+template <sparse::Semiring SR, typename T = typename SR::value_type>
+void dynamic_spgemm_algebraic_transB(DistDynamicMatrix<T>& C,
+                                     const DistDynamicMatrix<T>& A,
+                                     const DistDcsr<T>& Astar,
+                                     const DistDynamicMatrix<T>& Bprime,
+                                     const DistDcsr<T>& Bstar,
+                                     const DynamicSpgemmOptions& opts = {}) {
+    using par::Phase;
+    using par::Profiler;
+    constexpr int kTagX = 107;
+    ProcessGrid& grid = C.shape().grid();
+    const int q = grid.q();
+    const int i = grid.grid_row();
+    const int j = grid.grid_col();
+    // C rows partition like A's rows (n), C cols like B's rows (m).
+    const auto& rp = C.shape().row_partition();
+    const auto& mp = C.shape().col_partition();
+    sparse::SpgemmOptions sopts;
+    sopts.pool = opts.pool;
+
+    auto add = [](const T& a, const T& b) { return SR::add(a, b); };
+    auto merge_buffers = [&](par::Buffer a, par::Buffer b) {
+        auto ma = Dcsr<T>::deserialize(a);
+        auto mb = Dcsr<T>::deserialize(b);
+        return sparse::dcsr_add(ma, mb, add).serialize();
+    };
+    auto absorb = [&](const Dcsr<T>& reduced) {
+        Profiler::Scope scope(Phase::LocalAddition);
+        reduced.for_each([&](index_t u, index_t v, const T& x) {
+            C.local().insert_or_add(u, v, x, SR::add);
+        });
+    };
+
+    for (int k = 0; k < q; ++k) {
+        // Both update blocks of grid row k travel down their columns.
+        Dcsr<T> astar_kc;
+        Dcsr<T> bstar_kc;
+        {
+            Profiler::Scope scope(Phase::Bcast);
+            par::Buffer abuf;
+            par::Buffer bbuf;
+            if (i == k) {
+                abuf = Astar.local().serialize();
+                bbuf = Bstar.local().serialize();
+            }
+            astar_kc =
+                Dcsr<T>::deserialize(grid.col_comm().bcast(k, std::move(abuf)));
+            bstar_kc =
+                Dcsr<T>::deserialize(grid.col_comm().bcast(k, std::move(bbuf)));
+        }
+
+        // X-term partial for output block (k, j), computed transposed:
+        // W = B'_{j,c} (A*_{k,c})^T, then X = W^T.
+        Dcsr<T> x_part;
+        {
+            Profiler::Scope scope(Phase::LocalMult);
+            auto astar_t = sparse::dcsr_transpose(astar_kc);
+            auto w = sparse::spgemm<SR>(
+                Bprime.shape().local_rows(), rp.size(k),
+                sparse::as_left(Bprime.local()), sparse::as_right(astar_t),
+                sopts);
+            x_part = sparse::dcsr_transpose(w);
+        }
+        {
+            Profiler::Scope scope(Phase::ReduceScatter);
+            // Partials live on grid row j's ranks; reduce to column k, then
+            // forward (j, k) -> (k, j).
+            par::Buffer xr = grid.row_comm().reduce_merge(
+                k, x_part.serialize(), merge_buffers);
+            if (j == k && i == k) {
+                absorb(Dcsr<T>::deserialize(xr));
+            } else if (j == k) {
+                grid.world().send(grid.transposed_rank(), kTagX + k,
+                                  std::move(xr));
+            }
+            if (i == k && j != k) {
+                par::Buffer in =
+                    grid.world().recv(grid.transposed_rank(), kTagX + k);
+                absorb(Dcsr<T>::deserialize(in));
+            }
+        }
+
+        // Y-term partial for output block (i, k):
+        // A_{i,c} (B*_{k,c})^T via the locally transposed B* block.
+        Dcsr<T> y_part;
+        {
+            Profiler::Scope scope(Phase::LocalMult);
+            auto bstar_t = sparse::dcsr_transpose(bstar_kc);
+            y_part = sparse::spgemm<SR>(C.shape().local_rows(), mp.size(k),
+                                        sparse::as_left(A.local()),
+                                        sparse::as_right(bstar_t), sopts);
+        }
+        {
+            Profiler::Scope scope(Phase::ReduceScatter);
+            par::Buffer yr = grid.row_comm().reduce_merge(
+                k, y_part.serialize(), merge_buffers);
+            if (j == k) absorb(Dcsr<T>::deserialize(yr));
+        }
+    }
+}
+
+/// COMPUTEPATTERN (Section V-B): the sparsity structure of
+/// C* = A* B' + A B*, with each entry carrying the F* Bloom bitfield (bit
+/// (k mod 64) set iff inner index k contributes). Numerical values of the
+/// operands are ignored. Returns the distributed pattern matrix. Collective.
+template <typename T>
+DistDynamicMatrix<std::uint64_t> compute_pattern(
+    const DistDynamicMatrix<T>& A, const DistDcsr<T>& Astar,
+    const DistDynamicMatrix<T>& Bprime, const DistDcsr<T>& Bstar,
+    const DynamicSpgemmOptions& opts = {}) {
+    ProcessGrid& grid = A.shape().grid();
+    DistDynamicMatrix<std::uint64_t> cstar(grid, A.shape().nrows(),
+                                           Bprime.shape().ncols());
+    const auto& rp = cstar.shape().row_partition();
+    const auto& cp = cstar.shape().col_partition();
+    const BlockPartition ip = grid.partition(A.shape().ncols());
+    auto bits_or = [](std::uint64_t a, std::uint64_t b) { return a | b; };
+
+    auto absorb = [&](const Dcsr<std::uint64_t>& reduced) {
+        par::Profiler::Scope scope(par::Phase::LocalAddition);
+        reduced.for_each([&](index_t u, index_t v, std::uint64_t bits) {
+            cstar.local().insert_or_add(u, v, bits, bits_or);
+        });
+    };
+    detail::algebraic_rounds<T, std::uint64_t>(
+        grid, Astar.local(), Bstar.local(),
+        [&](const Dcsr<T>& astar_ki, int k) {
+            sparse::SpgemmOptions sopts;
+            sopts.pool = opts.pool;
+            // Columns of A*_{k,i} live in inner block i of this grid row.
+            sopts.inner_offset = ip.offset(grid.grid_row());
+            return sparse::spgemm_pattern(rp.size(k),
+                                          cstar.shape().local_cols(),
+                                          sparse::as_left(astar_ki),
+                                          sparse::as_right(Bprime.local()),
+                                          sopts);
+        },
+        [&](const Dcsr<T>& bstar_jk, int k) {
+            sparse::SpgemmOptions sopts;
+            sopts.pool = opts.pool;
+            // Columns of A_{i,j} live in inner block j.
+            sopts.inner_offset = ip.offset(grid.grid_col());
+            return sparse::spgemm_pattern(cstar.shape().local_rows(),
+                                          cp.size(k),
+                                          sparse::as_left(A.local()),
+                                          sparse::as_right(bstar_jk), sopts);
+        },
+        bits_or, absorb, absorb);
+    return cstar;
+}
+
+}  // namespace dsg::core

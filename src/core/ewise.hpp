@@ -1,0 +1,87 @@
+// Element-wise operations on distributed matrices (Section IV: dynamic
+// matrices "support efficient in-place operations (such as insertions,
+// deletions, matrix addition or other element-wise transformations)").
+// All of them are local-only: the 2D distribution aligns blocks, so no
+// communication is ever needed.
+#pragma once
+
+#include "core/dist_matrix.hpp"
+#include "sparse/semiring.hpp"
+
+namespace dsg::core {
+
+/// A <- A (+) B element-wise with add(old, new); structural union. Shapes
+/// and grids must match. Local-only.
+template <typename T, typename AddFn>
+void ewise_add(DistDynamicMatrix<T>& A, const DistDynamicMatrix<T>& B,
+               AddFn&& add) {
+    B.local().for_each([&](index_t i, index_t j, const T& v) {
+        A.local().insert_or_add(i, j, v, add);
+    });
+}
+
+/// In-place value transform: a_{ij} <- fn(i_global, j_global, a_{ij}).
+/// The structure is unchanged (structural non-zeros may become numerical
+/// zeros, per the paper's zero semantics). Local-only.
+template <typename T, typename Fn>
+void ewise_apply(DistDynamicMatrix<T>& A, Fn&& fn) {
+    auto& local = A.local();
+    for (index_t i = 0; i < local.nrows(); ++i) {
+        const index_t gi = A.shape().global_row(i);
+        for (const auto& e : local.row(i)) {
+            const T updated = fn(gi, A.shape().global_col(e.col), e.value);
+            if (T* slot = local.find(i, e.col)) *slot = updated;
+        }
+    }
+}
+
+/// Removes every entry for which pred(i_global, j_global, value) holds
+/// (e.g. dropping numerical zeros after a ring cancellation). Returns the
+/// number of local entries removed. Local-only.
+template <typename T, typename Pred>
+std::size_t ewise_prune(DistDynamicMatrix<T>& A, Pred&& pred) {
+    auto& local = A.local();
+    std::size_t removed = 0;
+    for (index_t i = 0; i < local.nrows(); ++i) {
+        const index_t gi = A.shape().global_row(i);
+        // Collect first: erase invalidates row iteration (swap-remove).
+        std::vector<index_t> doomed;
+        for (const auto& e : local.row(i))
+            if (pred(gi, A.shape().global_col(e.col), e.value))
+                doomed.push_back(e.col);
+        for (index_t j : doomed) removed += local.erase(i, j) ? 1 : 0;
+    }
+    return removed;
+}
+
+/// Keeps only entries also present in the mask (structural intersection);
+/// shapes and grids must match. Returns local entries removed. Local-only.
+template <typename T, typename U>
+std::size_t ewise_mask_keep(DistDynamicMatrix<T>& A,
+                            const DistDynamicMatrix<U>& mask) {
+    auto& local = A.local();
+    std::size_t removed = 0;
+    for (index_t i = 0; i < local.nrows(); ++i) {
+        std::vector<index_t> doomed;
+        for (const auto& e : local.row(i))
+            if (!mask.local().contains(i, e.col)) doomed.push_back(e.col);
+        for (index_t j : doomed) removed += local.erase(i, j) ? 1 : 0;
+    }
+    return removed;
+}
+
+/// Fold over all local entries combined globally with a commutative op
+/// (e.g. total weight, max entry). Collective.
+template <typename T, typename Acc, typename Fold, typename Combine>
+Acc ewise_reduce(const DistDynamicMatrix<T>& A, Acc init, Fold&& fold,
+                 Combine&& combine)
+    requires std::is_trivially_copyable_v<Acc>
+{
+    Acc acc = init;
+    A.local().for_each([&](index_t i, index_t j, const T& v) {
+        acc = fold(acc, A.shape().global_row(i), A.shape().global_col(j), v);
+    });
+    return A.shape().grid().world().template allreduce<Acc>(acc, combine);
+}
+
+}  // namespace dsg::core

@@ -1,0 +1,198 @@
+// Dynamic distributed SpGEMM for general updates — Algorithm 2 of the paper.
+//
+// General updates (e.g. value increases under (min,+), deletions in
+// non-rings) cannot be folded into C via semiring addition; the affected
+// entries of C must be *recomputed* from A' and B'. The affected set is the
+// pattern of C* = A* B' + A B* (computed structurally by COMPUTEPATTERN).
+// Recomputation is a masked SpGEMM, and the Bloom filter matrix F — bit
+// (k mod 64) of f_{uv} records that inner index k contributed to c_{uv} —
+// lets each rank send only the rows *and columns* of A' that can contribute:
+//
+//   E   = (F | F*) masked at C*            (locally)
+//   R_u = OR over v of e_{uv}              (or-reduce along the grid row)
+//   A^R = rows u of A' with r_u != 0, keeping only columns k with
+//         bit (k mod 64) set in r_u
+//   then: broadcast A^R_{k,i} along rows and the C*_{k,j} mask along
+//   columns; masked local multiply Z,H = A^R_{k,i} B'_{i,j} masked at
+//   C*_{k,j}; tree-reduce Z (semiring add) and H (bitwise or) onto (k,j);
+//   finally merge Z into C and H into F at mask positions — entries of the
+//   mask that received no value become structural zeros.
+//
+// The Bloom filter trades false positives (superfluous columns kept) for
+// communication volume; it never loses a contribution (tested property).
+#pragma once
+
+#include <vector>
+
+#include "core/dist_matrix.hpp"
+#include "core/dynamic_spgemm.hpp"
+#include "par/profiler.hpp"
+#include "sparse/dcsr_ops.hpp"
+#include "sparse/local_spgemm.hpp"
+
+namespace dsg::core {
+
+struct GeneralSpgemmOptions {
+    par::ThreadPool* pool = nullptr;
+    /// Disables the Bloom *column* filter (rows are still selected by the
+    /// mask); measured by bench_ablation_bloom.
+    bool use_bloom_filter = true;
+};
+
+/// Volume diagnostics of one general-update pass.
+struct GeneralSpgemmStats {
+    std::size_t aprime_nnz_global = 0;  ///< nnz(A')
+    std::size_t ar_nnz_global = 0;      ///< nnz(A^R) actually communicated
+    std::size_t cstar_nnz_global = 0;   ///< recomputed entries
+};
+
+/// Algorithm 2. C and F are the result and Bloom filter of the previous
+/// multiplication (from summa with bloom_out, or maintained by prior calls);
+/// Aprime/Bprime are the post-update inputs; Cstar is the pattern+F* matrix
+/// from compute_pattern(). On return C == A' B' at every position (entries
+/// outside the mask were already correct) and F is a valid filter for C.
+/// Collective.
+template <sparse::Semiring SR, typename T = typename SR::value_type>
+GeneralSpgemmStats general_dynamic_spgemm(
+    DistDynamicMatrix<T>& C, DistDynamicMatrix<std::uint64_t>& F,
+    const DistDynamicMatrix<T>& Aprime, const DistDynamicMatrix<T>& Bprime,
+    const DistDynamicMatrix<std::uint64_t>& Cstar,
+    const GeneralSpgemmOptions& opts = {}) {
+    using par::Phase;
+    using par::Profiler;
+    using VB = sparse::ValueBits<T>;
+    constexpr int kTagAr = 103;
+    ProcessGrid& grid = C.shape().grid();
+    const int q = grid.q();
+    const int i = grid.grid_row();
+    const int j = grid.grid_col();
+    const BlockPartition ip = grid.partition(Aprime.shape().ncols());
+    const auto& rp = C.shape().row_partition();
+
+    // E = (F | F*) masked at C*, reduced over the grid row into the
+    // row-filter vector R (one 64-bit word per local row of this block row).
+    std::vector<std::uint64_t> r_vec(
+        static_cast<std::size_t>(C.shape().local_rows()), 0);
+    {
+        Profiler::Scope scope(Phase::LocalMult);
+        Cstar.local().for_each([&](index_t u, index_t v, std::uint64_t fstar) {
+            const std::uint64_t* f = F.local().find(u, v);
+            r_vec[static_cast<std::size_t>(u)] |=
+                fstar | (f != nullptr ? *f : 0);
+        });
+    }
+    grid.row_comm().allreduce_or(r_vec);
+
+    // A^R: the filtered left operand (rows by R, columns by Bloom bits).
+    Dcsr<T> ar(Aprime.shape().local_rows(), Aprime.shape().local_cols());
+    {
+        Profiler::Scope scope(Phase::LocalConstruct);
+        const index_t col_off = ip.offset(j);
+        for (index_t u = 0; u < Aprime.shape().local_rows(); ++u) {
+            const std::uint64_t bits = r_vec[static_cast<std::size_t>(u)];
+            if (bits == 0) continue;
+            const auto row = Aprime.local().row(u);
+            if (row.empty()) continue;
+            ar.begin_row(u);
+            for (const auto& e : row) {
+                if (opts.use_bloom_filter &&
+                    (bits & sparse::bloom_bit(col_off + e.col)) == 0)
+                    continue;
+                ar.push_entry(e.col, e.value);
+            }
+            ar.end_row();
+        }
+    }
+
+    GeneralSpgemmStats stats;
+    auto sum = [](std::uint64_t a, std::uint64_t b) { return a + b; };
+    stats.aprime_nnz_global = grid.world().template allreduce<std::uint64_t>(
+        Aprime.local().nnz(), sum);
+    stats.ar_nnz_global =
+        grid.world().template allreduce<std::uint64_t>(ar.nnz(), sum);
+    stats.cstar_nnz_global = grid.world().template allreduce<std::uint64_t>(
+        Cstar.local().nnz(), sum);
+
+    // Transpose exchange of A^R (as for A* in Algorithm 1) and the local C*
+    // mask snapshot to broadcast along columns.
+    Dcsr<T> ar_t;
+    {
+        Profiler::Scope scope(Phase::SendRecv);
+        ar_t = Dcsr<T>::deserialize(
+            grid.world().sendrecv(grid.transposed_rank(), kTagAr, ar.serialize()));
+    }
+    par::Buffer mask_snapshot;
+    {
+        Profiler::Scope scope(Phase::LocalConstruct);
+        mask_snapshot = Cstar.local().to_dcsr().serialize();
+    }
+
+    auto merge_vb = [&](par::Buffer a, par::Buffer b) {
+        auto ma = Dcsr<VB>::deserialize(a);
+        auto mb = Dcsr<VB>::deserialize(b);
+        return sparse::dcsr_add(ma, mb,
+                                [](const VB& x, const VB& y) {
+                                    return VB{SR::add(x.value, y.value),
+                                              x.bits | y.bits};
+                                })
+            .serialize();
+    };
+
+    Dcsr<VB> z_mine(C.shape().local_rows(), C.shape().local_cols());
+    for (int k = 0; k < q; ++k) {
+        Dcsr<T> ar_ki;
+        Dcsr<std::uint64_t> cstar_kj;
+        {
+            Profiler::Scope scope(Phase::Bcast);
+            par::Buffer abuf;
+            if (j == k) abuf = ar_t.serialize();
+            ar_ki = Dcsr<T>::deserialize(grid.row_comm().bcast(k, std::move(abuf)));
+            par::Buffer mbuf;
+            if (i == k) mbuf = mask_snapshot;  // copy: broadcast consumes it
+            cstar_kj = Dcsr<std::uint64_t>::deserialize(
+                grid.col_comm().bcast(k, std::move(mbuf)));
+        }
+
+        Dcsr<VB> z_part;
+        {
+            Profiler::Scope scope(Phase::LocalMult);
+            // Each rank rebuilds the mask hash locally: faster than
+            // broadcasting the hash table itself (Section VI-B).
+            const sparse::PairSet mask = sparse::dcsr_pattern(cstar_kj);
+            sparse::SpgemmOptions sopts;
+            sopts.pool = opts.pool;
+            sopts.mask = &mask;
+            sopts.inner_offset = ip.offset(i);
+            z_part = sparse::spgemm_with_bloom<SR>(
+                rp.size(k), C.shape().local_cols(), sparse::as_left(ar_ki),
+                sparse::as_right(Bprime.local()), sopts);
+        }
+        {
+            Profiler::Scope scope(Phase::ReduceScatter);
+            par::Buffer zr =
+                grid.col_comm().reduce_merge(k, z_part.serialize(), merge_vb);
+            if (i == k) z_mine = Dcsr<VB>::deserialize(zr);
+        }
+    }
+
+    // Final local merge, masked at C*: recomputed entries replace C and F;
+    // mask positions with no surviving value become structural zeros.
+    {
+        Profiler::Scope scope(Phase::LocalAddition);
+        sparse::PairSet alive(C.shape().local_cols(), z_mine.nnz());
+        z_mine.for_each([&](index_t u, index_t v, const VB& vb) {
+            C.local().insert_or_assign(u, v, vb.value);
+            F.local().insert_or_assign(u, v, vb.bits);
+            alive.insert(u, v);
+        });
+        Cstar.local().for_each([&](index_t u, index_t v, std::uint64_t) {
+            if (!alive.contains(u, v)) {
+                C.local().erase(u, v);
+                F.local().erase(u, v);
+            }
+        });
+    }
+    return stats;
+}
+
+}  // namespace dsg::core

@@ -1,0 +1,25 @@
+#include "core/process_grid.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dsg::core {
+
+bool ProcessGrid::is_square(int p) {
+    const int q = static_cast<int>(std::lround(std::sqrt(static_cast<double>(p))));
+    return q * q == p;
+}
+
+ProcessGrid::ProcessGrid(par::Comm world) : world_(world) {
+    const int p = world_.size();
+    if (!is_square(p))
+        throw std::invalid_argument(
+            "ProcessGrid requires a square number of ranks");
+    q_ = static_cast<int>(std::lround(std::sqrt(static_cast<double>(p))));
+    row_ = world_.rank() / q_;
+    col_ = world_.rank() % q_;
+    row_comm_ = world_.split(/*color=*/row_, /*key=*/col_);
+    col_comm_ = world_.split(/*color=*/col_, /*key=*/row_);
+}
+
+}  // namespace dsg::core

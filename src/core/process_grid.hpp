@@ -1,0 +1,95 @@
+// The sqrt(p) x sqrt(p) process grid and the 2D block distribution
+// (Section IV): rank r owns grid position (r / q, r % q); dimension n is cut
+// into q contiguous blocks of ceil(n/q) indices. Row and column communicators
+// carry the broadcasts/reductions of SUMMA and of Algorithms 1 and 2.
+#pragma once
+
+#include <memory>
+
+#include "par/comm.hpp"
+#include "sparse/types.hpp"
+
+namespace dsg::core {
+
+using sparse::index_t;
+
+/// Partition of [0, n) into q contiguous blocks of size ceil(n/q) (the last
+/// block may be short or empty).
+class BlockPartition {
+public:
+    BlockPartition() = default;
+    BlockPartition(index_t n, int q)
+        : n_(n), q_(q), block_((n + q - 1) / q) {}
+
+    [[nodiscard]] index_t n() const { return n_; }
+    [[nodiscard]] int blocks() const { return q_; }
+
+    /// Index of the block containing global index g.
+    [[nodiscard]] int owner(index_t g) const {
+        return block_ == 0 ? 0 : static_cast<int>(g / block_);
+    }
+    /// First global index of block b.
+    [[nodiscard]] index_t offset(int b) const {
+        return std::min<index_t>(static_cast<index_t>(b) * block_, n_);
+    }
+    /// Number of indices in block b.
+    [[nodiscard]] index_t size(int b) const {
+        return offset(b + 1) - offset(b);
+    }
+    /// Global index -> index within its block.
+    [[nodiscard]] index_t to_local(index_t g) const {
+        return g - offset(owner(g));
+    }
+    /// (block, local index) -> global index.
+    [[nodiscard]] index_t to_global(int b, index_t local) const {
+        return offset(b) + local;
+    }
+
+private:
+    index_t n_ = 0;
+    int q_ = 1;
+    index_t block_ = 0;
+};
+
+/// Square process grid over a communicator whose size must be a perfect
+/// square. Constructing one is a collective operation (it splits the world
+/// into row and column communicators).
+class ProcessGrid {
+public:
+    explicit ProcessGrid(par::Comm world);
+
+    [[nodiscard]] int q() const { return q_; }          ///< grid side length
+    [[nodiscard]] int grid_row() const { return row_; } ///< this rank's i
+    [[nodiscard]] int grid_col() const { return col_; } ///< this rank's j
+
+    /// World rank of grid position (i, j).
+    [[nodiscard]] int rank_of(int i, int j) const { return i * q_ + j; }
+    /// World rank of the transposed position (j, i) — the peer of the initial
+    /// send/receive round of Algorithms 1 and 2.
+    [[nodiscard]] int transposed_rank() const { return rank_of(col_, row_); }
+
+    [[nodiscard]] par::Comm& world() { return world_; }
+    /// Communicator over the q ranks of this grid row; rank within it is the
+    /// grid column.
+    [[nodiscard]] par::Comm& row_comm() { return row_comm_; }
+    /// Communicator over the q ranks of this grid column; rank within it is
+    /// the grid row.
+    [[nodiscard]] par::Comm& col_comm() { return col_comm_; }
+
+    /// Partition of a global dimension across the grid side.
+    [[nodiscard]] BlockPartition partition(index_t n) const {
+        return BlockPartition(n, q_);
+    }
+
+    static bool is_square(int p);
+
+private:
+    par::Comm world_;
+    int q_;
+    int row_;
+    int col_;
+    par::Comm row_comm_;
+    par::Comm col_comm_;
+};
+
+}  // namespace dsg::core

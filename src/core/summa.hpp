@@ -1,0 +1,111 @@
+// Sparse SUMMA (Buluc & Gilbert [20]): the static distributed SpGEMM.
+//
+// This implementation serves three roles:
+//  1. the initial computation of C = AB (optionally producing the Bloom
+//     filter matrix F needed by the general dynamic algorithm, Section V-B);
+//  2. the CombBLAS-style *competitor* that the dynamic algorithms are
+//     benchmarked against (static recomputation, Figs. 9/10);
+//  3. a masked variant used by the algebraic graph algorithms (e.g. triangle
+//     counting computes A·A masked at A).
+//
+// In round k, block A_{i,k} is broadcast along grid row i and block B_{k,j}
+// along grid column j; every rank multiplies locally and aggregates into its
+// own output block — aggregation is entirely local, but *all* non-zeros of A
+// and B travel, which is exactly the cost the dynamic algorithms avoid.
+#pragma once
+
+#include "core/dist_matrix.hpp"
+#include "par/profiler.hpp"
+#include "sparse/dcsr_ops.hpp"
+#include "sparse/local_spgemm.hpp"
+
+namespace dsg::core {
+
+struct SummaOptions {
+    par::ThreadPool* pool = nullptr;
+    /// When set, also accumulates the Bloom filter matrix F: bit (k mod 64)
+    /// of f_{ij} is set iff term a_{ik} b_{kj} contributed to c_{ij}.
+    DistDynamicMatrix<std::uint64_t>* bloom_out = nullptr;
+    /// When set, only entries present in the mask's local blocks are
+    /// produced (masked SpGEMM).
+    const sparse::PairSet* local_mask = nullptr;
+};
+
+/// C <- C (+) A · B over SR (C is usually empty on entry). Requires
+/// A.ncols == B.nrows and matching grids. Collective.
+template <sparse::Semiring SR, typename T = typename SR::value_type>
+void summa(DistDynamicMatrix<T>& C, const DistDynamicMatrix<T>& A,
+           const DistDynamicMatrix<T>& B, const SummaOptions& opts = {}) {
+    using par::Phase;
+    using par::Profiler;
+    ProcessGrid& grid = C.shape().grid();
+    const int q = grid.q();
+    const int i = grid.grid_row();
+    const int j = grid.grid_col();
+    const BlockPartition ip = grid.partition(A.shape().ncols());
+
+    for (int k = 0; k < q; ++k) {
+        par::Buffer abuf;
+        par::Buffer bbuf;
+        {
+            Profiler::Scope scope(Phase::LocalConstruct);
+            if (j == k) abuf = A.local().to_dcsr().serialize();
+            if (i == k) bbuf = B.local().to_dcsr().serialize();
+        }
+        Dcsr<T> a_ik;
+        Dcsr<T> b_kj;
+        {
+            Profiler::Scope scope(Phase::Bcast);
+            a_ik = Dcsr<T>::deserialize(grid.row_comm().bcast(k, std::move(abuf)));
+            b_kj = Dcsr<T>::deserialize(grid.col_comm().bcast(k, std::move(bbuf)));
+        }
+
+        sparse::SpgemmOptions sopts;
+        sopts.pool = opts.pool;
+        sopts.mask = opts.local_mask;
+        sopts.inner_offset = ip.offset(k);
+        if (opts.bloom_out != nullptr) {
+            Dcsr<sparse::ValueBits<T>> part;
+            {
+                Profiler::Scope scope(Phase::LocalMult);
+                part = sparse::spgemm_with_bloom<SR>(
+                    C.shape().local_rows(), C.shape().local_cols(),
+                    sparse::as_left(a_ik), sparse::as_right(b_kj), sopts);
+            }
+            Profiler::Scope scope(Phase::LocalAddition);
+            part.for_each([&](index_t u, index_t v,
+                              const sparse::ValueBits<T>& vb) {
+                C.local().insert_or_add(u, v, vb.value, SR::add);
+                opts.bloom_out->local().insert_or_add(
+                    u, v, vb.bits,
+                    [](std::uint64_t a, std::uint64_t b) { return a | b; });
+            });
+        } else {
+            Dcsr<T> part;
+            {
+                Profiler::Scope scope(Phase::LocalMult);
+                part = sparse::spgemm<SR>(C.shape().local_rows(),
+                                          C.shape().local_cols(),
+                                          sparse::as_left(a_ik),
+                                          sparse::as_right(b_kj), sopts);
+            }
+            Profiler::Scope scope(Phase::LocalAddition);
+            part.for_each([&](index_t u, index_t v, const T& x) {
+                C.local().insert_or_add(u, v, x, SR::add);
+            });
+        }
+    }
+}
+
+/// Convenience: freshly computed C = A · B. Collective.
+template <sparse::Semiring SR, typename T = typename SR::value_type>
+DistDynamicMatrix<T> summa_multiply(const DistDynamicMatrix<T>& A,
+                                    const DistDynamicMatrix<T>& B,
+                                    const SummaOptions& opts = {}) {
+    DistDynamicMatrix<T> C(A.shape().grid(), A.shape().nrows(),
+                           B.shape().ncols());
+    summa<SR>(C, A, B, opts);
+    return C;
+}
+
+}  // namespace dsg::core

@@ -1,0 +1,42 @@
+// Umbrella header: the full public API of the dynamic-spgemm library.
+//
+//   #include "dsg.hpp"
+//
+// pulls in the parallel runtime (dsg::par), the local sparse substrates
+// (dsg::sparse), the distributed core (dsg::core — the paper's
+// contribution), the competitor baselines (dsg::baseline) and the graph
+// layer (dsg::graph). Individual headers remain includable on their own;
+// see README.md for the module map.
+#pragma once
+
+#include "par/buffer.hpp"
+#include "par/comm.hpp"
+#include "par/profiler.hpp"
+#include "par/thread_pool.hpp"
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dcsr.hpp"
+#include "sparse/dcsr_ops.hpp"
+#include "sparse/dynamic_matrix.hpp"
+#include "sparse/flat_map.hpp"
+#include "sparse/local_spgemm.hpp"
+#include "sparse/semiring.hpp"
+#include "sparse/spa.hpp"
+#include "sparse/transposed_spgemm.hpp"
+#include "sparse/types.hpp"
+
+#include "core/dist_matrix.hpp"
+#include "core/dynamic_spgemm.hpp"
+#include "core/ewise.hpp"
+#include "core/general_spgemm.hpp"
+#include "core/process_grid.hpp"
+#include "core/redistribute.hpp"
+#include "core/summa.hpp"
+#include "core/update_ops.hpp"
+
+#include "baseline/static_rebuild.hpp"
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_io.hpp"

@@ -1,0 +1,112 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <random>
+#include <unordered_set>
+
+namespace dsg::graph {
+
+std::vector<Triple<double>> rmat_edges(int scale, std::size_t edges,
+                                       std::uint64_t seed,
+                                       const RmatParams& params) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> uni(0.0, 1.0);
+    std::vector<Triple<double>> out;
+    out.reserve(edges);
+    const double ab = params.a + params.b;
+    const double abc = ab + params.c;
+    for (std::size_t e = 0; e < edges; ++e) {
+        index_t row = 0;
+        index_t col = 0;
+        for (int level = 0; level < scale; ++level) {
+            const double r = uni(rng);
+            row <<= 1;
+            col <<= 1;
+            if (r < params.a) {
+                // top-left quadrant
+            } else if (r < ab) {
+                col |= 1;
+            } else if (r < abc) {
+                row |= 1;
+            } else {
+                row |= 1;
+                col |= 1;
+            }
+        }
+        double w = uni(rng);
+        if (w == 0.0) w = 0.5;
+        out.push_back({row, col, w});
+    }
+    return out;
+}
+
+std::vector<Triple<double>> erdos_renyi_edges(index_t n, std::size_t edges,
+                                              std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<index_t> pick(0, n - 1);
+    std::uniform_real_distribution<double> uni(0.0, 1.0);
+    std::vector<Triple<double>> out;
+    out.reserve(edges);
+    for (std::size_t e = 0; e < edges; ++e) {
+        double w = uni(rng);
+        if (w == 0.0) w = 0.5;
+        out.push_back({pick(rng), pick(rng), w});
+    }
+    return out;
+}
+
+std::vector<Triple<double>> symmetrize(std::vector<Triple<double>> edges) {
+    const std::size_t n = edges.size();
+    edges.reserve(2 * n);
+    for (std::size_t e = 0; e < n; ++e) {
+        if (edges[e].row != edges[e].col)
+            edges.push_back({edges[e].col, edges[e].row, edges[e].value});
+    }
+    return edges;
+}
+
+std::vector<Triple<double>> simplify(std::vector<Triple<double>> edges) {
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(edges.size() * 2);
+    std::vector<Triple<double>> out;
+    out.reserve(edges.size());
+    for (const auto& t : edges) {
+        if (t.row == t.col) continue;
+        // Packing is safe for the generator scales used in tests/benches.
+        const auto key = (static_cast<std::uint64_t>(t.row) << 32) |
+                         static_cast<std::uint32_t>(t.col);
+        if (seen.insert(key).second) out.push_back(t);
+    }
+    return out;
+}
+
+std::vector<Triple<double>> path_graph(index_t n) {
+    std::vector<Triple<double>> out;
+    for (index_t i = 0; i + 1 < n; ++i) out.push_back({i, i + 1, 1.0});
+    return out;
+}
+
+std::vector<Triple<double>> cycle_graph(index_t n) {
+    std::vector<Triple<double>> out;
+    for (index_t i = 0; i < n; ++i) out.push_back({i, (i + 1) % n, 1.0});
+    return out;
+}
+
+std::vector<Triple<double>> complete_graph(index_t n) {
+    std::vector<Triple<double>> out;
+    for (index_t i = 0; i < n; ++i)
+        for (index_t j = 0; j < n; ++j)
+            if (i != j) out.push_back({i, j, 1.0});
+    return out;
+}
+
+std::vector<Triple<double>> star_graph(index_t n) {
+    std::vector<Triple<double>> out;
+    for (index_t i = 1; i < n; ++i) {
+        out.push_back({0, i, 1.0});
+        out.push_back({i, 0, 1.0});
+    }
+    return out;
+}
+
+}  // namespace dsg::graph

@@ -1,0 +1,52 @@
+// Synthetic graph generators.
+//
+// R-MAT with the Graph500 parameters (a=0.57, b=0.19, c=0.19, d=0.05) is the
+// paper's own synthetic workload (Fig. 8); Erdős–Rényi and the deterministic
+// small graphs below serve tests and stand-ins for the real-world instances
+// of Table I (see DESIGN.md on this substitution).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace dsg::graph {
+
+using sparse::index_t;
+using sparse::Triple;
+
+/// Parameters of the recursive matrix model.
+struct RmatParams {
+    double a = 0.57;  ///< Graph500 defaults
+    double b = 0.19;
+    double c = 0.19;
+    // d = 1 - a - b - c
+};
+
+/// Generates `edges` directed edges over n = 2^scale vertices; values are
+/// uniform in (0, 1]. Deterministic in seed. Duplicates are possible, as in
+/// the Graph500 generator.
+std::vector<Triple<double>> rmat_edges(int scale, std::size_t edges,
+                                       std::uint64_t seed,
+                                       const RmatParams& params = {});
+
+/// Generates `edges` uniformly random directed edges over n vertices
+/// (Erdős–Rényi G(n, m) with replacement); values uniform in (0, 1].
+std::vector<Triple<double>> erdos_renyi_edges(index_t n, std::size_t edges,
+                                              std::uint64_t seed);
+
+/// Adds the reverse of every edge: the paper reads all graphs as undirected,
+/// inserting both (u, v) and (v, u).
+std::vector<Triple<double>> symmetrize(std::vector<Triple<double>> edges);
+
+/// Removes self loops and exact duplicate coordinates (keeps the first).
+std::vector<Triple<double>> simplify(std::vector<Triple<double>> edges);
+
+/// Deterministic test graphs.
+std::vector<Triple<double>> path_graph(index_t n);      ///< i -> i+1
+std::vector<Triple<double>> cycle_graph(index_t n);     ///< i -> (i+1) mod n
+std::vector<Triple<double>> complete_graph(index_t n);  ///< all i != j
+std::vector<Triple<double>> star_graph(index_t n);      ///< 0 <-> i
+
+}  // namespace dsg::graph

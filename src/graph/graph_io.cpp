@@ -1,0 +1,41 @@
+#include "graph/graph_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dsg::graph {
+
+std::vector<Triple<double>> read_edge_list(std::istream& in, index_t& n_out) {
+    std::vector<Triple<double>> edges;
+    n_out = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+        std::istringstream ls(line);
+        index_t u = 0;
+        index_t v = 0;
+        if (!(ls >> u >> v)) continue;
+        double w = 1.0;
+        ls >> w;
+        edges.push_back({u, v, w});
+        n_out = std::max({n_out, u + 1, v + 1});
+    }
+    return edges;
+}
+
+std::vector<Triple<double>> read_edge_list_file(const std::string& path,
+                                                index_t& n_out) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open edge list: " + path);
+    return read_edge_list(in, n_out);
+}
+
+void write_edge_list(std::ostream& out,
+                     const std::vector<Triple<double>>& edges) {
+    for (const auto& t : edges)
+        out << t.row << ' ' << t.col << ' ' << t.value << '\n';
+}
+
+}  // namespace dsg::graph

@@ -1,0 +1,29 @@
+// Plain-text edge-list I/O ("u v weight" per line, '#' comments), the format
+// the SNAP datasets ship in. Used by examples to ingest external graphs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace dsg::graph {
+
+using sparse::index_t;
+using sparse::Triple;
+
+/// Parses an edge list; a missing weight column defaults to 1.0. Lines
+/// starting with '#' or '%' are skipped. Returns the edges and sets n_out to
+/// 1 + the largest vertex id seen (0 for an empty stream).
+std::vector<Triple<double>> read_edge_list(std::istream& in, index_t& n_out);
+
+/// Reads an edge-list file; throws std::runtime_error when unreadable.
+std::vector<Triple<double>> read_edge_list_file(const std::string& path,
+                                                index_t& n_out);
+
+/// Writes "row col value" lines.
+void write_edge_list(std::ostream& out,
+                     const std::vector<Triple<double>>& edges);
+
+}  // namespace dsg::graph

@@ -1,0 +1,7 @@
+#include "par/buffer.hpp"
+
+// Header-only for now; this TU pins the header into the static library so
+// compile errors surface even if no other TU includes it.
+namespace dsg::par {
+static_assert(sizeof(Buffer) > 0);
+}  // namespace dsg::par

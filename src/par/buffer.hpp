@@ -1,0 +1,91 @@
+// Byte-buffer serialization primitives used for all inter-rank communication.
+//
+// Every block of a sparse matrix that crosses a rank boundary is packed into a
+// Buffer with BufferWriter and unpacked with BufferReader. Only trivially
+// copyable payloads are supported; matrices serialize themselves in terms of
+// scalar headers plus spans of PODs (see sparse/dcsr.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+namespace dsg::par {
+
+/// Raw byte buffer exchanged between ranks.
+using Buffer = std::vector<std::byte>;
+
+/// Appends trivially copyable values and spans to a Buffer.
+class BufferWriter {
+public:
+    explicit BufferWriter(Buffer& out) : out_(out) {}
+
+    template <typename T>
+        requires std::is_trivially_copyable_v<T>
+    void write(const T& value) {
+        const auto* src = reinterpret_cast<const std::byte*>(&value);
+        out_.insert(out_.end(), src, src + sizeof(T));
+    }
+
+    template <typename T>
+        requires std::is_trivially_copyable_v<T>
+    void write_span(std::span<const T> values) {
+        write<std::uint64_t>(values.size());
+        const auto* src = reinterpret_cast<const std::byte*>(values.data());
+        out_.insert(out_.end(), src, src + values.size_bytes());
+    }
+
+    template <typename T>
+    void write_vector(const std::vector<T>& values) {
+        write_span(std::span<const T>(values));
+    }
+
+private:
+    Buffer& out_;
+};
+
+/// Reads values back out of a Buffer in the order they were written.
+class BufferReader {
+public:
+    explicit BufferReader(std::span<const std::byte> data) : data_(data) {}
+    explicit BufferReader(const Buffer& data) : data_(data) {}
+
+    template <typename T>
+        requires std::is_trivially_copyable_v<T>
+    T read() {
+        T value;
+        require(sizeof(T));
+        std::memcpy(&value, data_.data() + pos_, sizeof(T));
+        pos_ += sizeof(T);
+        return value;
+    }
+
+    template <typename T>
+        requires std::is_trivially_copyable_v<T>
+    std::vector<T> read_vector() {
+        const auto n = read<std::uint64_t>();
+        require(n * sizeof(T));
+        std::vector<T> values(n);
+        std::memcpy(values.data(), data_.data() + pos_, n * sizeof(T));
+        pos_ += n * sizeof(T);
+        return values;
+    }
+
+    [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+    [[nodiscard]] bool exhausted() const { return remaining() == 0; }
+
+private:
+    void require(std::size_t bytes) const {
+        if (pos_ + bytes > data_.size())
+            throw std::out_of_range("BufferReader: truncated buffer");
+    }
+
+    std::span<const std::byte> data_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace dsg::par

@@ -1,0 +1,66 @@
+#include "par/profiler.hpp"
+
+namespace dsg::par {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+// Global totals in nanoseconds. Threads add their scope durations directly;
+// contention is negligible because scopes are coarse (whole phases).
+std::array<std::atomic<std::uint64_t>, kPhaseCount>& totals() {
+    static std::array<std::atomic<std::uint64_t>, kPhaseCount> t{};
+    return t;
+}
+
+}  // namespace
+
+std::string_view phase_name(Phase phase) {
+    switch (phase) {
+        case Phase::RedistSort: return "Redist. sort";
+        case Phase::RedistComm: return "Redist. comm.";
+        case Phase::MemManagement: return "Mem. management";
+        case Phase::LocalConstruct: return "Local construct.";
+        case Phase::LocalAddition: return "Local addition";
+        case Phase::SendRecv: return "Send/Recv";
+        case Phase::Bcast: return "Bcast";
+        case Phase::LocalMult: return "Local Mult.";
+        case Phase::Scatter: return "Scatter";
+        case Phase::ReduceScatter: return "Reduce Scatter";
+        case Phase::Other: return "Other";
+        case Phase::kCount: break;
+    }
+    return "?";
+}
+
+void Profiler::set_enabled(bool enabled) {
+    g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool Profiler::enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void Profiler::reset() {
+    for (auto& t : totals()) t.store(0, std::memory_order_relaxed);
+}
+
+double Profiler::total_seconds(Phase phase) {
+    return static_cast<double>(
+               totals()[static_cast<std::size_t>(phase)].load(
+                   std::memory_order_relaxed)) *
+           1e-9;
+}
+
+Profiler::Scope::Scope(Phase phase) : phase_(phase), active_(enabled()) {
+    if (active_) start_ = std::chrono::steady_clock::now();
+}
+
+Profiler::Scope::~Scope() {
+    if (!active_) return;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    totals()[static_cast<std::size_t>(phase_)].fetch_add(
+        static_cast<std::uint64_t>(ns), std::memory_order_relaxed);
+}
+
+}  // namespace dsg::par

@@ -1,0 +1,67 @@
+// Per-phase wall-clock accounting used to regenerate the paper's breakdown
+// figures (Fig. 7: insertion phases; Fig. 12: dynamic SpGEMM phases).
+//
+// Library code brackets its phases with Profiler::Scope; accounting is
+// per-thread (each rank is a thread) and aggregated on demand. Disabled by
+// default so the hot paths pay a single relaxed atomic load.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <string_view>
+
+namespace dsg::par {
+
+/// Phases instrumented across the library. The first five correspond to the
+/// bars of the paper's Fig. 7, the next five to Fig. 12.
+enum class Phase : int {
+    RedistSort = 0,     ///< counting/comparison sort by destination rank
+    RedistComm,         ///< alltoallv exchanges of update tuples
+    MemManagement,      ///< allocation/growth of local structures
+    LocalConstruct,     ///< building local static layouts (CSR/DCSR)
+    LocalAddition,      ///< applying updates to local dynamic matrices
+    SendRecv,           ///< initial transpose send/receive (Algorithm 1/2)
+    Bcast,              ///< row/column block broadcasts
+    LocalMult,          ///< local Gustavson multiplications
+    Scatter,            ///< distributing reduction inputs
+    ReduceScatter,      ///< sparse tree reduction of partial results
+    Other,
+    kCount
+};
+
+inline constexpr std::size_t kPhaseCount = static_cast<std::size_t>(Phase::kCount);
+
+/// Human-readable phase label (matches the legends of Fig. 7 / Fig. 12).
+std::string_view phase_name(Phase phase);
+
+class Profiler {
+public:
+    /// Globally enables/disables phase timing (off by default).
+    static void set_enabled(bool enabled);
+    [[nodiscard]] static bool enabled();
+
+    /// Zeroes the accumulated totals of every thread.
+    static void reset();
+
+    /// Sum of the time spent in `phase` across all threads, in seconds.
+    [[nodiscard]] static double total_seconds(Phase phase);
+
+    /// RAII bracket adding the scope's elapsed time to `phase` on the current
+    /// thread. No-op while the profiler is disabled.
+    class Scope {
+    public:
+        explicit Scope(Phase phase);
+        ~Scope();
+        Scope(const Scope&) = delete;
+        Scope& operator=(const Scope&) = delete;
+
+    private:
+        Phase phase_;
+        bool active_;
+        std::chrono::steady_clock::time_point start_;
+    };
+};
+
+}  // namespace dsg::par

@@ -1,0 +1,91 @@
+#include "par/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace dsg::par {
+
+int ThreadPool::default_thread_count() {
+    if (const char* env = std::getenv("DSG_THREADS")) {
+        const int t = std::atoi(env);
+        if (t >= 1) return t;
+    }
+    return 1;
+}
+
+ThreadPool::ThreadPool(int threads) : threads_(std::max(threads, 1)) {
+    workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+    for (int w = 1; w < threads_; ++w)
+        workers_.emplace_back([this, w] { worker_loop(w); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard lk(mx_);
+        shutdown_ = true;
+        ++generation_;
+    }
+    start_cv_.notify_all();
+    for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::run_chunks(int thread_index) {
+    for (;;) {
+        const std::size_t begin =
+            next_chunk_.fetch_add(chunk_size_, std::memory_order_relaxed);
+        if (begin >= job_n_) break;
+        const std::size_t end = std::min(begin + chunk_size_, job_n_);
+        try {
+            (*job_)(thread_index, begin, end);
+        } catch (...) {
+            std::lock_guard lk(mx_);
+            if (!job_error_) job_error_ = std::current_exception();
+        }
+    }
+}
+
+void ThreadPool::worker_loop(int worker_index) {
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock lk(mx_);
+            start_cv_.wait(lk, [&] { return generation_ != seen; });
+            seen = generation_;
+            if (shutdown_) return;
+        }
+        run_chunks(worker_index);
+        {
+            std::lock_guard lk(mx_);
+            if (--outstanding_ == 0) done_cv_.notify_all();
+        }
+    }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(int, std::size_t, std::size_t)>& fn) {
+    if (n == 0) return;
+    if (threads_ == 1 || n == 1) {
+        fn(0, 0, n);
+        return;
+    }
+    {
+        std::lock_guard lk(mx_);
+        job_ = &fn;
+        job_n_ = n;
+        // 4 chunks per thread for mild load balancing without much contention.
+        chunk_size_ = std::max<std::size_t>(
+            1, n / (static_cast<std::size_t>(threads_) * 4));
+        next_chunk_.store(0, std::memory_order_relaxed);
+        outstanding_ = threads_ - 1;
+        job_error_ = nullptr;
+        ++generation_;
+    }
+    start_cv_.notify_all();
+    run_chunks(0);
+    std::unique_lock lk(mx_);
+    done_cv_.wait(lk, [&] { return outstanding_ == 0; });
+    job_ = nullptr;
+    if (job_error_) std::rethrow_exception(job_error_);
+}
+
+}  // namespace dsg::par

@@ -1,0 +1,63 @@
+// Intra-rank shared-memory parallelism (the paper's OpenMP substitute).
+//
+// Each rank owns a ThreadPool; kernels partition their row ranges across the
+// pool with parallel_for. The pool is deliberately simple: persistent workers,
+// one job at a time, chunked self-scheduling. With threads == 1 everything
+// runs inline on the calling thread (the default on this single-core host;
+// set DSG_THREADS or pass a count to exercise the parallel paths).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dsg::par {
+
+class ThreadPool {
+public:
+    /// Creates a pool executing work on `threads` threads total (the calling
+    /// thread participates; threads - 1 workers are spawned).
+    explicit ThreadPool(int threads = default_thread_count());
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    [[nodiscard]] int thread_count() const { return threads_; }
+
+    /// Invokes fn(thread_index, begin, end) over a partition of [0, n) into
+    /// contiguous chunks; blocks until all chunks complete. thread_index is
+    /// in [0, thread_count()). Exceptions from fn propagate to the caller.
+    void parallel_for(std::size_t n,
+                      const std::function<void(int, std::size_t, std::size_t)>& fn);
+
+    /// Reads DSG_THREADS from the environment (default 1).
+    static int default_thread_count();
+
+private:
+    void worker_loop(int worker_index);
+    void run_chunks(int thread_index);
+
+    int threads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mx_;
+    std::condition_variable start_cv_;
+    std::condition_variable done_cv_;
+    std::uint64_t generation_ = 0;
+    bool shutdown_ = false;
+
+    // Current job (valid while outstanding_ > 0).
+    const std::function<void(int, std::size_t, std::size_t)>* job_ = nullptr;
+    std::size_t job_n_ = 0;
+    std::size_t chunk_size_ = 0;
+    std::atomic<std::size_t> next_chunk_{0};
+    int outstanding_ = 0;
+    std::exception_ptr job_error_;
+};
+
+}  // namespace dsg::par

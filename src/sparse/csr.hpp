@@ -1,0 +1,102 @@
+// Compressed sparse row storage for static matrices (Section IV).
+//
+// Column indices within a row are *not* sorted and no per-row search
+// structure exists: the paper's algorithms never index into a static layout
+// (they only stream over it), so sorting would be wasted work.
+#pragma once
+
+#include <cassert>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace dsg::sparse {
+
+template <typename T>
+class Csr {
+public:
+    Csr() = default;
+    Csr(index_t nrows, index_t ncols)
+        : nrows_(nrows), ncols_(ncols),
+          rowptr_(static_cast<std::size_t>(nrows) + 1, 0) {}
+
+    /// Builds from triples via counting sort by row: O(nnz + nrows).
+    /// Duplicate coordinates are kept as-is (callers combine beforehand if
+    /// they need canonical form).
+    static Csr from_triples(index_t nrows, index_t ncols,
+                            std::span<const Triple<T>> triples) {
+        Csr m(nrows, ncols);
+        for (const auto& t : triples) {
+            assert(t.row >= 0 && t.row < nrows && t.col >= 0 && t.col < ncols);
+            ++m.rowptr_[static_cast<std::size_t>(t.row) + 1];
+        }
+        std::partial_sum(m.rowptr_.begin(), m.rowptr_.end(), m.rowptr_.begin());
+        m.colidx_.resize(triples.size());
+        m.values_.resize(triples.size());
+        std::vector<index_t> cursor(m.rowptr_.begin(), m.rowptr_.end() - 1);
+        for (const auto& t : triples) {
+            auto& c = cursor[static_cast<std::size_t>(t.row)];
+            m.colidx_[static_cast<std::size_t>(c)] = t.col;
+            m.values_[static_cast<std::size_t>(c)] = t.value;
+            ++c;
+        }
+        return m;
+    }
+
+    [[nodiscard]] index_t nrows() const { return nrows_; }
+    [[nodiscard]] index_t ncols() const { return ncols_; }
+    [[nodiscard]] std::size_t nnz() const { return colidx_.size(); }
+
+    [[nodiscard]] std::span<const index_t> row_cols(index_t i) const {
+        const auto b = static_cast<std::size_t>(rowptr_[static_cast<std::size_t>(i)]);
+        const auto e = static_cast<std::size_t>(rowptr_[static_cast<std::size_t>(i) + 1]);
+        return {colidx_.data() + b, e - b};
+    }
+    [[nodiscard]] std::span<const T> row_values(index_t i) const {
+        const auto b = static_cast<std::size_t>(rowptr_[static_cast<std::size_t>(i)]);
+        const auto e = static_cast<std::size_t>(rowptr_[static_cast<std::size_t>(i) + 1]);
+        return {values_.data() + b, e - b};
+    }
+
+    /// Streams fn(row, col, value) over every non-zero in row-major order.
+    template <typename Fn>
+    void for_each(Fn&& fn) const {
+        for (index_t i = 0; i < nrows_; ++i) {
+            auto cols = row_cols(i);
+            auto vals = row_values(i);
+            for (std::size_t k = 0; k < cols.size(); ++k) fn(i, cols[k], vals[k]);
+        }
+    }
+
+    [[nodiscard]] std::vector<Triple<T>> to_triples() const {
+        std::vector<Triple<T>> out;
+        out.reserve(nnz());
+        for_each([&](index_t i, index_t j, const T& v) {
+            out.push_back({i, j, v});
+        });
+        return out;
+    }
+
+    /// Column-major transpose: counting sort by column, O(nnz + ncols).
+    [[nodiscard]] Csr transpose() const {
+        std::vector<Triple<T>> flipped;
+        flipped.reserve(nnz());
+        for_each([&](index_t i, index_t j, const T& v) {
+            flipped.push_back({j, i, v});
+        });
+        return from_triples(ncols_, nrows_, flipped);
+    }
+
+    [[nodiscard]] std::span<const index_t> rowptr() const { return rowptr_; }
+
+private:
+    index_t nrows_ = 0;
+    index_t ncols_ = 0;
+    std::vector<index_t> rowptr_;
+    std::vector<index_t> colidx_;
+    std::vector<T> values_;
+};
+
+}  // namespace dsg::sparse

@@ -1,0 +1,103 @@
+// Semirings for generalized sparse matrix algebra (Section III).
+//
+// A semiring supplies the additive monoid (add, zero) and the multiplicative
+// operation (mul) used by every SpGEMM kernel in this library. Structural
+// zeros (entries absent from the data structures) are implicitly the additive
+// neutral element zero().
+//
+// PlusTimes is a ring: updates can always be expressed as matrix addition, so
+// the algebraic dynamic SpGEMM (Algorithm 1) covers all updates. MinPlus and
+// BoolOrAnd are not rings; updates that increase values / clear bits require
+// the general algorithm (Algorithm 2).
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <cstdint>
+#include <limits>
+
+namespace dsg::sparse {
+
+/// Requirements every semiring type must satisfy.
+template <typename S>
+concept Semiring = requires(typename S::value_type a, typename S::value_type b) {
+    typename S::value_type;
+    { S::zero() } -> std::convertible_to<typename S::value_type>;
+    { S::add(a, b) } -> std::convertible_to<typename S::value_type>;
+    { S::mul(a, b) } -> std::convertible_to<typename S::value_type>;
+};
+
+/// The ordinary (+, *) ring over T.
+template <typename T>
+struct PlusTimes {
+    using value_type = T;
+    static constexpr bool is_ring = true;
+    static constexpr T zero() { return T{0}; }
+    static constexpr T one() { return T{1}; }
+    static constexpr T add(T a, T b) { return a + b; }
+    static constexpr T mul(T a, T b) { return a * b; }
+    /// Additive inverse; only rings provide this (used to express deletions
+    /// and value changes as algebraic updates, Section V).
+    static constexpr T neg(T a) { return -a; }
+};
+
+/// The tropical (min, +) semiring, the workhorse of algebraic shortest paths.
+/// zero() is +infinity; min can only decrease values, so increases and
+/// deletions are general updates.
+template <typename T>
+struct MinPlus {
+    using value_type = T;
+    static constexpr bool is_ring = false;
+    static constexpr T zero() { return std::numeric_limits<T>::infinity(); }
+    static constexpr T one() { return T{0}; }
+    static constexpr T add(T a, T b) { return std::min(a, b); }
+    static constexpr T mul(T a, T b) { return a + b; }
+};
+
+/// The (max, +) semiring (longest paths / critical paths).
+template <typename T>
+struct MaxPlus {
+    using value_type = T;
+    static constexpr bool is_ring = false;
+    static constexpr T zero() { return -std::numeric_limits<T>::infinity(); }
+    static constexpr T one() { return T{0}; }
+    static constexpr T add(T a, T b) { return std::max(a, b); }
+    static constexpr T mul(T a, T b) { return a + b; }
+};
+
+/// The Boolean (or, and) semiring over {0, 1} (reachability).
+struct BoolOrAnd {
+    using value_type = std::uint8_t;
+    static constexpr bool is_ring = false;
+    static constexpr value_type zero() { return 0; }
+    static constexpr value_type one() { return 1; }
+    static constexpr value_type add(value_type a, value_type b) {
+        return a | b;
+    }
+    static constexpr value_type mul(value_type a, value_type b) {
+        return a & b;
+    }
+};
+
+/// (|, |) over 64-bit words: the "semiring" that the pattern/Bloom
+/// computation of Algorithm 2 runs in. Values are bitfields; the term functor
+/// supplies the actual bloom_bit(k) per contribution (see local_spgemm.hpp).
+struct BitsOr {
+    using value_type = std::uint64_t;
+    static constexpr bool is_ring = false;
+    static constexpr value_type zero() { return 0; }
+    static constexpr value_type add(value_type a, value_type b) {
+        return a | b;
+    }
+    static constexpr value_type mul(value_type a, value_type b) {
+        return a | b;
+    }
+};
+
+static_assert(Semiring<PlusTimes<double>>);
+static_assert(Semiring<MinPlus<double>>);
+static_assert(Semiring<MaxPlus<float>>);
+static_assert(Semiring<BoolOrAnd>);
+static_assert(Semiring<BitsOr>);
+
+}  // namespace dsg::sparse

@@ -1,0 +1,49 @@
+// Hash-based sparse accumulator for Gustavson's row-wise SpGEMM
+// (Section VI-A: "a sparse accumulator based on a dynamic array combined
+// with a hash table"). One instance per shared-memory thread.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/flat_map.hpp"
+#include "sparse/types.hpp"
+
+namespace dsg::sparse {
+
+template <typename V>
+class SparseAccumulator {
+public:
+    /// Accumulates value into column j with add(old, new).
+    template <typename AddOp>
+    void add(index_t j, const V& value, AddOp&& add) {
+        auto& pos = pos_.get_or_insert(j, kUnset);
+        if (pos == kUnset) {
+            pos = static_cast<std::uint32_t>(cols_.size());
+            cols_.push_back(j);
+            vals_.push_back(value);
+        } else {
+            vals_[pos] = add(vals_[pos], value);
+        }
+    }
+
+    [[nodiscard]] std::size_t size() const { return cols_.size(); }
+    [[nodiscard]] bool empty() const { return cols_.empty(); }
+    [[nodiscard]] std::span<const index_t> cols() const { return cols_; }
+    [[nodiscard]] std::span<const V> values() const { return vals_; }
+
+    /// Clears for the next row; hash capacity is retained across rows.
+    void reset() {
+        for (index_t j : cols_) pos_.erase(j);
+        cols_.clear();
+        vals_.clear();
+    }
+
+private:
+    static constexpr std::uint32_t kUnset = 0xffffffffu;
+    FlatMap<std::uint32_t> pos_;
+    std::vector<index_t> cols_;
+    std::vector<V> vals_;
+};
+
+}  // namespace dsg::sparse

@@ -1,0 +1,28 @@
+// Fundamental index/entry types shared by all sparse structures.
+#pragma once
+
+#include <cstdint>
+
+namespace dsg::sparse {
+
+/// Global and local matrix index type. 64-bit so that billion-scale graphs
+/// (the paper's largest instance has 3.6B non-zeros) index safely.
+using index_t = std::int64_t;
+
+/// A matrix entry in coordinate form; the unit of redistribution (the paper's
+/// update tuples (i, j, x), Section IV-B).
+template <typename T>
+struct Triple {
+    index_t row;
+    index_t col;
+    T value;
+
+    friend bool operator==(const Triple&, const Triple&) = default;
+};
+
+/// Bloom-filter bit for inner-dimension index k (Section V-B, l = 64).
+inline constexpr std::uint64_t bloom_bit(index_t k) {
+    return std::uint64_t{1} << (static_cast<std::uint64_t>(k) & 63u);
+}
+
+}  // namespace dsg::sparse

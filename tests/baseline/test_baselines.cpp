@@ -1,0 +1,147 @@
+// The competitor baselines must be *correct* (identical content to the
+// dynamic data structure after the same batches) — they only differ in work.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "baseline/static_rebuild.hpp"
+#include "core/update_ops.hpp"
+#include "../core/dist_test_utils.hpp"
+
+namespace {
+
+using namespace dsg;
+using baseline::PreallocCsrMatrix;
+using baseline::SortedTupleMatrix;
+using baseline::StaticRebuildMatrix;
+using core::ProcessGrid;
+using par::Comm;
+using par::run_world;
+using sparse::index_t;
+using sparse::PlusTimes;
+using sparse::Triple;
+using test::CoordMap;
+using test::random_triples;
+
+CoordMap gather_rebuild(const StaticRebuildMatrix<double>& m) {
+    CoordMap out;
+    for (const auto& t : m.gather_global()) out[{t.row, t.col}] = t.value;
+    return out;
+}
+
+class BaselineP : public ::testing::TestWithParam<int> {};
+
+TEST_P(BaselineP, StaticRebuildMatchesDynamicAfterInsertions) {
+    run_world(GetParam(), [&](Comm& c) {
+        ProcessGrid grid(c);
+        std::mt19937_64 rng(50 + static_cast<std::uint64_t>(c.rank()));
+        const index_t n = 32;
+        auto base = random_triples(rng, n, n, 200);
+        StaticRebuildMatrix<double> stat(grid, n, n);
+        stat.construct<PlusTimes<double>>(base);
+        auto dyn = core::build_dynamic_matrix<PlusTimes<double>>(grid, n, n, base);
+
+        for (int b = 0; b < 3; ++b) {
+            auto batch = random_triples(rng, n, n, 50);
+            stat.insert_batch<PlusTimes<double>>(batch);
+            auto U = core::build_update_matrix(grid, n, n, batch);
+            core::add_update<PlusTimes<double>>(dyn, U);
+            const auto sm = gather_rebuild(stat);
+            const auto dm = test::as_map(dyn.gather_global());
+            ASSERT_EQ(sm.size(), dm.size());
+            for (const auto& [coord, v] : dm) {
+                auto it = sm.find(coord);
+                ASSERT_NE(it, sm.end());
+                EXPECT_NEAR(it->second, v, 1e-9);
+            }
+        }
+    });
+}
+
+TEST_P(BaselineP, StaticRebuildUpdateOverwrites) {
+    run_world(GetParam(), [&](Comm& c) {
+        ProcessGrid grid(c);
+        const index_t n = 10;
+        std::vector<Triple<double>> base{{1, 1, 5.0}, {2, 3, 6.0}};
+        StaticRebuildMatrix<double> m(grid, n, n);
+        m.construct<PlusTimes<double>>(
+            c.rank() == 0 ? base : std::vector<Triple<double>>{});
+        m.update_batch(c.rank() == 0
+                           ? std::vector<Triple<double>>{{1, 1, 9.0}, {4, 4, 1.0}}
+                           : std::vector<Triple<double>>{});
+        auto got = gather_rebuild(m);
+        EXPECT_EQ(got.size(), 3u);
+        EXPECT_EQ((got[{1, 1}]), 9.0);
+        EXPECT_EQ((got[{2, 3}]), 6.0);
+        EXPECT_EQ((got[{4, 4}]), 1.0);
+    });
+}
+
+TEST_P(BaselineP, StaticRebuildDeleteRemoves) {
+    run_world(GetParam(), [&](Comm& c) {
+        ProcessGrid grid(c);
+        const index_t n = 10;
+        std::vector<Triple<double>> base{{1, 1, 5.0}, {2, 3, 6.0}, {7, 8, 7.0}};
+        StaticRebuildMatrix<double> m(grid, n, n);
+        m.construct<PlusTimes<double>>(
+            c.rank() == 0 ? base : std::vector<Triple<double>>{});
+        m.delete_batch(c.rank() == 0
+                           ? std::vector<Triple<double>>{{2, 3, 0.0}, {9, 9, 0.0}}
+                           : std::vector<Triple<double>>{});
+        auto got = gather_rebuild(m);
+        EXPECT_EQ(got.size(), 2u);
+        EXPECT_TRUE(got.count({1, 1}));
+        EXPECT_TRUE(got.count({7, 8}));
+    });
+}
+
+TEST_P(BaselineP, SortedTupleMatrixStaysSortedAndCorrect) {
+    run_world(GetParam(), [&](Comm& c) {
+        ProcessGrid grid(c);
+        std::mt19937_64 rng(60 + static_cast<std::uint64_t>(c.rank()));
+        const index_t n = 24;
+        SortedTupleMatrix<double> m(grid, n, n);
+        m.construct<PlusTimes<double>>(random_triples(rng, n, n, 100));
+        for (int b = 0; b < 2; ++b)
+            m.insert_batch<PlusTimes<double>>(random_triples(rng, n, n, 40));
+        // Locally sorted row-major, no duplicate coordinates.
+        const auto& es = m.local_entries();
+        for (std::size_t x = 1; x < es.size(); ++x)
+            EXPECT_TRUE(std::tie(es[x - 1].row, es[x - 1].col) <
+                        std::tie(es[x].row, es[x].col));
+    });
+}
+
+TEST_P(BaselineP, PreallocCsrMatchesDynamicAfterInsertions) {
+    run_world(GetParam(), [&](Comm& c) {
+        ProcessGrid grid(c);
+        std::mt19937_64 rng(70 + static_cast<std::uint64_t>(c.rank()));
+        const index_t n = 20;
+        auto base = random_triples(rng, n, n, 120);
+        PreallocCsrMatrix<double> pet(grid, n, n);
+        pet.construct<PlusTimes<double>>(base);
+        auto dyn = core::build_dynamic_matrix<PlusTimes<double>>(grid, n, n, base);
+        auto batch = random_triples(rng, n, n, 30);
+        pet.insert_batch<PlusTimes<double>>(batch);
+        auto U = core::build_update_matrix(grid, n, n, batch);
+        core::add_update<PlusTimes<double>>(dyn, U);
+
+        // Compare local blocks entry-by-entry.
+        CoordMap pm;
+        pet.local_csr().for_each(
+            [&](index_t i, index_t j, double v) { pm[{i, j}] = v; });
+        CoordMap dm;
+        dyn.local().for_each(
+            [&](index_t i, index_t j, double v) { dm[{i, j}] = v; });
+        ASSERT_EQ(pm.size(), dm.size());
+        for (const auto& [coord, v] : dm) {
+            auto it = pm.find(coord);
+            ASSERT_NE(it, pm.end());
+            EXPECT_NEAR(it->second, v, 1e-9);
+        }
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(Worlds, BaselineP, ::testing::Values(1, 4, 9));
+
+}  // namespace

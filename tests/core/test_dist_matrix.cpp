@@ -1,0 +1,196 @@
+// Distributed matrix construction and the update operations of Section IV-A
+// (ADD / MERGE / MASK), validated against coordinate-map models.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/update_ops.hpp"
+#include "dist_test_utils.hpp"
+
+namespace {
+
+using namespace dsg;
+using core::build_dynamic_matrix;
+using core::build_update_matrix;
+using core::DistDynamicMatrix;
+using core::ProcessGrid;
+using core::RedistMode;
+using par::Comm;
+using par::run_world;
+using sparse::index_t;
+using sparse::MinPlus;
+using sparse::PlusTimes;
+using sparse::Triple;
+using test::as_map;
+using test::CoordMap;
+using test::random_triples;
+
+class DistMatrixP : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistMatrixP, BuildFromDistributedTuples) {
+    const int p = GetParam();
+    run_world(p, [&](Comm& c) {
+        ProcessGrid grid(c);
+        std::mt19937_64 rng(77 + static_cast<std::uint64_t>(c.rank()));
+        auto mine = random_triples(rng, 50, 40, 300);
+        // Reference: union of all ranks' tuples with + combination.
+        auto all = [&] {
+            par::Buffer b;
+            par::BufferWriter w(b);
+            w.write_vector(mine);
+            auto bufs = c.allgather(std::move(b));
+            std::vector<Triple<double>> ts;
+            for (auto& buf : bufs) {
+                par::BufferReader r(buf);
+                auto part = r.read_vector<Triple<double>>();
+                ts.insert(ts.end(), part.begin(), part.end());
+            }
+            return ts;
+        }();
+        auto A = build_dynamic_matrix<PlusTimes<double>>(grid, 50, 40, mine);
+        CoordMap expect;
+        for (const auto& t : all) expect[{t.row, t.col}] += t.value;
+        test::expect_matches_exactly(A, expect);
+        EXPECT_EQ(A.global_nnz(), expect.size());
+    });
+}
+
+TEST_P(DistMatrixP, BuildAgreesAcrossRedistributionModes) {
+    const int p = GetParam();
+    run_world(p, [&](Comm& c) {
+        ProcessGrid grid(c);
+        std::mt19937_64 rng(3 + static_cast<std::uint64_t>(c.rank()));
+        auto mine = random_triples(rng, 30, 30, 150);
+        auto A = build_dynamic_matrix<PlusTimes<double>>(
+            grid, 30, 30, mine, RedistMode::TwoPhase);
+        auto B = build_dynamic_matrix<PlusTimes<double>>(
+            grid, 30, 30, mine, RedistMode::DirectSort);
+        // The modes may combine duplicate coordinates in different orders, so
+        // floating-point sums can differ in the last bits.
+        const auto ma = as_map(A.gather_global());
+        const auto mb = as_map(B.gather_global());
+        ASSERT_EQ(ma.size(), mb.size());
+        for (const auto& [coord, v] : ma) {
+            auto it = mb.find(coord);
+            ASSERT_NE(it, mb.end());
+            EXPECT_NEAR(it->second, v, 1e-9);
+        }
+    });
+}
+
+TEST_P(DistMatrixP, UpdateMatrixIsHypersparseLocalIndexed) {
+    const int p = GetParam();
+    run_world(p, [&](Comm& c) {
+        ProcessGrid grid(c);
+        std::vector<Triple<double>> mine;
+        if (c.rank() == 0)
+            mine = {{0, 0, 1.0}, {19, 19, 2.0}, {7, 11, 3.0}};
+        auto U = build_update_matrix(grid, 20, 20, mine);
+        EXPECT_EQ(U.global_nnz(), 3u);
+        // Every local entry lies inside the local block bounds.
+        U.local().for_each([&](index_t i, index_t j, double) {
+            EXPECT_LT(i, U.shape().local_rows());
+            EXPECT_LT(j, U.shape().local_cols());
+        });
+    });
+}
+
+TEST_P(DistMatrixP, AddUpdateInsertsAndCombines) {
+    const int p = GetParam();
+    run_world(p, [&](Comm& c) {
+        ProcessGrid grid(c);
+        std::mt19937_64 rng(11 + static_cast<std::uint64_t>(c.rank()));
+        auto base = random_triples(rng, 25, 25, 120);
+        auto A = build_dynamic_matrix<PlusTimes<double>>(grid, 25, 25, base);
+        CoordMap expect = as_map(A.gather_global());
+
+        auto updates = random_triples(rng, 25, 25, 60);
+        sparse::combine_duplicates<PlusTimes<double>>(updates);
+        auto U = build_update_matrix(grid, 25, 25,
+                                     c.rank() == 0 ? updates
+                                                   : std::vector<Triple<double>>{});
+        // Make the reference deterministic: rank 0's updates only.
+        par::Buffer ub;
+        par::BufferWriter w(ub);
+        w.write_vector(updates);
+        auto bufs = c.allgather(std::move(ub));
+        par::BufferReader r(bufs[0]);
+        auto rank0_updates = r.read_vector<Triple<double>>();
+        for (const auto& t : rank0_updates) expect[{t.row, t.col}] += t.value;
+
+        core::add_update<PlusTimes<double>>(A, U);
+        test::expect_matches_exactly(A, expect);
+    });
+}
+
+TEST_P(DistMatrixP, MergeUpdateReplacesValues) {
+    const int p = GetParam();
+    run_world(p, [&](Comm& c) {
+        ProcessGrid grid(c);
+        std::vector<Triple<double>> base{
+            {0, 0, 5.0}, {3, 4, 6.0}, {9, 9, 7.0}};
+        auto A = build_dynamic_matrix<MinPlus<double>>(
+            grid, 10, 10, c.rank() == 0 ? base : std::vector<Triple<double>>{});
+        // MERGE can *increase* values — impossible via (min,+) addition.
+        std::vector<Triple<double>> upd{{0, 0, 99.0}, {5, 5, 1.0}};
+        auto U = build_update_matrix(
+            grid, 10, 10, c.rank() == 0 ? upd : std::vector<Triple<double>>{});
+        core::merge_update(A, U);
+        CoordMap expect{{{0, 0}, 99.0}, {{3, 4}, 6.0},
+                        {{9, 9}, 7.0},  {{5, 5}, 1.0}};
+        test::expect_matches_exactly(A, expect);
+    });
+}
+
+TEST_P(DistMatrixP, MaskDeleteRemovesExactlyMaskedEntries) {
+    const int p = GetParam();
+    run_world(p, [&](Comm& c) {
+        ProcessGrid grid(c);
+        std::mt19937_64 rng(23);  // same seed everywhere: shared base
+        auto base = random_triples(rng, 30, 30, 200);
+        sparse::combine_duplicates<PlusTimes<double>>(base);
+        auto A = build_dynamic_matrix<PlusTimes<double>>(
+            grid, 30, 30, c.rank() == 0 ? base : std::vector<Triple<double>>{});
+        // Delete every third entry (plus one never-present coordinate).
+        std::vector<Triple<double>> doomed;
+        CoordMap expect;
+        for (std::size_t x = 0; x < base.size(); ++x) {
+            if (x % 3 == 0)
+                doomed.push_back(base[x]);
+            else
+                expect[{base[x].row, base[x].col}] = base[x].value;
+        }
+        doomed.push_back({29, 29, 0.0});
+        expect.erase({29, 29});
+        auto U = build_update_matrix(
+            grid, 30, 30,
+            c.rank() == 0 ? doomed : std::vector<Triple<double>>{});
+        core::mask_delete(A, U);
+        test::expect_matches_exactly(A, expect);
+    });
+}
+
+TEST_P(DistMatrixP, ThreadedApplicationMatchesSequential) {
+    const int p = GetParam();
+    run_world(p, [&](Comm& c) {
+        ProcessGrid grid(c);
+        par::ThreadPool pool(3);
+        std::mt19937_64 rng(31 + static_cast<std::uint64_t>(c.rank()));
+        auto mine = random_triples(rng, 40, 40, 400);
+        auto seq = build_dynamic_matrix<PlusTimes<double>>(
+            grid, 40, 40, mine, RedistMode::TwoPhase, nullptr);
+        auto par_built = build_dynamic_matrix<PlusTimes<double>>(
+            grid, 40, 40, mine, RedistMode::TwoPhase, &pool);
+        EXPECT_EQ(as_map(seq.gather_global()), as_map(par_built.gather_global()));
+
+        auto upd = random_triples(rng, 40, 40, 100);
+        auto U = build_update_matrix(grid, 40, 40, upd);
+        core::add_update<PlusTimes<double>>(seq, U);
+        core::add_update<PlusTimes<double>>(par_built, U, &pool);
+        EXPECT_EQ(as_map(seq.gather_global()), as_map(par_built.gather_global()));
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(Worlds, DistMatrixP, ::testing::Values(1, 4, 9));
+
+}  // namespace

@@ -1,0 +1,149 @@
+// Distributed element-wise operations against coordinate-map models.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/ewise.hpp"
+#include "core/update_ops.hpp"
+#include "dist_test_utils.hpp"
+
+namespace {
+
+using namespace dsg;
+using core::build_dynamic_matrix;
+using core::ProcessGrid;
+using par::Comm;
+using par::run_world;
+using sparse::index_t;
+using sparse::PlusTimes;
+using sparse::Triple;
+using test::as_map;
+using test::CoordMap;
+using test::random_triples;
+
+class EwiseP : public ::testing::TestWithParam<int> {};
+
+TEST_P(EwiseP, AddUnionsStructures) {
+    run_world(GetParam(), [&](Comm& c) {
+        ProcessGrid grid(c);
+        std::mt19937_64 rng(1);
+        auto ta = random_triples(rng, 20, 20, 60);
+        auto tb = random_triples(rng, 20, 20, 60);
+        sparse::combine_duplicates<PlusTimes<double>>(ta);
+        sparse::combine_duplicates<PlusTimes<double>>(tb);
+        auto feed = [&](const std::vector<Triple<double>>& ts) {
+            return c.rank() == 0 ? ts : std::vector<Triple<double>>{};
+        };
+        auto A = build_dynamic_matrix<PlusTimes<double>>(grid, 20, 20, feed(ta));
+        auto B = build_dynamic_matrix<PlusTimes<double>>(grid, 20, 20, feed(tb));
+        core::ewise_add(A, B, [](double x, double y) { return x + y; });
+        CoordMap expect = as_map(ta);
+        for (const auto& t : tb) expect[{t.row, t.col}] += t.value;
+        test::expect_matches_exactly(A, expect);
+    });
+}
+
+TEST_P(EwiseP, ApplyTransformsValuesInPlace) {
+    run_world(GetParam(), [&](Comm& c) {
+        ProcessGrid grid(c);
+        std::vector<Triple<double>> ts{{0, 1, 2.0}, {5, 5, 3.0}, {9, 0, 4.0}};
+        auto A = build_dynamic_matrix<PlusTimes<double>>(
+            grid, 10, 10, c.rank() == 0 ? ts : std::vector<Triple<double>>{});
+        // Value depends on global coordinates: catches local/global mixups.
+        core::ewise_apply(A, [](index_t i, index_t j, double v) {
+            return v + 100.0 * static_cast<double>(i) +
+                   static_cast<double>(j);
+        });
+        CoordMap expect;
+        for (const auto& t : ts)
+            expect[{t.row, t.col}] =
+                t.value + 100.0 * static_cast<double>(t.row) +
+                static_cast<double>(t.col);
+        test::expect_matches_exactly(A, expect);
+    });
+}
+
+TEST_P(EwiseP, PruneDropsPredicatedEntries) {
+    run_world(GetParam(), [&](Comm& c) {
+        ProcessGrid grid(c);
+        std::mt19937_64 rng(2);
+        auto ts = random_triples(rng, 25, 25, 120);
+        sparse::combine_duplicates<PlusTimes<double>>(ts);
+        auto A = build_dynamic_matrix<PlusTimes<double>>(
+            grid, 25, 25, c.rank() == 0 ? ts : std::vector<Triple<double>>{});
+        core::ewise_prune(A, [](index_t, index_t, double v) { return v > 5.0; });
+        CoordMap expect;
+        for (const auto& t : ts)
+            if (t.value <= 5.0) expect[{t.row, t.col}] = t.value;
+        test::expect_matches_exactly(A, expect);
+    });
+}
+
+TEST_P(EwiseP, PruneNumericalZerosAfterCancellation) {
+    run_world(GetParam(), [&](Comm& c) {
+        ProcessGrid grid(c);
+        std::vector<Triple<double>> ts{{1, 1, 5.0}, {2, 2, 7.0}};
+        auto A = build_dynamic_matrix<PlusTimes<double>>(
+            grid, 5, 5, c.rank() == 0 ? ts : std::vector<Triple<double>>{});
+        // Ring deletion leaves a structural entry with numerical zero...
+        auto U = core::build_update_matrix(
+            grid, 5, 5,
+            c.rank() == 0 ? std::vector<Triple<double>>{{1, 1, -5.0}}
+                          : std::vector<Triple<double>>{});
+        core::add_update<PlusTimes<double>>(A, U);
+        EXPECT_EQ(A.global_nnz(), 2u);  // still structurally present
+        // ...which prune removes.
+        core::ewise_prune(A, [](index_t, index_t, double v) {
+            return std::abs(v) < 1e-12;
+        });
+        EXPECT_EQ(A.global_nnz(), 1u);
+        test::expect_matches_exactly(A, CoordMap{{{2, 2}, 7.0}});
+    });
+}
+
+TEST_P(EwiseP, MaskKeepIntersects) {
+    run_world(GetParam(), [&](Comm& c) {
+        ProcessGrid grid(c);
+        std::vector<Triple<double>> ta{{0, 0, 1.0}, {1, 1, 2.0}, {2, 2, 3.0}};
+        std::vector<Triple<double>> tm{{1, 1, 9.0}, {3, 3, 9.0}};
+        auto feed = [&](const std::vector<Triple<double>>& ts) {
+            return c.rank() == 0 ? ts : std::vector<Triple<double>>{};
+        };
+        auto A = build_dynamic_matrix<PlusTimes<double>>(grid, 5, 5, feed(ta));
+        auto M = build_dynamic_matrix<PlusTimes<double>>(grid, 5, 5, feed(tm));
+        core::ewise_mask_keep(A, M);
+        test::expect_matches_exactly(A, CoordMap{{{1, 1}, 2.0}});
+    });
+}
+
+TEST_P(EwiseP, ReduceFoldsGlobally) {
+    run_world(GetParam(), [&](Comm& c) {
+        ProcessGrid grid(c);
+        std::mt19937_64 rng(3);
+        auto ts = random_triples(rng, 30, 30, 100);
+        sparse::combine_duplicates<PlusTimes<double>>(ts);
+        auto A = build_dynamic_matrix<PlusTimes<double>>(
+            grid, 30, 30, c.rank() == 0 ? ts : std::vector<Triple<double>>{});
+        const double sum = core::ewise_reduce(
+            A, 0.0,
+            [](double acc, index_t, index_t, double v) { return acc + v; },
+            [](double a, double b) { return a + b; });
+        double expect = 0;
+        for (const auto& t : ts) expect += t.value;
+        EXPECT_NEAR(sum, expect, 1e-9);
+
+        const double mx = core::ewise_reduce(
+            A, -1.0,
+            [](double acc, index_t, index_t, double v) {
+                return std::max(acc, v);
+            },
+            [](double a, double b) { return std::max(a, b); });
+        double expect_mx = -1.0;
+        for (const auto& t : ts) expect_mx = std::max(expect_mx, t.value);
+        EXPECT_EQ(mx, expect_mx);
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(Worlds, EwiseP, ::testing::Values(1, 4, 9));
+
+}  // namespace

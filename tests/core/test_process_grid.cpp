@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/process_grid.hpp"
+
+namespace {
+
+using dsg::core::BlockPartition;
+using dsg::core::ProcessGrid;
+using dsg::par::Comm;
+using dsg::par::run_world;
+using dsg::sparse::index_t;
+
+TEST(BlockPartition, EvenSplit) {
+    BlockPartition p(12, 4);
+    for (int b = 0; b < 4; ++b) {
+        EXPECT_EQ(p.size(b), 3);
+        EXPECT_EQ(p.offset(b), 3 * b);
+    }
+    EXPECT_EQ(p.owner(0), 0);
+    EXPECT_EQ(p.owner(11), 3);
+    EXPECT_EQ(p.to_local(7), 1);
+    EXPECT_EQ(p.to_global(2, 1), 7);
+}
+
+TEST(BlockPartition, UnevenLastBlockMayBeShortOrEmpty) {
+    BlockPartition p(10, 4);  // ceil(10/4)=3 -> sizes 3,3,3,1
+    EXPECT_EQ(p.size(0), 3);
+    EXPECT_EQ(p.size(3), 1);
+    EXPECT_EQ(p.owner(9), 3);
+
+    BlockPartition tiny(2, 2);  // sizes 1,1
+    EXPECT_EQ(tiny.size(0), 1);
+    EXPECT_EQ(tiny.size(1), 1);
+
+    BlockPartition empty_tail(3, 2);  // ceil=2 -> sizes 2,1
+    EXPECT_EQ(empty_tail.size(0), 2);
+    EXPECT_EQ(empty_tail.size(1), 1);
+
+    BlockPartition very_uneven(5, 4);  // ceil=2 -> 2,2,1,0
+    EXPECT_EQ(very_uneven.size(2), 1);
+    EXPECT_EQ(very_uneven.size(3), 0);
+}
+
+TEST(BlockPartition, EveryIndexRoundTrips) {
+    for (index_t n : {1, 7, 16, 100}) {
+        for (int q : {1, 2, 3, 4}) {
+            BlockPartition p(n, q);
+            for (index_t g = 0; g < n; ++g) {
+                const int b = p.owner(g);
+                ASSERT_GE(b, 0);
+                ASSERT_LT(b, q);
+                ASSERT_GE(g, p.offset(b));
+                ASSERT_LT(g, p.offset(b) + p.size(b));
+                EXPECT_EQ(p.to_global(b, p.to_local(g)), g);
+            }
+        }
+    }
+}
+
+TEST(ProcessGrid, IsSquare) {
+    EXPECT_TRUE(ProcessGrid::is_square(1));
+    EXPECT_TRUE(ProcessGrid::is_square(4));
+    EXPECT_TRUE(ProcessGrid::is_square(9));
+    EXPECT_TRUE(ProcessGrid::is_square(16));
+    EXPECT_FALSE(ProcessGrid::is_square(2));
+    EXPECT_FALSE(ProcessGrid::is_square(8));
+    EXPECT_FALSE(ProcessGrid::is_square(12));
+}
+
+TEST(ProcessGrid, RejectsNonSquareWorld) {
+    EXPECT_THROW(run_world(2, [](Comm& c) { ProcessGrid grid(c); }),
+                 std::invalid_argument);
+}
+
+class GridP : public ::testing::TestWithParam<int> {};
+
+TEST_P(GridP, CoordinatesAndCommunicators) {
+    const int p = GetParam();
+    const int q = static_cast<int>(std::lround(std::sqrt(double(p))));
+    run_world(p, [&](Comm& c) {
+        ProcessGrid grid(c);
+        EXPECT_EQ(grid.q(), q);
+        EXPECT_EQ(grid.grid_row(), c.rank() / q);
+        EXPECT_EQ(grid.grid_col(), c.rank() % q);
+        EXPECT_EQ(grid.rank_of(grid.grid_row(), grid.grid_col()), c.rank());
+        EXPECT_EQ(grid.row_comm().size(), q);
+        EXPECT_EQ(grid.col_comm().size(), q);
+        // row_comm rank is the grid column; col_comm rank is the grid row.
+        EXPECT_EQ(grid.row_comm().rank(), grid.grid_col());
+        EXPECT_EQ(grid.col_comm().rank(), grid.grid_row());
+        // Row communicator really spans this row: sum of world ranks.
+        const int rowsum = grid.row_comm().allreduce<int>(
+            c.rank(), [](int a, int b) { return a + b; });
+        int expect = 0;
+        for (int j = 0; j < q; ++j) expect += grid.rank_of(grid.grid_row(), j);
+        EXPECT_EQ(rowsum, expect);
+        const int colsum = grid.col_comm().allreduce<int>(
+            c.rank(), [](int a, int b) { return a + b; });
+        expect = 0;
+        for (int i = 0; i < q; ++i) expect += grid.rank_of(i, grid.grid_col());
+        EXPECT_EQ(colsum, expect);
+    });
+}
+
+TEST_P(GridP, TransposedRankPairsUp) {
+    run_world(GetParam(), [&](Comm& c) {
+        ProcessGrid grid(c);
+        const int t = grid.transposed_rank();
+        // Transposing twice is the identity.
+        const int tt = (t / grid.q()) * grid.q() + (t % grid.q());
+        EXPECT_EQ(grid.rank_of(tt % grid.q(), tt / grid.q()), c.rank());
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(Worlds, GridP, ::testing::Values(1, 4, 9, 16));
+
+}  // namespace

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/graph_io.hpp"
+
+namespace {
+
+using namespace dsg::graph;
+using dsg::sparse::index_t;
+using dsg::sparse::Triple;
+
+TEST(Rmat, RespectsVertexBoundsAndEdgeCount) {
+    auto edges = rmat_edges(8, 1000, 7);
+    EXPECT_EQ(edges.size(), 1000u);
+    for (const auto& e : edges) {
+        EXPECT_GE(e.row, 0);
+        EXPECT_LT(e.row, 256);
+        EXPECT_GE(e.col, 0);
+        EXPECT_LT(e.col, 256);
+        EXPECT_GT(e.value, 0.0);
+        EXPECT_LE(e.value, 1.0);
+    }
+}
+
+TEST(Rmat, DeterministicInSeed) {
+    auto a = rmat_edges(6, 200, 9);
+    auto b = rmat_edges(6, 200, 9);
+    auto c = rmat_edges(6, 200, 10);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+}
+
+TEST(Rmat, Graph500ParametersAreSkewed) {
+    // With a = 0.57 the low-id quadrant gets most of the mass: vertex degrees
+    // must be visibly skewed compared to uniform.
+    auto edges = rmat_edges(10, 20'000, 3);
+    std::vector<int> degree(1024, 0);
+    for (const auto& e : edges) ++degree[static_cast<std::size_t>(e.row)];
+    const int max_deg = *std::max_element(degree.begin(), degree.end());
+    // Uniform expectation would be ~20 per vertex; R-MAT hubs are far above.
+    EXPECT_GT(max_deg, 100);
+}
+
+TEST(ErdosRenyi, BoundsAndDeterminism) {
+    auto a = erdos_renyi_edges(50, 500, 1);
+    EXPECT_EQ(a.size(), 500u);
+    for (const auto& e : a) {
+        EXPECT_LT(e.row, 50);
+        EXPECT_LT(e.col, 50);
+    }
+    EXPECT_EQ(a, erdos_renyi_edges(50, 500, 1));
+}
+
+TEST(Symmetrize, AddsReverseEdgesExceptLoops) {
+    std::vector<Triple<double>> edges{{0, 1, 2.0}, {2, 2, 1.0}};
+    auto sym = symmetrize(edges);
+    ASSERT_EQ(sym.size(), 3u);  // loop not duplicated
+    EXPECT_EQ(sym[2], (Triple<double>{1, 0, 2.0}));
+}
+
+TEST(Simplify, DropsLoopsAndDuplicates) {
+    std::vector<Triple<double>> edges{
+        {0, 1, 1.0}, {0, 1, 2.0}, {3, 3, 1.0}, {1, 0, 1.0}};
+    auto simple = simplify(edges);
+    ASSERT_EQ(simple.size(), 2u);
+    EXPECT_EQ(simple[0], (Triple<double>{0, 1, 1.0}));  // first kept
+    EXPECT_EQ(simple[1], (Triple<double>{1, 0, 1.0}));
+}
+
+TEST(DeterministicGraphs, Shapes) {
+    EXPECT_EQ(path_graph(5).size(), 4u);
+    EXPECT_EQ(cycle_graph(5).size(), 5u);
+    EXPECT_EQ(complete_graph(4).size(), 12u);
+    EXPECT_EQ(star_graph(4).size(), 6u);
+}
+
+TEST(GraphIo, RoundTrip) {
+    std::vector<Triple<double>> edges{{0, 1, 1.5}, {7, 3, 2.0}};
+    std::stringstream ss;
+    write_edge_list(ss, edges);
+    index_t n = 0;
+    auto back = read_edge_list(ss, n);
+    EXPECT_EQ(back, edges);
+    EXPECT_EQ(n, 8);
+}
+
+TEST(GraphIo, SkipsCommentsAndDefaultsWeight) {
+    std::stringstream ss("# comment\n% other\n1 2\n3 4 9.5\n");
+    index_t n = 0;
+    auto edges = read_edge_list(ss, n);
+    ASSERT_EQ(edges.size(), 2u);
+    EXPECT_EQ(edges[0], (Triple<double>{1, 2, 1.0}));
+    EXPECT_EQ(edges[1], (Triple<double>{3, 4, 9.5}));
+    EXPECT_EQ(n, 5);
+}
+
+}  // namespace

@@ -1,0 +1,23 @@
+// The umbrella header must compile standalone and expose the whole API.
+#include <gtest/gtest.h>
+
+#include "dsg.hpp"
+
+namespace {
+
+TEST(Umbrella, EverythingIsReachable) {
+    dsg::par::run_world(4, [](dsg::par::Comm& c) {
+        dsg::core::ProcessGrid grid(c);
+        auto edges = dsg::graph::cycle_graph(16);
+        auto A = dsg::core::build_dynamic_matrix<dsg::sparse::PlusTimes<double>>(
+            grid, 16, 16,
+            c.rank() == 0 ? edges
+                          : std::vector<dsg::sparse::Triple<double>>{});
+        auto C = dsg::core::summa_multiply<dsg::sparse::PlusTimes<double>>(A, A);
+        // A cycle's square is the two-step cycle: 16 entries.
+        EXPECT_EQ(C.global_nnz(), 16u);
+        EXPECT_EQ(dsg::graph::triangle_count(A), 0.0);
+    });
+}
+
+}  // namespace

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "par/buffer.hpp"
+
+namespace {
+
+using dsg::par::Buffer;
+using dsg::par::BufferReader;
+using dsg::par::BufferWriter;
+
+TEST(Buffer, RoundTripScalars) {
+    Buffer buf;
+    BufferWriter w(buf);
+    w.write<std::int64_t>(-42);
+    w.write<double>(3.5);
+    w.write<std::uint8_t>(7);
+
+    BufferReader r(buf);
+    EXPECT_EQ(r.read<std::int64_t>(), -42);
+    EXPECT_EQ(r.read<double>(), 3.5);
+    EXPECT_EQ(r.read<std::uint8_t>(), 7);
+    EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Buffer, RoundTripVectors) {
+    Buffer buf;
+    BufferWriter w(buf);
+    const std::vector<std::int64_t> a{1, 2, 3, -9};
+    const std::vector<double> b{};
+    w.write_vector(a);
+    w.write_vector(b);
+
+    BufferReader r(buf);
+    EXPECT_EQ(r.read_vector<std::int64_t>(), a);
+    EXPECT_TRUE(r.read_vector<double>().empty());
+    EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Buffer, MixedScalarVectorOrderPreserved) {
+    Buffer buf;
+    BufferWriter w(buf);
+    w.write<int>(5);
+    w.write_vector(std::vector<int>{10, 20});
+    w.write<int>(6);
+
+    BufferReader r(buf);
+    EXPECT_EQ(r.read<int>(), 5);
+    EXPECT_EQ(r.read_vector<int>(), (std::vector<int>{10, 20}));
+    EXPECT_EQ(r.read<int>(), 6);
+}
+
+TEST(Buffer, TruncatedReadThrows) {
+    Buffer buf;
+    BufferWriter w(buf);
+    w.write<std::uint16_t>(1);
+    BufferReader r(buf);
+    EXPECT_THROW((void)r.read<std::uint64_t>(), std::out_of_range);
+}
+
+TEST(Buffer, TruncatedVectorThrows) {
+    Buffer buf;
+    BufferWriter w(buf);
+    w.write<std::uint64_t>(1000);  // claims 1000 elements, provides none
+    BufferReader r(buf);
+    EXPECT_THROW((void)r.read_vector<double>(), std::out_of_range);
+}
+
+TEST(Buffer, RemainingTracksPosition) {
+    Buffer buf;
+    BufferWriter w(buf);
+    w.write<std::uint32_t>(9);
+    w.write<std::uint32_t>(10);
+    BufferReader r(buf);
+    EXPECT_EQ(r.remaining(), 8u);
+    (void)r.read<std::uint32_t>();
+    EXPECT_EQ(r.remaining(), 4u);
+}
+
+}  // namespace

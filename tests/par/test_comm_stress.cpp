@@ -1,0 +1,170 @@
+// Stress tests of the message-passing runtime: high-volume randomized
+// traffic, interleaved collectives on split communicators, large payloads,
+// and repeated world construction — the failure modes a deadlock or a
+// tag-matching bug would surface under.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "par/comm.hpp"
+
+namespace {
+
+using dsg::par::Buffer;
+using dsg::par::Comm;
+using dsg::par::run_world;
+
+Buffer payload(std::uint64_t value, std::size_t size) {
+    Buffer b(size);
+    for (std::size_t i = 0; i < size; ++i)
+        b[i] = static_cast<std::byte>((value + i) & 0xff);
+    return b;
+}
+
+bool check_payload(const Buffer& b, std::uint64_t value) {
+    for (std::size_t i = 0; i < b.size(); ++i)
+        if (b[i] != static_cast<std::byte>((value + i) & 0xff)) return false;
+    return true;
+}
+
+TEST(CommStress, ManySmallMessagesAllPairs) {
+    run_world(8, [&](Comm& c) {
+        constexpr int kRounds = 25;
+        for (int r = 0; r < kRounds; ++r) {
+            for (int d = 0; d < c.size(); ++d)
+                c.send(d, r % 7, payload(static_cast<std::uint64_t>(
+                                             c.rank() * 1000 + r),
+                                         32));
+            for (int s = 0; s < c.size(); ++s) {
+                const Buffer got = c.recv(s, r % 7);
+                EXPECT_TRUE(check_payload(
+                    got, static_cast<std::uint64_t>(s * 1000 + r)));
+            }
+        }
+    });
+}
+
+TEST(CommStress, LargePayloadBroadcastAndReduce) {
+    run_world(4, [&](Comm& c) {
+        const std::size_t mb = 4 << 20;  // 4 MiB
+        Buffer msg;
+        if (c.rank() == 2) msg = payload(99, mb);
+        const Buffer got = c.bcast(2, std::move(msg));
+        ASSERT_EQ(got.size(), mb);
+        EXPECT_TRUE(check_payload(got, 99));
+
+        // Tree reduction of 1 MiB buffers (concatenating lengths).
+        Buffer mine = payload(static_cast<std::uint64_t>(c.rank()), 1 << 20);
+        Buffer out = c.reduce_merge(0, std::move(mine), [](Buffer a, Buffer b) {
+            a.insert(a.end(), b.begin(), b.end());
+            return a;
+        });
+        if (c.rank() == 0) EXPECT_EQ(out.size(), std::size_t{4} << 20);
+    });
+}
+
+TEST(CommStress, InterleavedCollectivesOnRowAndColumnComms) {
+    // The access pattern of the SpGEMM rounds: alternating broadcasts and
+    // reductions on both sub-communicators of a 3x3 grid, many times.
+    run_world(9, [&](Comm& c) {
+        const int row = c.rank() / 3;
+        const int col = c.rank() % 3;
+        Comm rc = c.split(row, col);
+        Comm cc = c.split(col, row);
+        std::mt19937_64 rng(77);
+        for (int round = 0; round < 30; ++round) {
+            const int root = static_cast<int>(rng() % 3);
+            Buffer rmsg;
+            if (rc.rank() == root)
+                rmsg = payload(static_cast<std::uint64_t>(row * 100 + round), 64);
+            const Buffer rgot = rc.bcast(root, std::move(rmsg));
+            EXPECT_TRUE(check_payload(
+                rgot, static_cast<std::uint64_t>(row * 100 + round)));
+
+            Buffer cmsg;
+            if (cc.rank() == root)
+                cmsg = payload(static_cast<std::uint64_t>(col * 100 + round), 64);
+            const Buffer cgot = cc.bcast(root, std::move(cmsg));
+            EXPECT_TRUE(check_payload(
+                cgot, static_cast<std::uint64_t>(col * 100 + round)));
+
+            Buffer acc(8, std::byte{1});
+            Buffer red = cc.reduce_merge(root, std::move(acc),
+                                         [](Buffer a, Buffer b) {
+                                             a.insert(a.end(), b.begin(),
+                                                      b.end());
+                                             return a;
+                                         });
+            if (cc.rank() == root) EXPECT_EQ(red.size(), 24u);
+        }
+    });
+}
+
+TEST(CommStress, RandomizedAlltoallvVolumes) {
+    run_world(6, [&](Comm& c) {
+        std::mt19937_64 rng(10 + static_cast<std::uint64_t>(c.rank()));
+        for (int round = 0; round < 10; ++round) {
+            std::vector<Buffer> send(6);
+            for (int d = 0; d < 6; ++d) {
+                // Deterministic size both sides can compute: depends only on
+                // (source, dest, round).
+                const std::size_t size =
+                    ((static_cast<std::size_t>(c.rank()) * 31 +
+                      static_cast<std::size_t>(d) * 17 +
+                      static_cast<std::size_t>(round)) %
+                     257) +
+                    1;
+                send[static_cast<std::size_t>(d)] = payload(
+                    static_cast<std::uint64_t>(c.rank() * 7 + d), size);
+            }
+            auto recv = c.alltoallv(std::move(send));
+            for (int s = 0; s < 6; ++s) {
+                const std::size_t expect_size =
+                    ((static_cast<std::size_t>(s) * 31 +
+                      static_cast<std::size_t>(c.rank()) * 17 +
+                      static_cast<std::size_t>(round)) %
+                     257) +
+                    1;
+                ASSERT_EQ(recv[static_cast<std::size_t>(s)].size(), expect_size);
+                EXPECT_TRUE(check_payload(
+                    recv[static_cast<std::size_t>(s)],
+                    static_cast<std::uint64_t>(s * 7 + c.rank())));
+            }
+        }
+    });
+}
+
+TEST(CommStress, RepeatedWorldsDoNotLeakState) {
+    for (int iter = 0; iter < 20; ++iter) {
+        run_world(4, [&](Comm& c) {
+            const int sum = c.allreduce<int>(c.rank(), [](int a, int b) {
+                return a + b;
+            });
+            EXPECT_EQ(sum, 6);
+        });
+    }
+}
+
+TEST(CommStress, ReduceMergeEveryRootEveryWorldSize) {
+    for (int p : {2, 3, 5, 8}) {
+        run_world(p, [&](Comm& c) {
+            for (int root = 0; root < p; ++root) {
+                Buffer mine(1, static_cast<std::byte>(c.rank()));
+                Buffer out = c.reduce_merge(root, std::move(mine),
+                                            [](Buffer a, Buffer b) {
+                                                a.insert(a.end(), b.begin(),
+                                                         b.end());
+                                                return a;
+                                            });
+                if (c.rank() == root) {
+                    long long sum = 0;
+                    for (auto byte : out) sum += static_cast<int>(byte);
+                    EXPECT_EQ(sum, static_cast<long long>(p) * (p - 1) / 2);
+                }
+            }
+        });
+    }
+}
+
+}  // namespace

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "par/profiler.hpp"
+
+namespace {
+
+using dsg::par::Phase;
+using dsg::par::phase_name;
+using dsg::par::Profiler;
+
+TEST(Profiler, DisabledScopesCostNothingAndRecordNothing) {
+    Profiler::set_enabled(false);
+    Profiler::reset();
+    {
+        Profiler::Scope scope(Phase::LocalMult);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_EQ(Profiler::total_seconds(Phase::LocalMult), 0.0);
+}
+
+TEST(Profiler, EnabledScopesAccumulate) {
+    Profiler::set_enabled(true);
+    Profiler::reset();
+    {
+        Profiler::Scope scope(Phase::Bcast);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    {
+        Profiler::Scope scope(Phase::Bcast);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    Profiler::set_enabled(false);
+    const double t = Profiler::total_seconds(Phase::Bcast);
+    EXPECT_GE(t, 0.008);
+    EXPECT_LT(t, 1.0);
+    EXPECT_EQ(Profiler::total_seconds(Phase::LocalMult), 0.0);
+}
+
+TEST(Profiler, ResetClears) {
+    Profiler::set_enabled(true);
+    {
+        Profiler::Scope scope(Phase::Scatter);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    Profiler::set_enabled(false);
+    EXPECT_GT(Profiler::total_seconds(Phase::Scatter), 0.0);
+    Profiler::reset();
+    EXPECT_EQ(Profiler::total_seconds(Phase::Scatter), 0.0);
+}
+
+TEST(Profiler, AccumulatesAcrossThreads) {
+    Profiler::set_enabled(true);
+    Profiler::reset();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t)
+        threads.emplace_back([] {
+            Profiler::Scope scope(Phase::ReduceScatter);
+            std::this_thread::sleep_for(std::chrono::milliseconds(3));
+        });
+    for (auto& t : threads) t.join();
+    Profiler::set_enabled(false);
+    // Four concurrent 3ms scopes sum to >= 12ms of phase time.
+    EXPECT_GE(Profiler::total_seconds(Phase::ReduceScatter), 0.010);
+}
+
+TEST(Profiler, PhaseNamesMatchTheFigures) {
+    EXPECT_EQ(phase_name(Phase::RedistSort), "Redist. sort");
+    EXPECT_EQ(phase_name(Phase::RedistComm), "Redist. comm.");
+    EXPECT_EQ(phase_name(Phase::MemManagement), "Mem. management");
+    EXPECT_EQ(phase_name(Phase::LocalConstruct), "Local construct.");
+    EXPECT_EQ(phase_name(Phase::LocalAddition), "Local addition");
+    EXPECT_EQ(phase_name(Phase::SendRecv), "Send/Recv");
+    EXPECT_EQ(phase_name(Phase::Bcast), "Bcast");
+    EXPECT_EQ(phase_name(Phase::LocalMult), "Local Mult.");
+    EXPECT_EQ(phase_name(Phase::Scatter), "Scatter");
+    EXPECT_EQ(phase_name(Phase::ReduceScatter), "Reduce Scatter");
+}
+
+}  // namespace

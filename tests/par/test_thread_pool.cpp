@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "par/thread_pool.hpp"
+
+namespace {
+
+using dsg::par::ThreadPool;
+
+class ThreadPoolP : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadPoolP, CoversEveryIndexExactlyOnce) {
+    ThreadPool pool(GetParam());
+    const std::size_t n = 10'000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](int, std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST_P(ThreadPoolP, SumMatchesSequential) {
+    ThreadPool pool(GetParam());
+    const std::size_t n = 5'000;
+    std::atomic<long long> sum{0};
+    pool.parallel_for(n, [&](int, std::size_t b, std::size_t e) {
+        long long local = 0;
+        for (std::size_t i = b; i < e; ++i) local += static_cast<long long>(i);
+        sum.fetch_add(local);
+    });
+    EXPECT_EQ(sum.load(), static_cast<long long>(n) * (n - 1) / 2);
+}
+
+TEST_P(ThreadPoolP, ThreadIndexInRange) {
+    ThreadPool pool(GetParam());
+    std::atomic<bool> ok{true};
+    pool.parallel_for(1'000, [&](int t, std::size_t, std::size_t) {
+        if (t < 0 || t >= pool.thread_count()) ok = false;
+    });
+    EXPECT_TRUE(ok.load());
+}
+
+TEST_P(ThreadPoolP, ReusableAcrossManyJobs) {
+    ThreadPool pool(GetParam());
+    for (int iter = 0; iter < 50; ++iter) {
+        std::atomic<int> count{0};
+        pool.parallel_for(100, [&](int, std::size_t b, std::size_t e) {
+            count.fetch_add(static_cast<int>(e - b));
+        });
+        ASSERT_EQ(count.load(), 100);
+    }
+}
+
+TEST_P(ThreadPoolP, PropagatesExceptions) {
+    ThreadPool pool(GetParam());
+    EXPECT_THROW(
+        pool.parallel_for(100,
+                          [&](int, std::size_t b, std::size_t) {
+                              if (b == 0) throw std::runtime_error("boom");
+                          }),
+        std::runtime_error);
+    // Pool must stay usable after a failed job.
+    std::atomic<int> count{0};
+    pool.parallel_for(10, [&](int, std::size_t b, std::size_t e) {
+        count.fetch_add(static_cast<int>(e - b));
+    });
+    EXPECT_EQ(count.load(), 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadPoolP, ::testing::Values(1, 2, 4, 7));
+
+TEST(ThreadPool, ZeroIterationsIsNoop) {
+    ThreadPool pool(4);
+    bool called = false;
+    pool.parallel_for(0, [&](int, std::size_t, std::size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ClampsThreadCountToAtLeastOne) {
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.thread_count(), 1);
+}
+
+}  // namespace

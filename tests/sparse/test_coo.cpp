@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "sparse/coo.hpp"
+
+namespace {
+
+using dsg::sparse::counting_sort;
+using dsg::sparse::IndexPermutation;
+using dsg::sparse::index_t;
+using dsg::sparse::MinPlus;
+using dsg::sparse::PlusTimes;
+using dsg::sparse::Triple;
+
+TEST(CountingSort, GroupsByKeyAndIsStable) {
+    std::vector<Triple<int>> ts{
+        {3, 0, 1}, {1, 0, 2}, {3, 1, 3}, {0, 0, 4}, {1, 1, 5},
+    };
+    auto offsets = counting_sort(ts, 4, [](const Triple<int>& t) {
+        return static_cast<std::size_t>(t.row);
+    });
+    ASSERT_EQ(offsets.size(), 5u);
+    EXPECT_EQ(offsets[0], 0u);
+    EXPECT_EQ(offsets[4], 5u);
+    // Bucket contents grouped by row, original order within a bucket.
+    EXPECT_EQ(ts[0], (Triple<int>{0, 0, 4}));
+    EXPECT_EQ(ts[1], (Triple<int>{1, 0, 2}));
+    EXPECT_EQ(ts[2], (Triple<int>{1, 1, 5}));
+    EXPECT_EQ(ts[3], (Triple<int>{3, 0, 1}));
+    EXPECT_EQ(ts[4], (Triple<int>{3, 1, 3}));
+    // offsets[2] == offsets[3]: bucket 2 is empty.
+    EXPECT_EQ(offsets[2], 3u);
+    EXPECT_EQ(offsets[3], 3u);
+}
+
+TEST(CountingSort, EmptyInput) {
+    std::vector<Triple<int>> ts;
+    auto offsets = counting_sort(ts, 3, [](const Triple<int>&) { return 0u; });
+    EXPECT_EQ(offsets, (std::vector<std::size_t>{0, 0, 0, 0}));
+}
+
+TEST(CountingSort, RandomizedPreservesMultiset) {
+    std::mt19937_64 rng(7);
+    std::vector<Triple<int>> ts;
+    for (int i = 0; i < 5'000; ++i)
+        ts.push_back({static_cast<index_t>(rng() % 37),
+                      static_cast<index_t>(rng() % 100),
+                      static_cast<int>(rng() % 1000)});
+    auto ref = ts;
+    auto offsets = counting_sort(ts, 37, [](const Triple<int>& t) {
+        return static_cast<std::size_t>(t.row);
+    });
+    // Every bucket b holds exactly the rows equal to b.
+    for (std::size_t b = 0; b < 37; ++b)
+        for (std::size_t i = offsets[b]; i < offsets[b + 1]; ++i)
+            EXPECT_EQ(ts[i].row, static_cast<index_t>(b));
+    auto key = [](const Triple<int>& t) {
+        return std::tuple(t.row, t.col, t.value);
+    };
+    std::sort(ts.begin(), ts.end(),
+              [&](auto& a, auto& b) { return key(a) < key(b); });
+    std::sort(ref.begin(), ref.end(),
+              [&](auto& a, auto& b) { return key(a) < key(b); });
+    EXPECT_EQ(ts, ref);
+}
+
+TEST(CombineDuplicates, PlusTimesSumsValues) {
+    std::vector<Triple<double>> ts{
+        {0, 1, 2.0}, {0, 1, 3.0}, {1, 0, 1.0}, {0, 1, 5.0},
+    };
+    dsg::sparse::combine_duplicates<PlusTimes<double>>(ts);
+    ASSERT_EQ(ts.size(), 2u);
+    EXPECT_EQ(ts[0], (Triple<double>{0, 1, 10.0}));
+    EXPECT_EQ(ts[1], (Triple<double>{1, 0, 1.0}));
+}
+
+TEST(CombineDuplicates, MinPlusKeepsMinimum) {
+    std::vector<Triple<double>> ts{
+        {2, 2, 9.0}, {2, 2, 4.0}, {2, 2, 7.0},
+    };
+    dsg::sparse::combine_duplicates<MinPlus<double>>(ts);
+    ASSERT_EQ(ts.size(), 1u);
+    EXPECT_EQ(ts[0].value, 4.0);
+}
+
+TEST(IndexPermutation, IsABijection) {
+    IndexPermutation perm(1000, 42);
+    std::vector<bool> hit(1000, false);
+    for (index_t i = 0; i < 1000; ++i) {
+        const index_t img = perm(i);
+        ASSERT_GE(img, 0);
+        ASSERT_LT(img, 1000);
+        EXPECT_FALSE(hit[static_cast<std::size_t>(img)]);
+        hit[static_cast<std::size_t>(img)] = true;
+    }
+}
+
+TEST(IndexPermutation, DeterministicInSeed) {
+    IndexPermutation a(256, 9);
+    IndexPermutation b(256, 9);
+    IndexPermutation c(256, 10);
+    bool all_equal_c = true;
+    for (index_t i = 0; i < 256; ++i) {
+        EXPECT_EQ(a(i), b(i));
+        all_equal_c = all_equal_c && a(i) == c(i);
+    }
+    EXPECT_FALSE(all_equal_c);
+}
+
+TEST(IndexPermutation, ApplyRemapsBothCoordinates) {
+    IndexPermutation perm(10, 3);
+    std::vector<Triple<int>> ts{{1, 2, 7}, {0, 9, 8}};
+    perm.apply(ts);
+    EXPECT_EQ(ts[0].row, perm(1));
+    EXPECT_EQ(ts[0].col, perm(2));
+    EXPECT_EQ(ts[1].row, perm(0));
+    EXPECT_EQ(ts[1].col, perm(9));
+    EXPECT_EQ(ts[0].value, 7);
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "sparse/flat_map.hpp"
+
+namespace {
+
+using dsg::sparse::FlatMap;
+using dsg::sparse::PairSet;
+
+TEST(FlatMap, InsertFindErase) {
+    FlatMap<int> m;
+    EXPECT_TRUE(m.empty());
+    m.get_or_insert(5, 50);
+    m.get_or_insert(6, 60);
+    EXPECT_EQ(m.size(), 2u);
+    ASSERT_NE(m.find(5), nullptr);
+    EXPECT_EQ(*m.find(5), 50);
+    EXPECT_EQ(m.find(7), nullptr);
+    EXPECT_TRUE(m.erase(5));
+    EXPECT_FALSE(m.erase(5));
+    EXPECT_EQ(m.find(5), nullptr);
+    EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, GetOrInsertReturnsExisting) {
+    FlatMap<int> m;
+    m.get_or_insert(1, 10) = 11;
+    EXPECT_EQ(m.get_or_insert(1, 999), 11);
+    EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, ReinsertAfterEraseUsesTombstone) {
+    FlatMap<int> m;
+    for (int k = 0; k < 100; ++k) m.get_or_insert(k, k);
+    for (int k = 0; k < 100; k += 2) EXPECT_TRUE(m.erase(k));
+    EXPECT_EQ(m.size(), 50u);
+    for (int k = 0; k < 100; k += 2) m.get_or_insert(k, -k);
+    EXPECT_EQ(m.size(), 100u);
+    for (int k = 0; k < 100; ++k) {
+        ASSERT_NE(m.find(k), nullptr) << k;
+        EXPECT_EQ(*m.find(k), k % 2 == 0 ? -k : k);
+    }
+}
+
+TEST(FlatMap, ClearKeepsWorking) {
+    FlatMap<int> m;
+    for (int k = 0; k < 64; ++k) m.get_or_insert(k, k);
+    m.clear();
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.find(3), nullptr);
+    m.get_or_insert(3, 33);
+    EXPECT_EQ(*m.find(3), 33);
+}
+
+TEST(FlatMap, RandomizedAgainstStdMap) {
+    std::mt19937_64 rng(1234);
+    std::uniform_int_distribution<std::int64_t> keys(0, 499);
+    std::uniform_int_distribution<int> ops(0, 2);
+    FlatMap<std::int64_t> fm;
+    std::map<std::int64_t, std::int64_t> ref;
+    for (int step = 0; step < 20'000; ++step) {
+        const auto k = keys(rng);
+        switch (ops(rng)) {
+            case 0: {  // insert/overwrite
+                fm.get_or_insert(k, 0) = step;
+                ref[k] = step;
+                break;
+            }
+            case 1: {  // erase
+                EXPECT_EQ(fm.erase(k), ref.erase(k) > 0);
+                break;
+            }
+            default: {  // lookup
+                const auto* p = fm.find(k);
+                const auto it = ref.find(k);
+                if (it == ref.end()) {
+                    EXPECT_EQ(p, nullptr);
+                } else {
+                    ASSERT_NE(p, nullptr);
+                    EXPECT_EQ(*p, it->second);
+                }
+            }
+        }
+    }
+    EXPECT_EQ(fm.size(), ref.size());
+    std::size_t visited = 0;
+    fm.for_each([&](std::int64_t k, std::int64_t v) {
+        ++visited;
+        auto it = ref.find(k);
+        ASSERT_NE(it, ref.end());
+        EXPECT_EQ(v, it->second);
+    });
+    EXPECT_EQ(visited, ref.size());
+}
+
+TEST(FlatMap, ReserveAvoidsMisbehaviour) {
+    FlatMap<int> m(1000);
+    for (int k = 0; k < 1000; ++k) m.get_or_insert(k * 7, k);
+    EXPECT_EQ(m.size(), 1000u);
+    for (int k = 0; k < 1000; ++k) EXPECT_EQ(*m.find(k * 7), k);
+}
+
+TEST(PairSet, InsertContains) {
+    PairSet s(100);
+    s.insert(3, 7);
+    s.insert(0, 0);
+    s.insert(99, 99);
+    EXPECT_TRUE(s.contains(3, 7));
+    EXPECT_TRUE(s.contains(0, 0));
+    EXPECT_TRUE(s.contains(99, 99));
+    EXPECT_FALSE(s.contains(7, 3));
+    EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(PairSet, DuplicatesCollapse) {
+    PairSet s(10);
+    s.insert(1, 2);
+    s.insert(1, 2);
+    EXPECT_EQ(s.size(), 1u);
+}
+
+}  // namespace

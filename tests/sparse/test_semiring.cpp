@@ -1,0 +1,87 @@
+// Algebraic laws of the bundled semirings, checked on randomized values —
+// the kernels silently assume these (associativity for tree reductions,
+// annihilation of zero for structural-zero semantics).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "sparse/semiring.hpp"
+#include "sparse/types.hpp"
+
+namespace {
+
+using namespace dsg::sparse;
+
+template <typename SR>
+void check_laws(const std::vector<typename SR::value_type>& samples) {
+    using T = typename SR::value_type;
+    const T zero = SR::zero();
+    for (const T& a : samples) {
+        // Additive identity.
+        EXPECT_EQ(SR::add(a, zero), a);
+        EXPECT_EQ(SR::add(zero, a), a);
+        // Multiplicative annihilation by zero (up to NaN-free domains).
+        const T za = SR::mul(zero, a);
+        EXPECT_EQ(SR::add(za, SR::mul(a, zero)), za);
+        for (const T& b : samples) {
+            // Commutativity of addition (all bundled semirings have it).
+            EXPECT_EQ(SR::add(a, b), SR::add(b, a));
+            for (const T& c : samples) {
+                // Associativity of both operations.
+                EXPECT_EQ(SR::add(SR::add(a, b), c), SR::add(a, SR::add(b, c)));
+                EXPECT_EQ(SR::mul(SR::mul(a, b), c), SR::mul(a, SR::mul(b, c)));
+                // Distributivity: a*(b+c) == a*b + a*c.
+                EXPECT_EQ(SR::mul(a, SR::add(b, c)),
+                          SR::add(SR::mul(a, b), SR::mul(a, c)));
+            }
+        }
+    }
+}
+
+TEST(Semiring, MinPlusLaws) {
+    check_laws<MinPlus<double>>({0.0, 1.5, 7.0, 100.25, -3.0});
+}
+
+TEST(Semiring, MaxPlusLaws) {
+    check_laws<MaxPlus<double>>({0.0, 2.0, -8.5, 31.0});
+}
+
+TEST(Semiring, BoolOrAndLaws) { check_laws<BoolOrAnd>({0, 1}); }
+
+TEST(Semiring, BitsOrLaws) {
+    check_laws<BitsOr>({0ull, 1ull, 0xff00ff00ull, ~0ull});
+}
+
+TEST(Semiring, PlusTimesIntegerLaws) {
+    check_laws<PlusTimes<long long>>({0, 1, -5, 17, 1000});
+}
+
+TEST(Semiring, PlusTimesRingProperties) {
+    static_assert(PlusTimes<double>::is_ring);
+    static_assert(!MinPlus<double>::is_ring);
+    EXPECT_EQ(PlusTimes<double>::add(3.0, PlusTimes<double>::neg(3.0)), 0.0);
+    EXPECT_EQ(PlusTimes<double>::one(), 1.0);
+}
+
+TEST(Semiring, MinPlusZeroIsInfinity) {
+    EXPECT_TRUE(std::isinf(MinPlus<double>::zero()));
+    EXPECT_GT(MinPlus<double>::zero(), 0.0);
+    // zero annihilates multiplication: inf + x = inf.
+    EXPECT_TRUE(std::isinf(
+        MinPlus<double>::mul(MinPlus<double>::zero(), 5.0)));
+    // one() is the multiplicative identity: 0 + x = x.
+    EXPECT_EQ(MinPlus<double>::mul(MinPlus<double>::one(), 5.0), 5.0);
+}
+
+TEST(Semiring, BloomBitWrapsAt64) {
+    EXPECT_EQ(bloom_bit(0), 1ull);
+    EXPECT_EQ(bloom_bit(63), 1ull << 63);
+    EXPECT_EQ(bloom_bit(64), 1ull);
+    EXPECT_EQ(bloom_bit(70), bloom_bit(6));
+    // Every index maps to exactly one bit.
+    for (int k = 0; k < 200; ++k)
+        EXPECT_EQ(__builtin_popcountll(bloom_bit(k)), 1);
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+// The transposed-left local kernel (out = L^T R) against a dense reference.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "sparse/coo.hpp"
+#include "sparse/transposed_spgemm.hpp"
+
+namespace {
+
+using namespace dsg::sparse;
+
+std::vector<Triple<double>> random_triples(std::mt19937_64& rng, index_t rows,
+                                           index_t cols, int count) {
+    std::vector<Triple<double>> ts;
+    for (int i = 0; i < count; ++i)
+        ts.push_back({static_cast<index_t>(rng() % rows),
+                      static_cast<index_t>(rng() % cols),
+                      static_cast<double>(1 + rng() % 9)});
+    combine_duplicates<PlusTimes<double>>(ts);
+    return ts;
+}
+
+template <typename SR>
+std::map<std::pair<index_t, index_t>, double> reference_lt_r(
+    const std::vector<Triple<double>>& l, const std::vector<Triple<double>>& r) {
+    std::map<std::pair<index_t, index_t>, double> out;
+    for (const auto& tl : l)
+        for (const auto& tr : r) {
+            if (tl.row != tr.row) continue;  // shared inner index t
+            const double term = SR::mul(tl.value, tr.value);
+            auto [it, fresh] = out.try_emplace({tl.col, tr.col}, term);
+            if (!fresh) it->second = SR::add(it->second, term);
+        }
+    return out;
+}
+
+template <typename V>
+std::map<std::pair<index_t, index_t>, V> as_map(const Dcsr<V>& m) {
+    std::map<std::pair<index_t, index_t>, V> out;
+    m.for_each([&](index_t i, index_t j, const V& v) { out[{i, j}] = v; });
+    return out;
+}
+
+TEST(TransposedSpgemm, TinyHandComputed) {
+    // L^T R with L rows = inner. L = [[1,2],[3,0]], R = [[5,0],[0,7]].
+    // (L^T R)(u,v) = sum_t L(t,u) R(t,v).
+    // (0,0): L(0,0)R(0,0)+L(1,0)R(1,0) = 5 + 0 = 5
+    // (0,1): L(0,0)R(0,1)+L(1,0)R(1,1) = 0 + 21 = 21
+    // (1,0): L(0,1)R(0,0)+L(1,1)R(1,0) = 10 + 0 = 10
+    // (1,1): L(0,1)R(0,1)+L(1,1)R(1,1) = 0 + 0 = 0 (structurally absent)
+    DynamicMatrix<double> L(2, 2);
+    L.insert_or_assign(0, 0, 1);
+    L.insert_or_assign(0, 1, 2);
+    L.insert_or_assign(1, 0, 3);
+    auto R = Dcsr<double>::from_row_grouped(
+        2, 2, std::vector<Triple<double>>{{0, 0, 5}, {1, 1, 7}});
+    auto C = spgemm_transposed_left<PlusTimes<double>>(2, 2, L, R);
+    auto m = as_map(C);
+    EXPECT_EQ((m[{0, 0}]), 5.0);
+    EXPECT_EQ((m[{0, 1}]), 21.0);
+    EXPECT_EQ((m[{1, 0}]), 10.0);
+    // (1,1) got a structural contribution only if some term touched it: the
+    // t=0 term L(0,1)*R(0,1) needs R(0,1) which is absent -> no entry.
+    EXPECT_EQ(m.count({1, 1}), 0u);
+}
+
+class TransposedRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TransposedRandom, MatchesDenseReferencePlusTimes) {
+    std::mt19937_64 rng(GetParam());
+    const index_t inner = 25, n = 20, m = 15;
+    for (int trial = 0; trial < 8; ++trial) {
+        auto tl = random_triples(rng, inner, n, 120);
+        auto tr = random_triples(rng, inner, m, 40);  // hypersparse right
+        DynamicMatrix<double> L(inner, n);
+        for (const auto& t : tl) L.insert_or_assign(t.row, t.col, t.value);
+        auto R = Dcsr<double>::from_row_grouped(inner, m, tr);
+        auto C = spgemm_transposed_left<PlusTimes<double>>(n, m, L, R);
+        EXPECT_EQ(as_map(C), reference_lt_r<PlusTimes<double>>(tl, tr));
+    }
+}
+
+TEST_P(TransposedRandom, MatchesDenseReferenceMinPlus) {
+    std::mt19937_64 rng(GetParam() + 100);
+    const index_t inner = 18, n = 14, m = 14;
+    auto tl = random_triples(rng, inner, n, 80);
+    auto tr = random_triples(rng, inner, m, 30);
+    DynamicMatrix<double> L(inner, n);
+    for (const auto& t : tl) L.insert_or_assign(t.row, t.col, t.value);
+    auto R = Dcsr<double>::from_row_grouped(inner, m, tr);
+    auto C = spgemm_transposed_left<MinPlus<double>>(n, m, L, R);
+    EXPECT_EQ(as_map(C), reference_lt_r<MinPlus<double>>(tl, tr));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransposedRandom, ::testing::Values(1u, 7u, 13u));
+
+TEST(TransposedSpgemm, EmptyRightGivesEmpty) {
+    DynamicMatrix<double> L(5, 5);
+    L.insert_or_assign(0, 0, 1);
+    Dcsr<double> R(5, 5);
+    auto C = spgemm_transposed_left<PlusTimes<double>>(5, 5, L, R);
+    EXPECT_EQ(C.nnz(), 0u);
+}
+
+TEST(TransposedSpgemm, OutputRowsAreAscending) {
+    std::mt19937_64 rng(3);
+    auto tl = random_triples(rng, 30, 30, 200);
+    auto tr = random_triples(rng, 30, 30, 60);
+    DynamicMatrix<double> L(30, 30);
+    for (const auto& t : tl) L.insert_or_assign(t.row, t.col, t.value);
+    auto R = Dcsr<double>::from_row_grouped(30, 30, tr);
+    auto C = spgemm_transposed_left<PlusTimes<double>>(30, 30, L, R);
+    for (std::size_t r = 1; r < C.row_count(); ++r)
+        EXPECT_LT(C.row_id(r - 1), C.row_id(r));
+}
+
+}  // namespace
