@@ -1,8 +1,8 @@
 // Shared infrastructure of the benchmark harness.
 //
 // Every binary bench_figN_* regenerates one table/figure of the paper's
-// evaluation (Section VII); see DESIGN.md for the experiment index and
-// EXPERIMENTS.md for measured-vs-paper results. The real-world instances of
+// evaluation (Section VII); README.md maps each binary to its figure and
+// describes how to run the harness. The real-world instances of
 // Table I are replaced by shape-preserving synthetic stand-ins (R-MAT with
 // Graph500 parameters for the skewed social/web graphs, Erdős–Rényi for the
 // peer-to-peer network), scaled by ~2^12 so the whole harness runs in
@@ -133,7 +133,7 @@ inline void reset_stats(par::Comm& comm) {
 
 inline void print_header(const char* title, const char* paper_ref) {
     std::printf("\n================================================================\n");
-    std::printf("%s\n  (reproduces %s; see EXPERIMENTS.md)\n", title, paper_ref);
+    std::printf("%s\n  (reproduces %s; see the benchmark table in README.md)\n", title, paper_ref);
     std::printf("================================================================\n");
 }
 

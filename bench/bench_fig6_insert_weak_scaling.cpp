@@ -8,7 +8,8 @@
 // rank *cannot* drop with p here; the table therefore also reports the
 // per-rank communication volume and the total alltoall traffic, which are
 // the quantities whose scaling the paper's figure demonstrates (they must
-// stay ~flat per rank as p grows). See EXPERIMENTS.md.
+// stay ~flat per rank as p grows). See docs/ARCHITECTURE.md on why volume,
+// not wall time, is the measured quantity of this runtime.
 #include "bench_common.hpp"
 
 using namespace dsg;

@@ -1,6 +1,7 @@
 // Table I: the benchmark instances. Prints the paper's twelve real-world
-// graphs next to the synthetic stand-ins this harness uses (see DESIGN.md,
-// substitution table) with their actual generated sizes.
+// graphs next to the synthetic stand-ins this harness uses (the substitution
+// is described in bench_common.hpp and README.md) with their actual
+// generated sizes.
 #include "bench_common.hpp"
 
 using namespace dsg;

@@ -4,9 +4,9 @@
 // frameworks store distributed sparse matrices in *static* layouts, so every
 // update batch forces a redistribution (comparison sort + one global
 // alltoallv) followed by a full rebuild of the local structure. The three
-// classes below reproduce exactly those cost structures (see DESIGN.md for
-// the mapping); their results are bit-identical to the dynamic path, which
-// the tests verify — only the work differs.
+// classes below reproduce exactly those cost structures (the mapping is
+// spelled out per class below); their results are bit-identical to the
+// dynamic path, which the tests verify — only the work differs.
 //
 //  - StaticRebuildMatrix (CombBLAS-like): local block kept as a fully sorted
 //    (DCSC-style column-major) array; a batch is sorted and merge-rebuilt

@@ -6,7 +6,8 @@
 // (dsg::sparse), the distributed core (dsg::core — the paper's
 // contribution), the competitor baselines (dsg::baseline) and the graph
 // layer (dsg::graph). Individual headers remain includable on their own;
-// see README.md for the module map.
+// see README.md for the module map and docs/ARCHITECTURE.md for the design
+// of the runtime and the storage substrates.
 #pragma once
 
 #include "par/buffer.hpp"

@@ -3,7 +3,7 @@
 // R-MAT with the Graph500 parameters (a=0.57, b=0.19, c=0.19, d=0.05) is the
 // paper's own synthetic workload (Fig. 8); Erdős–Rényi and the deterministic
 // small graphs below serve tests and stand-ins for the real-world instances
-// of Table I (see DESIGN.md on this substitution).
+// of Table I (bench/bench_common.hpp documents this substitution).
 #pragma once
 
 #include <cstdint>

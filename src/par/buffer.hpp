@@ -27,16 +27,14 @@ public:
     template <typename T>
         requires std::is_trivially_copyable_v<T>
     void write(const T& value) {
-        const auto* src = reinterpret_cast<const std::byte*>(&value);
-        out_.insert(out_.end(), src, src + sizeof(T));
+        append(&value, sizeof(T));
     }
 
     template <typename T>
         requires std::is_trivially_copyable_v<T>
     void write_span(std::span<const T> values) {
         write<std::uint64_t>(values.size());
-        const auto* src = reinterpret_cast<const std::byte*>(values.data());
-        out_.insert(out_.end(), src, src + values.size_bytes());
+        append(values.data(), values.size_bytes());
     }
 
     template <typename T>
@@ -45,6 +43,17 @@ public:
     }
 
 private:
+    // resize + memcpy rather than insert(end, first, last): insert's growth
+    // path trips GCC 12's -Wstringop-overflow false positive under -Werror.
+    // resize value-initializes the tail before memcpy overwrites it — an
+    // accepted extra pass over the appended bytes.
+    void append(const void* src, std::size_t bytes) {
+        if (bytes == 0) return;  // empty spans may carry src == nullptr
+        const std::size_t old = out_.size();
+        out_.resize(old + bytes);
+        std::memcpy(out_.data() + old, src, bytes);
+    }
+
     Buffer& out_;
 };
 
@@ -68,10 +77,15 @@ public:
         requires std::is_trivially_copyable_v<T>
     std::vector<T> read_vector() {
         const auto n = read<std::uint64_t>();
-        require(n * sizeof(T));
-        std::vector<T> values(n);
-        std::memcpy(values.data(), data_.data() + pos_, n * sizeof(T));
-        pos_ += n * sizeof(T);
+        // Divide instead of multiplying: n * sizeof(T) could wrap around and
+        // slip past the bounds check on a corrupt length header.
+        if (n > remaining() / sizeof(T))
+            throw std::out_of_range("BufferReader: truncated buffer");
+        std::vector<T> values(static_cast<std::size_t>(n));
+        if (n != 0) {  // data() of an empty vector may be nullptr
+            std::memcpy(values.data(), data_.data() + pos_, values.size() * sizeof(T));
+            pos_ += values.size() * sizeof(T);
+        }
         return values;
     }
 
@@ -80,7 +94,8 @@ public:
 
 private:
     void require(std::size_t bytes) const {
-        if (pos_ + bytes > data_.size())
+        // pos_ <= size() is an invariant, so this form cannot overflow.
+        if (bytes > data_.size() - pos_)
             throw std::out_of_range("BufferReader: truncated buffer");
     }
 

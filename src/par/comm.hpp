@@ -17,6 +17,9 @@
 // An exception thrown on any rank aborts the world: all ranks blocked in
 // recv/collectives wake up with AbortedError and the first real exception is
 // rethrown from World::run on the calling thread.
+//
+// docs/ARCHITECTURE.md documents these semantics (ordering, tags, abort) in
+// full and explains why the backend is threads rather than real MPI.
 #pragma once
 
 #include <atomic>

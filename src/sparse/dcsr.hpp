@@ -7,6 +7,7 @@
 // in this layout. Like Csr, columns within a row are unsorted and the layout
 // is stream-only; the transient RowLookup below provides O(1) row access for
 // the one kernel that needs it (the right-hand side of A·B*, Section V-A).
+// docs/ARCHITECTURE.md covers the stored-vs-travelling storage split.
 #pragma once
 
 #include <cassert>

@@ -8,7 +8,8 @@
 //
 // Deletion swaps the victim with the row's last entry, so adjacency arrays
 // stay dense. Entry order within a row is therefore unspecified, which is
-// fine: no algorithm in this library relies on column order.
+// fine: no algorithm in this library relies on column order (a deliberate
+// library-wide invariant; see docs/ARCHITECTURE.md).
 #pragma once
 
 #include <cassert>

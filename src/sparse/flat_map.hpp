@@ -5,7 +5,8 @@
 //    local multiplication in Algorithm 2 (Section VI-B).
 //
 // Linear probing with tombstones; capacity is a power of two and grows when
-// (size + tombstones) exceeds 3/4 of capacity. Keys must be non-negative.
+// (size + tombstones) exceeds 3/4 of capacity. Keys must be non-negative
+// (index_t guarantees this by construction; see docs/ARCHITECTURE.md).
 #pragma once
 
 #include <cassert>

@@ -79,9 +79,10 @@ inline void expect_matches(const DistDynamicMatrix<double>& m,
             << "(" << coord.first << ", " << coord.second << ")";
     }
     for (const auto& [coord, v] : got) {
-        if (expect.find(coord) == expect.end())
+        if (expect.find(coord) == expect.end()) {
             EXPECT_NEAR(v, 0.0, tol) << "spurious non-zero (" << coord.first
                                      << ", " << coord.second << ")";
+        }
     }
 }
 

@@ -297,7 +297,9 @@ TEST_P(AlgoP, DynamicContractionMatchesDirectComputation) {
                 EXPECT_NEAR(gm[coord], v, 1e-9);
             }
             for (const auto& [coord, v] : gm) {
-                if (!expect.count(coord)) EXPECT_NEAR(v, 0.0, 1e-9);
+                if (!expect.count(coord)) {
+                    EXPECT_NEAR(v, 0.0, 1e-9);
+                }
             }
         }
     });

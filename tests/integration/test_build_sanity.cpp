@@ -1,0 +1,36 @@
+// Build-sanity smoke test: this translation unit includes ONLY the umbrella
+// header, so it fails to compile if dsg.hpp stops being self-contained. The
+// tests assert the minimum the build must deliver: a 2x2 process-grid world
+// starts, and a trivial SpGEMM on it produces the right answer.
+#include "dsg.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using Semiring = dsg::sparse::PlusTimes<double>;
+
+TEST(BuildSanity, TwoByTwoGridComesUp) {
+    dsg::par::run_world(4, [](dsg::par::Comm& c) {
+        dsg::core::ProcessGrid grid(c);
+        EXPECT_EQ(grid.q(), 2);
+        EXPECT_EQ(grid.rank_of(grid.grid_row(), grid.grid_col()), c.rank());
+    });
+}
+
+TEST(BuildSanity, TrivialSpgemmOnTwoByTwoGrid) {
+    dsg::par::run_world(4, [](dsg::par::Comm& c) {
+        dsg::core::ProcessGrid grid(c);
+        constexpr dsg::sparse::index_t n = 8;
+        // I * I = I, scattered so only rank 0 contributes tuples.
+        std::vector<dsg::sparse::Triple<double>> eye;
+        if (c.rank() == 0) {
+            for (dsg::sparse::index_t i = 0; i < n; ++i) eye.push_back({i, i, 1.0});
+        }
+        auto A = dsg::core::build_dynamic_matrix<Semiring>(grid, n, n, eye);
+        auto C = dsg::core::summa_multiply<Semiring>(A, A);
+        EXPECT_EQ(C.global_nnz(), static_cast<std::size_t>(n));
+    });
+}
+
+}  // namespace

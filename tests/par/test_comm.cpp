@@ -133,11 +133,15 @@ TEST_P(CommP, GatherCollectsAtRoot) {
 TEST_P(CommP, AllgatherGivesEveryoneEverything) {
     const int p = GetParam();
     run_world(p, [&](Comm& c) {
-        auto got = c.allgather(make_buffer("x" + std::to_string(c.rank())));
+        std::string mine = "x";
+        mine += std::to_string(c.rank());
+        auto got = c.allgather(make_buffer(mine));
         ASSERT_EQ(got.size(), static_cast<std::size_t>(c.size()));
-        for (int s = 0; s < c.size(); ++s)
-            EXPECT_EQ(to_string(got[static_cast<std::size_t>(s)]),
-                      "x" + std::to_string(s));
+        for (int s = 0; s < c.size(); ++s) {
+            std::string expect = "x";
+            expect += std::to_string(s);
+            EXPECT_EQ(to_string(got[static_cast<std::size_t>(s)]), expect);
+        }
     });
 }
 

@@ -60,7 +60,9 @@ TEST(CommStress, LargePayloadBroadcastAndReduce) {
             a.insert(a.end(), b.begin(), b.end());
             return a;
         });
-        if (c.rank() == 0) EXPECT_EQ(out.size(), std::size_t{4} << 20);
+        if (c.rank() == 0) {
+            EXPECT_EQ(out.size(), std::size_t{4} << 20);
+        }
     });
 }
 
@@ -96,7 +98,9 @@ TEST(CommStress, InterleavedCollectivesOnRowAndColumnComms) {
                                                       b.end());
                                              return a;
                                          });
-            if (cc.rank() == root) EXPECT_EQ(red.size(), 24u);
+            if (cc.rank() == root) {
+                EXPECT_EQ(red.size(), 24u);
+            }
         }
     });
 }
