@@ -11,8 +11,14 @@
 // edge directions inserted), and batch sizes are *per rank*.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <concepts>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
 #include <random>
 #include <string>
 #include <vector>
@@ -32,6 +38,123 @@ inline double ms_since(Clock::time_point t0) {
     return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
 }
 
+// ---------------------------------------------------------------------------
+// Machine-readable results (opt-in). When DSG_BENCH_JSON=<path> is set, every
+// json_record() call appends one flat object to an array written to <path>
+// at process exit (or at an explicit json_flush()), so a perf trajectory can
+// be collected across runs without scraping stdout:
+//
+//   JsonRecord rec("bench_fig4_insertions");
+//   rec.field("instance", inst.name).field("batch", 4096).field("ms", dyn_ms);
+//   json_record(rec);
+//
+// Without the environment variable everything below is a no-op.
+// ---------------------------------------------------------------------------
+
+/// One flat JSON object, keys in insertion order.
+class JsonRecord {
+public:
+    explicit JsonRecord(const char* bench) { field("bench", bench); }
+
+    JsonRecord& field(const char* key, const char* value) {
+        std::string escaped;
+        for (const char* c = value; *c != '\0'; ++c) {
+            if (*c == '"' || *c == '\\') {
+                escaped.push_back('\\');
+                escaped.push_back(*c);
+            } else if (static_cast<unsigned char>(*c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(*c));
+                escaped += buf;
+            } else {
+                escaped.push_back(*c);
+            }
+        }
+        return raw(key, "\"" + escaped + "\"");
+    }
+    JsonRecord& field(const char* key, const std::string& value) {
+        return field(key, value.c_str());
+    }
+    JsonRecord& field(const char* key, double value) {
+        // %g would render inf/nan, which are not valid JSON tokens.
+        if (!std::isfinite(value)) return raw(key, "null");
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.6g", value);
+        return raw(key, buf);
+    }
+    template <std::integral I>
+    JsonRecord& field(const char* key, I value) {
+        return raw(key, std::to_string(value));
+    }
+
+    [[nodiscard]] const std::string& body() const { return body_; }
+
+private:
+    JsonRecord& raw(const char* key, const std::string& rendered) {
+        if (!body_.empty()) body_ += ", ";
+        body_ += "\"";
+        body_ += key;
+        body_ += "\": ";
+        body_ += rendered;
+        return *this;
+    }
+    std::string body_;
+};
+
+namespace detail {
+
+struct JsonSink {
+    std::mutex mx;
+    std::vector<std::string> rows;
+    std::string path;
+
+    JsonSink() {
+        if (const char* p = std::getenv("DSG_BENCH_JSON"); p != nullptr && *p)
+            path = p;
+    }
+    ~JsonSink() { flush(); }
+
+    void flush() {
+        std::lock_guard lock(mx);
+        if (path.empty()) return;
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "DSG_BENCH_JSON: cannot write %s\n",
+                         path.c_str());
+            return;
+        }
+        std::fputs("[\n", f);
+        for (std::size_t r = 0; r < rows.size(); ++r)
+            std::fprintf(f, "  {%s}%s\n", rows[r].c_str(),
+                         r + 1 < rows.size() ? "," : "");
+        std::fputs("]\n", f);
+        std::fclose(f);
+    }
+};
+
+inline JsonSink& json_sink() {
+    static JsonSink sink;
+    return sink;
+}
+
+}  // namespace detail
+
+/// True when DSG_BENCH_JSON is set (results will be written).
+inline bool json_enabled() { return !detail::json_sink().path.empty(); }
+
+/// Queues one record; thread-safe (benchmarks record from rank threads).
+inline void json_record(const JsonRecord& rec) {
+    auto& sink = detail::json_sink();
+    if (sink.path.empty()) return;
+    std::lock_guard lock(sink.mx);
+    sink.rows.push_back(rec.body());
+}
+
+/// Rewrites the output file with everything recorded so far (also done
+/// automatically at process exit).
+inline void json_flush() { detail::json_sink().flush(); }
+
 /// A Table-I instance and its synthetic stand-in.
 struct Instance {
     const char* name;        ///< the paper's instance name
@@ -43,23 +166,58 @@ struct Instance {
     bool rmat;               ///< R-MAT (skewed) or Erdős–Rényi
 };
 
+/// CI scale override: DSG_BENCH_SCALE=<f> with 0 < f <= 1 shrinks every
+/// instance without touching code — edge counts are multiplied by f and the
+/// vertex scale is lowered by log2(1/f), which roughly preserves the average
+/// degree. Out-of-range or unparsable values fall back to 1 (full size).
+inline double bench_scale() {
+    static const double factor = [] {
+        const char* s = std::getenv("DSG_BENCH_SCALE");
+        if (s == nullptr || *s == '\0') return 1.0;
+        char* end = nullptr;
+        const double v = std::strtod(s, &end);
+        if (end == s || !(v > 0.0) || v > 1.0) {
+            std::fprintf(stderr,
+                         "DSG_BENCH_SCALE='%s' ignored (want 0 < f <= 1)\n", s);
+            return 1.0;
+        }
+        return v;
+    }();
+    return factor;
+}
+
 /// The twelve instances of Table I with scaled stand-ins (nnz ratios roughly
-/// preserved; the absolute scale-down is ~2^12).
+/// preserved; the absolute scale-down is ~2^12), further shrunk by
+/// DSG_BENCH_SCALE when set.
 inline const std::vector<Instance>& instances() {
-    static const std::vector<Instance> table = {
-        {"LiveJournal", "Social", 4, 86, 12, 10'000, true},
-        {"orkut", "Social", 3, 234, 12, 28'000, true},
-        {"tech-p2p", "Peer-to-Peer", 5, 295, 13, 36'000, false},
-        {"indochina", "Web", 7, 304, 13, 37'000, true},
-        {"sinaweibo", "Social", 58, 522, 14, 64'000, true},
-        {"uk2002", "Web", 18, 529, 14, 64'000, true},
-        {"wikipedia", "Web", 27, 1088, 14, 132'000, true},
-        {"PayDomain", "Web", 42, 1165, 15, 142'000, true},
-        {"uk2005", "Web", 39, 1581, 15, 193'000, true},
-        {"webbase", "Web", 118, 1736, 15, 212'000, true},
-        {"twitter", "Social", 41, 2405, 15, 293'000, true},
-        {"friendster", "Social", 124, 3612, 16, 441'000, true},
-    };
+    static const std::vector<Instance> table = [] {
+        std::vector<Instance> t = {
+            {"LiveJournal", "Social", 4, 86, 12, 10'000, true},
+            {"orkut", "Social", 3, 234, 12, 28'000, true},
+            {"tech-p2p", "Peer-to-Peer", 5, 295, 13, 36'000, false},
+            {"indochina", "Web", 7, 304, 13, 37'000, true},
+            {"sinaweibo", "Social", 58, 522, 14, 64'000, true},
+            {"uk2002", "Web", 18, 529, 14, 64'000, true},
+            {"wikipedia", "Web", 27, 1088, 14, 132'000, true},
+            {"PayDomain", "Web", 42, 1165, 15, 142'000, true},
+            {"uk2005", "Web", 39, 1581, 15, 193'000, true},
+            {"webbase", "Web", 118, 1736, 15, 212'000, true},
+            {"twitter", "Social", 41, 2405, 15, 293'000, true},
+            {"friendster", "Social", 124, 3612, 16, 441'000, true},
+        };
+        const double f = bench_scale();
+        if (f < 1.0) {
+            const int down =
+                static_cast<int>(std::lround(std::log2(1.0 / f)));
+            for (auto& inst : t) {
+                inst.scale = std::max(8, inst.scale - down);
+                inst.edges = std::max<std::size_t>(
+                    1'000, static_cast<std::size_t>(
+                               static_cast<double>(inst.edges) * f));
+            }
+        }
+        return t;
+    }();
     return table;
 }
 

@@ -89,6 +89,13 @@ int main() {
                     bs, mean.ours, mean.combblas, mean.ctf, mean.petsc,
                     mean.combblas / mean.ours, mean.ctf / mean.ours,
                     mean.petsc / mean.ours);
+        JsonRecord rec("bench_fig4_insertions");
+        rec.field("batch", bs)
+            .field("ours_ms", mean.ours)
+            .field("combblas_ms", mean.combblas)
+            .field("ctf_ms", mean.ctf)
+            .field("petsc_ms", mean.petsc);
+        json_record(rec);
     }
     std::printf(
         "\npaper: speedup over CombBLAS falls from 227.68x (batch 1024) to\n"

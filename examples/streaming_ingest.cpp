@@ -1,133 +1,139 @@
-// Streaming ingestion: the data-structure side of the paper in one program.
+// Streaming ingestion on the epoch engine: concurrent producers to a live
+// distributed matrix in one program.
 //
-// Builds the adjacency matrix of an R-MAT graph, then streams batches of
-// insertions, value updates (MERGE) and deletions (MASK) through the
-// two-phase redistribution into the distributed dynamic matrix, printing
-// per-batch timings, the phase breakdown (the paper's Fig. 7 categories) and
-// a comparison against the CombBLAS-style rebuild baseline.
+// Each of the 4 ranks starts 2 producer threads that push ADD/MERGE/MASK
+// stream ops into the rank's bounded update queue while the rank thread
+// pumps the EpochEngine: epochs trigger on batch size or deadline, drain the
+// queue, and apply the drained ops collectively through the paper's update
+// machinery (build A*, then ADD/MERGE/MASK). The mixed read/write scenario
+// additionally issues point reads through the engine's consistent reader
+// snapshot while epochs are being applied.
 //
 // Run: ./build/examples/example_streaming_ingest
-#include <chrono>
+#include <atomic>
 #include <cstdio>
+#include <thread>
+#include <vector>
 
-#include "baseline/static_rebuild.hpp"
 #include "core/update_ops.hpp"
 #include "graph/generators.hpp"
 #include "par/comm.hpp"
 #include "par/profiler.hpp"
+#include "stream/epoch_engine.hpp"
+#include "stream/workloads.hpp"
 
 using namespace dsg;
-using Clock = std::chrono::steady_clock;
+using SR = sparse::PlusTimes<double>;
+using Engine = stream::EpochEngine<SR>;
 
 namespace {
 
-double ms_since(Clock::time_point t0) {
-    return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+constexpr int kRanks = 4;
+constexpr int kProducers = 2;  // per rank
+constexpr int kScale = 12;     // 4096 vertices
+constexpr std::size_t kInitialEdges = 40'000;
+constexpr std::size_t kWritesPerProducer = 6'000;
+
+/// Streams one scenario into A and reports this rank's engine stats.
+void run_scenario(par::Comm& comm, core::DistDynamicMatrix<double>& A,
+                  stream::Scenario scenario) {
+    stream::WorkloadConfig wl;
+    wl.scenario = scenario;
+    wl.n = A.shape().nrows();
+    wl.writes = kWritesPerProducer;
+    wl.seed = 1000 + static_cast<std::uint64_t>(comm.rank()) * 17 +
+              static_cast<std::uint64_t>(scenario);
+
+    stream::EngineConfig cfg;
+    // A small ring so producers feel backpressure and epochs interleave with
+    // pushes (reads then observe earlier writes; hits are bounded by the
+    // 1/p block-ownership fraction — readers only see their rank's block).
+    cfg.queue_capacity = 4'096;
+    cfg.epoch_batch = 2'000;
+    cfg.epoch_deadline = std::chrono::milliseconds(5);
+    Engine engine(A, cfg);
+
+    // Register before spawning so the queue cannot close early.
+    for (int prod = 0; prod < kProducers; ++prod)
+        engine.queue().register_producer();
+
+    std::atomic<std::uint64_t> read_probes{0}, read_hits{0};
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    for (int prod = 0; prod < kProducers; ++prod) {
+        producers.emplace_back([&, prod] {
+            std::uint64_t probes = 0, hits = 0;
+            stream::drive_producer(
+                engine, stream::WorkloadProducer(wl, prod),
+                [&](sparse::index_t row, sparse::index_t col) {
+                    ++probes;
+                    hits += engine.with_snapshot([&](auto snap) {
+                        return snap.contains(row, col) ? 1u : 0u;
+                    });
+                });
+            read_probes.fetch_add(probes);
+            read_hits.fetch_add(hits);
+        });
+    }
+
+    engine.run();  // collective: pumps epochs until all queues are exhausted
+    for (auto& t : producers) t.join();
+
+    const std::size_t nnz = A.global_nnz();  // collective
+    if (comm.rank() == 0) {
+        const auto& s = engine.stats();
+        std::printf("%-22s %s\n", stream::scenario_name(scenario),
+                    s.summary().c_str());
+        std::printf("%-22s   nnz now %zu", "", nnz);
+        const std::uint64_t probes = read_probes.load();
+        if (probes > 0)
+            std::printf(", reads %llu (%.0f%% hit)",
+                        static_cast<unsigned long long>(probes),
+                        100.0 * static_cast<double>(read_hits.load()) /
+                            static_cast<double>(probes));
+        std::printf("\n");
+    }
 }
 
 }  // namespace
 
 int main() {
-    constexpr int kRanks = 4;
-    constexpr int kScale = 12;  // 4096 vertices
-    constexpr std::size_t kEdges = 40'000;
-    constexpr int kBatches = 5;
-    constexpr std::size_t kBatchSize = 2'000;  // per rank
-
     par::run_world(kRanks, [&](par::Comm& comm) {
         core::ProcessGrid grid(comm);
         const sparse::index_t n = sparse::index_t{1} << kScale;
-        std::mt19937_64 rng(31 + static_cast<std::uint64_t>(comm.rank()));
 
-        // Initial load: each rank contributes an equal slice of the graph.
-        auto mine = graph::rmat_edges(kScale, kEdges / kRanks,
-                                      100 + static_cast<std::uint64_t>(comm.rank()));
-        sparse::IndexPermutation perm(n, 9999);  // identical on all ranks
+        // Initial load: each rank contributes an equal slice of an R-MAT
+        // graph, indices permuted identically on all ranks for balance.
+        auto mine = graph::rmat_edges(
+            kScale, kInitialEdges / kRanks,
+            100 + static_cast<std::uint64_t>(comm.rank()));
+        sparse::IndexPermutation perm(n, 9999);
         perm.apply(mine);
-
-        comm.barrier();
-        auto t0 = Clock::now();
-        auto A = core::build_dynamic_matrix<sparse::PlusTimes<double>>(
-            grid, n, n, mine);
-        comm.barrier();
-        const double construct_ms = ms_since(t0);
+        auto A = core::build_dynamic_matrix<SR>(grid, n, n, mine);
         const std::size_t built_nnz = A.global_nnz();  // collective
         if (comm.rank() == 0)
-            std::printf("construction: %zu non-zeros in %.1f ms\n", built_nnz,
-                        construct_ms);
-
-        baseline::StaticRebuildMatrix<double> combblas_like(grid, n, n);
-        combblas_like.construct<sparse::PlusTimes<double>>(mine);
+            std::printf(
+                "initial load: %zu non-zeros; streaming %d producers/rank, "
+                "%zu writes each\n\n",
+                built_nnz, kProducers, kWritesPerProducer);
 
         par::Profiler::reset();
         par::Profiler::set_enabled(true);
-        auto draw_batch = [&] {
-            std::vector<sparse::Triple<double>> batch;
-            batch.reserve(kBatchSize);
-            for (std::size_t e = 0; e < kBatchSize; ++e)
-                batch.push_back({static_cast<sparse::index_t>(rng() % n),
-                                 static_cast<sparse::index_t>(rng() % n), 1.0});
-            return batch;
-        };
-
-        for (int b = 0; b < kBatches; ++b) {
-            auto batch = draw_batch();
-
-            comm.barrier();
-            t0 = Clock::now();
-            auto U = core::build_update_matrix(grid, n, n, batch);
-            core::add_update<sparse::PlusTimes<double>>(A, U);
-            comm.barrier();
-            const double dyn_ms = ms_since(t0);
-
-            comm.barrier();
-            t0 = Clock::now();
-            combblas_like.insert_batch<sparse::PlusTimes<double>>(batch);
-            comm.barrier();
-            const double rebuild_ms = ms_since(t0);
-
-            if (comm.rank() == 0)
-                std::printf(
-                    "insert batch %d (%zu/rank): dynamic %.2f ms, "
-                    "rebuild-baseline %.2f ms (%.1fx)\n",
-                    b, kBatchSize, dyn_ms, rebuild_ms,
-                    rebuild_ms / (dyn_ms > 0 ? dyn_ms : 1e-9));
-        }
-
-        // Value updates and deletions on existing entries.
-        auto existing = A.gather_global();
-        std::vector<sparse::Triple<double>> upd;
-        std::vector<sparse::Triple<double>> del;
-        if (comm.rank() == 0) {
-            for (std::size_t x = 0; x < existing.size() && upd.size() < 4000;
-                 x += 7)
-                upd.push_back({existing[x].row, existing[x].col, 2.5});
-            for (std::size_t x = 3; x < existing.size() && del.size() < 4000;
-                 x += 11)
-                del.push_back(existing[x]);
-        }
-        comm.barrier();
-        t0 = Clock::now();
-        auto Uu = core::build_update_matrix(grid, n, n, upd);
-        core::merge_update(A, Uu);
-        comm.barrier();
-        const double upd_ms = ms_since(t0);
-        t0 = Clock::now();
-        auto Ud = core::build_update_matrix(grid, n, n, del);
-        core::mask_delete(A, Ud);
-        comm.barrier();
-        const double del_ms = ms_since(t0);
+        for (auto scenario :
+             {stream::Scenario::SustainedUniform, stream::Scenario::Bursty,
+              stream::Scenario::HotVertexSkew,
+              stream::Scenario::SlidingWindowDelete,
+              stream::Scenario::MixedReadWrite})
+            run_scenario(comm, A, scenario);
         par::Profiler::set_enabled(false);
 
-        const std::size_t final_nnz = A.global_nnz();  // collective
         if (comm.rank() == 0) {
-            std::printf("value updates (MERGE): %.2f ms; deletions (MASK): %.2f ms\n",
-                        upd_ms, del_ms);
-            std::printf("final nnz: %zu\n", final_nnz);
-            std::printf("\nphase breakdown across all batches (Fig. 7 categories):\n");
-            for (auto ph : {par::Phase::RedistSort, par::Phase::RedistComm,
-                            par::Phase::MemManagement, par::Phase::LocalConstruct,
-                            par::Phase::LocalAddition}) {
+            std::printf("\nphase breakdown across all scenarios:\n");
+            for (auto ph :
+                 {par::Phase::StreamDrain, par::Phase::StreamApply,
+                  par::Phase::RedistSort, par::Phase::RedistComm,
+                  par::Phase::MemManagement, par::Phase::LocalConstruct,
+                  par::Phase::LocalAddition}) {
                 std::printf("  %-18s %8.2f ms\n",
                             std::string(par::phase_name(ph)).c_str(),
                             par::Profiler::total_seconds(ph) * 1e3);

@@ -11,6 +11,8 @@
 // ranks together.
 #pragma once
 
+#include <cassert>
+#include <cstdint>
 #include <vector>
 
 #include "core/process_grid.hpp"
@@ -119,6 +121,45 @@ public:
 private:
     DistShape shape_;
     DynamicMatrix<T> local_;
+};
+
+/// Read-only point-query surface over one rank's block of a distributed
+/// dynamic matrix, in GLOBAL coordinates. This is what the streaming engine
+/// hands to reader threads between epochs (src/stream/epoch_engine.hpp owns
+/// the locking protocol that makes concurrent use data-race free); `version`
+/// identifies the epoch the view observes, so readers can detect staleness.
+template <typename T>
+class SnapshotView {
+public:
+    SnapshotView(const DistDynamicMatrix<T>& m, std::uint64_t version)
+        : m_(&m), version_(version) {}
+
+    /// Epoch counter at snapshot time (monotone per engine).
+    [[nodiscard]] std::uint64_t version() const { return version_; }
+    [[nodiscard]] const DistShape& shape() const { return m_->shape(); }
+
+    /// True when global (i, j) falls inside this rank's block — the only
+    /// coordinates this rank can answer queries about.
+    [[nodiscard]] bool owns(index_t i, index_t j) const {
+        const auto& s = m_->shape();
+        return s.row_partition().owner(i) == s.grid().grid_row() &&
+               s.col_partition().owner(j) == s.grid().grid_col();
+    }
+    /// Stored value at global (i, j), or nullptr when absent. Pre: owns(i, j).
+    [[nodiscard]] const T* find(index_t i, index_t j) const {
+        assert(owns(i, j));
+        return m_->local().find(m_->shape().local_row(i),
+                                m_->shape().local_col(j));
+    }
+    /// Whether (i, j) is a stored non-zero of this rank's block.
+    [[nodiscard]] bool contains(index_t i, index_t j) const {
+        return owns(i, j) && find(i, j) != nullptr;
+    }
+    [[nodiscard]] std::size_t local_nnz() const { return m_->local().nnz(); }
+
+private:
+    const DistDynamicMatrix<T>* m_;
+    std::uint64_t version_;
 };
 
 /// Distributed static hypersparse matrix: one DCSR block per rank.

@@ -4,7 +4,8 @@
 //
 // pulls in the parallel runtime (dsg::par), the local sparse substrates
 // (dsg::sparse), the distributed core (dsg::core — the paper's
-// contribution), the competitor baselines (dsg::baseline) and the graph
+// contribution), the streaming ingestion engine (dsg::stream), the
+// competitor baselines (dsg::baseline) and the graph
 // layer (dsg::graph). Individual headers remain includable on their own;
 // see README.md for the module map and docs/ARCHITECTURE.md for the design
 // of the runtime and the storage substrates.
@@ -35,6 +36,10 @@
 #include "core/redistribute.hpp"
 #include "core/summa.hpp"
 #include "core/update_ops.hpp"
+
+#include "stream/epoch_engine.hpp"
+#include "stream/update_queue.hpp"
+#include "stream/workloads.hpp"
 
 #include "baseline/static_rebuild.hpp"
 

@@ -27,6 +27,8 @@ std::string_view phase_name(Phase phase) {
         case Phase::LocalMult: return "Local Mult.";
         case Phase::Scatter: return "Scatter";
         case Phase::ReduceScatter: return "Reduce Scatter";
+        case Phase::StreamDrain: return "Stream drain";
+        case Phase::StreamApply: return "Stream apply";
         case Phase::Other: return "Other";
         case Phase::kCount: break;
     }

@@ -15,7 +15,8 @@
 namespace dsg::par {
 
 /// Phases instrumented across the library. The first five correspond to the
-/// bars of the paper's Fig. 7, the next five to Fig. 12.
+/// bars of the paper's Fig. 7, the next five to Fig. 12; the two Stream
+/// phases bracket the streaming ingestion engine (src/stream/).
 enum class Phase : int {
     RedistSort = 0,     ///< counting/comparison sort by destination rank
     RedistComm,         ///< alltoallv exchanges of update tuples
@@ -27,6 +28,8 @@ enum class Phase : int {
     LocalMult,          ///< local Gustavson multiplications
     Scatter,            ///< distributing reduction inputs
     ReduceScatter,      ///< sparse tree reduction of partial results
+    StreamDrain,        ///< waiting on / draining the per-rank update queue
+    StreamApply,        ///< epoch application (A* build + ADD/MERGE/MASK)
     Other,
     kCount
 };

@@ -12,6 +12,7 @@
 // library-wide invariant; see docs/ARCHITECTURE.md).
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <span>
 #include <vector>
@@ -21,6 +22,41 @@
 #include "sparse/types.hpp"
 
 namespace dsg::sparse {
+
+/// Copyable size counter with relaxed atomic increments. The parallel update
+/// paths (core::update_ops) bucket rows across threads so all per-row state
+/// is thread-disjoint — but the matrix-wide nnz counter is shared, and plain
+/// increments would race. Only the final sum matters, and the thread pool's
+/// join provides the happens-before for readers, so relaxed ordering is
+/// exactly enough.
+class RelaxedCounter {
+public:
+    RelaxedCounter(std::size_t v = 0) : v_(v) {}
+    RelaxedCounter(const RelaxedCounter& other) : v_(other.get()) {}
+    RelaxedCounter& operator=(const RelaxedCounter& other) {
+        v_.store(other.get(), std::memory_order_relaxed);
+        return *this;
+    }
+    RelaxedCounter& operator=(std::size_t v) {
+        v_.store(v, std::memory_order_relaxed);
+        return *this;
+    }
+    RelaxedCounter& operator++() {
+        v_.fetch_add(1, std::memory_order_relaxed);
+        return *this;
+    }
+    RelaxedCounter& operator--() {
+        v_.fetch_sub(1, std::memory_order_relaxed);
+        return *this;
+    }
+    [[nodiscard]] std::size_t get() const {
+        return v_.load(std::memory_order_relaxed);
+    }
+    operator std::size_t() const { return get(); }
+
+private:
+    std::atomic<std::size_t> v_;
+};
 
 template <typename T>
 class DynamicMatrix {
@@ -183,7 +219,7 @@ private:
     index_t nrows_ = 0;
     index_t ncols_ = 0;
     std::vector<Row> rows_;
-    std::size_t nnz_ = 0;
+    RelaxedCounter nnz_;
 };
 
 }  // namespace dsg::sparse

@@ -1,0 +1,40 @@
+#include "stream/epoch_engine.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dsg::stream {
+
+void StreamStats::record(const EpochStats& e) {
+    ++epochs;
+    if (e.global_ops > 0) ++applied_epochs;
+    local_ops += e.drained;
+    adds += e.adds;
+    merges += e.merges;
+    masks += e.masks;
+    drain_ms += e.drain_ms;
+    apply_ms += e.apply_ms;
+    max_epoch_ms = std::max(max_epoch_ms, e.drain_ms + e.apply_ms);
+    max_backlog = std::max(max_backlog, e.backlog_after);
+}
+
+double StreamStats::ops_per_second() const {
+    if (run_seconds <= 0) return 0;
+    return static_cast<double>(local_ops) / run_seconds;
+}
+
+std::string StreamStats::summary() const {
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "%llu ops in %llu epochs (%llu applied): "
+                  "%.0f ops/s, drain %.1f ms, apply %.1f ms, "
+                  "worst epoch %.2f ms, worst backlog %zu",
+                  static_cast<unsigned long long>(local_ops),
+                  static_cast<unsigned long long>(epochs),
+                  static_cast<unsigned long long>(applied_epochs),
+                  ops_per_second(), drain_ms, apply_ms, max_epoch_ms,
+                  max_backlog);
+    return std::string(buf);
+}
+
+}  // namespace dsg::stream

@@ -1,0 +1,229 @@
+// Epoch-batched application of streamed updates (the streaming engine's
+// consumer side; docs/ARCHITECTURE.md, "The streaming engine").
+//
+// Concurrent producers push StreamOps into the rank's UpdateQueue; the rank
+// thread pumps epochs. An epoch triggers when the local queue buffers
+// epoch_batch ops or epoch_deadline elapses, whichever comes first — bursty
+// scenarios ride the deadline, sustained load rides the batch size. Each
+// epoch then
+//   1. drains the local queue (Phase::StreamDrain),
+//   2. agrees collectively on the per-kind global op counts and whether
+//      every rank's queue is exhausted (one allreduce),
+//   3. partitions the drained ops into ADD / MERGE / MASK streams in queue
+//      order and applies each globally non-empty stream through
+//      core::build_update_matrix + add_update / merge_update / mask_delete
+//      (Phase::StreamApply; globally empty streams skip their collective
+//      round entirely).
+// The apply order within an epoch is fixed (ADDs, then MERGEs, then MASKs);
+// ops whose relative order must be preserved therefore belong in the same
+// stream or in different epochs.
+//
+// Readers see a consistent snapshot between epochs: with_snapshot(fn) runs
+// fn(core::SnapshotView) under a shared lock that epoch application
+// excludes, so any number of reader threads may query concurrently with
+// producers pushing — they only ever wait while an epoch is being applied.
+//
+// Every rank of the grid must construct the engine and call run()/pump()
+// collectively (the engine issues collectives even for ranks whose queues
+// are empty, exactly like any SPMD object in src/core/).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/dist_matrix.hpp"
+#include "core/update_ops.hpp"
+#include "par/profiler.hpp"
+#include "stream/update_queue.hpp"
+
+namespace dsg::stream {
+
+struct EngineConfig {
+    std::size_t queue_capacity = std::size_t{1} << 15;
+    /// Epoch trigger: ops buffered locally...
+    std::size_t epoch_batch = 4096;
+    /// ...or time elapsed since the previous epoch, whichever comes first.
+    std::chrono::milliseconds epoch_deadline{20};
+    core::RedistMode redist = core::RedistMode::TwoPhase;
+    par::ThreadPool* pool = nullptr;  ///< intra-rank threads for apply
+    /// Per-epoch log entries kept (the aggregate totals are always exact).
+    std::size_t max_epoch_log = std::size_t{1} << 16;
+};
+
+/// Per-epoch measurements of ONE rank.
+struct EpochStats {
+    std::uint64_t epoch = 0;       ///< epoch index (counts empty epochs too)
+    std::size_t drained = 0;       ///< ops drained locally this epoch
+    std::size_t adds = 0, merges = 0, masks = 0;
+    std::uint64_t global_ops = 0;  ///< drained summed over all ranks
+    double drain_ms = 0;           ///< trigger wait + queue drain
+    double apply_ms = 0;           ///< A* builds + local application
+    std::size_t backlog_after = 0; ///< ops already buffered for the next epoch
+};
+
+/// Aggregate totals of one rank's engine across a run.
+struct StreamStats {
+    std::uint64_t epochs = 0;          ///< pump() calls
+    std::uint64_t applied_epochs = 0;  ///< epochs with global_ops > 0
+    std::uint64_t local_ops = 0;
+    std::uint64_t adds = 0, merges = 0, masks = 0;
+    double drain_ms = 0;
+    double apply_ms = 0;
+    double max_epoch_ms = 0;     ///< slowest single epoch (drain + apply)
+    std::size_t max_backlog = 0; ///< worst backlog left behind by an epoch
+    double run_seconds = 0;      ///< wall time of run() (0 if pumped manually)
+
+    void record(const EpochStats& e);
+    /// Locally drained ops per second of run() wall time (0 without run()).
+    [[nodiscard]] double ops_per_second() const;
+    /// One human-readable summary line.
+    [[nodiscard]] std::string summary() const;
+};
+
+template <sparse::Semiring SR>
+class EpochEngine {
+public:
+    using T = typename SR::value_type;
+    using Clock = std::chrono::steady_clock;
+
+    explicit EpochEngine(core::DistDynamicMatrix<T>& A, EngineConfig cfg = {})
+        : A_(&A), cfg_(cfg), queue_(cfg.queue_capacity) {}
+
+    [[nodiscard]] UpdateQueue<T>& queue() { return queue_; }
+    [[nodiscard]] const EngineConfig& config() const { return cfg_; }
+
+    /// Runs one epoch (collective). Returns false once every rank's queue is
+    /// exhausted — the caller may stop pumping.
+    bool pump() {
+        const auto t0 = Clock::now();
+        EpochStats e;
+        e.epoch = stats_.epochs;
+
+        scratch_.clear();
+        {
+            par::Profiler::Scope scope(par::Phase::StreamDrain);
+            queue_.wait_ready(cfg_.epoch_batch, cfg_.epoch_deadline);
+            e.drained = queue_.drain(scratch_);
+        }
+        e.drain_ms = ms_since(t0);
+
+        // Partition into the three update streams, preserving queue order
+        // within each stream.
+        adds_.clear();
+        merges_.clear();
+        masks_.clear();
+        for (const auto& op : scratch_) {
+            switch (op.kind) {
+                case OpKind::Add: adds_.push_back(op.tuple); break;
+                case OpKind::Merge: merges_.push_back(op.tuple); break;
+                case OpKind::Mask: masks_.push_back(op.tuple); break;
+            }
+        }
+        e.adds = adds_.size();
+        e.merges = merges_.size();
+        e.masks = masks_.size();
+
+        // One collective agreement: per-kind global op counts and global
+        // exhaustion. The counts also decide, identically on every rank,
+        // which of the three collective apply rounds can be skipped this
+        // epoch (ADD-only traffic pays one round, not three). exhausted()
+        // is evaluated after the drain, so a true verdict is final (a
+        // closed queue accepts no further pushes).
+        struct Sync {
+            std::uint64_t adds, merges, masks;
+            std::uint8_t done;
+        };
+        auto& world = A_->shape().grid().world();
+        const Sync g = world.allreduce(
+            Sync{adds_.size(), merges_.size(), masks_.size(),
+                 queue_.exhausted() ? std::uint8_t{1} : std::uint8_t{0}},
+            [](Sync a, Sync b) {
+                return Sync{a.adds + b.adds, a.merges + b.merges,
+                            a.masks + b.masks,
+                            static_cast<std::uint8_t>(a.done & b.done)};
+            });
+        e.global_ops = g.adds + g.merges + g.masks;
+
+        if (e.global_ops > 0) {
+            const auto t1 = Clock::now();
+            std::unique_lock lock(snapshot_mx_);
+            par::Profiler::Scope scope(par::Phase::StreamApply);
+            auto& grid = A_->shape().grid();
+            const index_t nr = A_->shape().nrows();
+            const index_t nc = A_->shape().ncols();
+            if (g.adds > 0) {
+                auto ua = core::build_update_matrix(grid, nr, nc,
+                                                    std::move(adds_),
+                                                    cfg_.redist);
+                core::add_update<SR>(*A_, ua, cfg_.pool);
+            }
+            if (g.merges > 0) {
+                auto um = core::build_update_matrix(grid, nr, nc,
+                                                    std::move(merges_),
+                                                    cfg_.redist);
+                core::merge_update(*A_, um, cfg_.pool);
+            }
+            if (g.masks > 0) {
+                auto ud = core::build_update_matrix(grid, nr, nc,
+                                                    std::move(masks_),
+                                                    cfg_.redist);
+                core::mask_delete(*A_, ud, cfg_.pool);
+            }
+            ++version_;
+            e.apply_ms = ms_since(t1);
+        }
+
+        e.backlog_after = queue_.size();
+        stats_.record(e);
+        if (epoch_log_.size() < cfg_.max_epoch_log) epoch_log_.push_back(e);
+        return g.done == 0;
+    }
+
+    /// Pumps until every rank's queue is exhausted (collective); records the
+    /// run's wall time in stats().run_seconds.
+    void run() {
+        const auto t0 = Clock::now();
+        while (pump()) {
+        }
+        stats_.run_seconds += ms_since(t0) * 1e-3;
+    }
+
+    /// Runs fn(core::SnapshotView<T>) under the reader lock: safe from any
+    /// thread, any time — it waits only while an epoch is being applied.
+    template <typename Fn>
+    auto with_snapshot(Fn&& fn) const {
+        std::shared_lock lock(snapshot_mx_);
+        return fn(core::SnapshotView<T>(*A_, version_));
+    }
+
+    [[nodiscard]] const StreamStats& stats() const { return stats_; }
+    /// Per-epoch log (capped at config().max_epoch_log entries).
+    [[nodiscard]] const std::vector<EpochStats>& epoch_log() const {
+        return epoch_log_;
+    }
+
+private:
+    using index_t = sparse::index_t;
+
+    static double ms_since(Clock::time_point t0) {
+        return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+            .count();
+    }
+
+    core::DistDynamicMatrix<T>* A_;
+    EngineConfig cfg_;
+    UpdateQueue<T> queue_;
+
+    mutable std::shared_mutex snapshot_mx_;
+    std::uint64_t version_ = 0;  // written under unique snapshot_mx_
+
+    std::vector<StreamOp<T>> scratch_;
+    std::vector<sparse::Triple<T>> adds_, merges_, masks_;
+    StreamStats stats_;
+    std::vector<EpochStats> epoch_log_;
+};
+
+}  // namespace dsg::stream

@@ -1,0 +1,169 @@
+// Edge cases of core::update_ops — the machinery the streaming engine leans
+// on: empty batches, duplicate (i, j) tuples within one batch for all three
+// operations, MASK of absent entries, and tiny (1x1) matrices/grids.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/dist_test_utils.hpp"
+#include "core/update_ops.hpp"
+#include "par/comm.hpp"
+
+namespace {
+
+using namespace dsg;
+using test::CoordMap;
+using SR = sparse::PlusTimes<double>;
+using sparse::index_t;
+using sparse::Triple;
+
+constexpr int kRanks = 4;  // 2x2 grid
+
+TEST(UpdateOpsEdgeCases, EmptyBatchLeavesMatrixUntouched) {
+    par::run_world(kRanks, [&](par::Comm& comm) {
+        core::ProcessGrid grid(comm);
+        const index_t n = 32;
+        std::vector<Triple<double>> seed;
+        if (comm.rank() == 0) seed = {{1, 2, 5.0}, {30, 31, 7.0}};
+        auto A = core::build_dynamic_matrix<SR>(grid, n, n, seed);
+        const CoordMap before = test::as_map(A.gather_global());
+
+        auto U = core::build_update_matrix<double>(grid, n, n, {});
+        EXPECT_EQ(U.global_nnz(), 0u);
+        core::add_update<SR>(A, U);
+        core::merge_update(A, U);
+        core::mask_delete(A, U);
+
+        test::expect_matches_exactly(A, before);
+    });
+}
+
+TEST(UpdateOpsEdgeCases, DuplicateTuplesInOneBatchAddCombines) {
+    par::run_world(kRanks, [&](par::Comm& comm) {
+        core::ProcessGrid grid(comm);
+        const index_t n = 16;
+        auto A = core::build_dynamic_matrix<SR>(
+            grid, n, n,
+            comm.rank() == 0 ? std::vector<Triple<double>>{{3, 4, 1.0}}
+                             : std::vector<Triple<double>>{});
+
+        std::vector<Triple<double>> batch;
+        if (comm.rank() == 0)
+            batch = {{3, 4, 2.0}, {3, 4, 10.0}, {5, 5, 1.0}, {5, 5, 1.0}};
+        auto U = core::build_update_matrix(grid, n, n, batch);
+        // Duplicates survive A* as separate entries and combine on apply.
+        EXPECT_EQ(U.global_nnz(), 4u);
+        core::add_update<SR>(A, U);
+
+        test::expect_matches_exactly(A, {{{3, 4}, 13.0}, {{5, 5}, 2.0}});
+    });
+}
+
+TEST(UpdateOpsEdgeCases, DuplicateTuplesInOneBatchMergeLastWins) {
+    par::run_world(kRanks, [&](par::Comm& comm) {
+        core::ProcessGrid grid(comm);
+        const index_t n = 16;
+        auto A = core::build_dynamic_matrix<SR>(
+            grid, n, n,
+            comm.rank() == 0 ? std::vector<Triple<double>>{{3, 4, 1.0}}
+                             : std::vector<Triple<double>>{});
+
+        // All duplicates originate on ONE rank: redistribution and the
+        // counting sorts are stable, so batch order reaches the apply loop
+        // and the last value of the batch must win.
+        std::vector<Triple<double>> batch;
+        if (comm.rank() == 0)
+            batch = {{3, 4, 5.0}, {3, 4, 7.0}, {8, 9, 2.5}, {8, 9, 0.5}};
+        auto U = core::build_update_matrix(grid, n, n, batch);
+        core::merge_update(A, U);
+
+        test::expect_matches_exactly(A, {{{3, 4}, 7.0}, {{8, 9}, 0.5}});
+    });
+}
+
+TEST(UpdateOpsEdgeCases, DuplicateAndAbsentMaskTuplesAreSafe) {
+    par::run_world(kRanks, [&](par::Comm& comm) {
+        core::ProcessGrid grid(comm);
+        const index_t n = 16;
+        std::vector<Triple<double>> seed;
+        if (comm.rank() == 0) seed = {{1, 1, 1.0}, {2, 2, 2.0}, {3, 3, 3.0}};
+        auto A = core::build_dynamic_matrix<SR>(grid, n, n, seed);
+
+        std::vector<Triple<double>> batch;
+        if (comm.rank() == 1) {
+            batch = {{2, 2, 0.0}, {2, 2, 0.0},   // duplicate delete
+                     {9, 9, 0.0}, {15, 0, 0.0}}; // absent coordinates
+        }
+        auto U = core::build_update_matrix(grid, n, n, batch);
+        core::mask_delete(A, U);
+
+        test::expect_matches_exactly(A, {{{1, 1}, 1.0}, {{3, 3}, 3.0}});
+    });
+}
+
+TEST(UpdateOpsEdgeCases, MaskOnEmptyMatrixIsNoop) {
+    par::run_world(kRanks, [&](par::Comm& comm) {
+        core::ProcessGrid grid(comm);
+        const index_t n = 8;
+        core::DistDynamicMatrix<double> A(grid, n, n);
+        std::vector<Triple<double>> batch;
+        if (comm.rank() == 2) batch = {{0, 0, 0.0}, {7, 7, 0.0}};
+        auto U = core::build_update_matrix(grid, n, n, batch);
+        core::mask_delete(A, U);
+        EXPECT_EQ(A.global_nnz(), 0u);
+    });
+}
+
+TEST(UpdateOpsEdgeCases, SingleRankGridAllOps) {
+    par::run_world(1, [&](par::Comm& comm) {
+        core::ProcessGrid grid(comm);
+        const index_t n = 16;
+        auto A = core::build_dynamic_matrix<SR>(
+            grid, n, n, std::vector<Triple<double>>{{0, 1, 1.0}, {2, 3, 4.0}});
+
+        auto add = core::build_update_matrix(
+            grid, n, n, std::vector<Triple<double>>{{0, 1, 2.0}, {4, 4, 9.0}});
+        core::add_update<SR>(A, add);
+        auto merge = core::build_update_matrix(
+            grid, n, n, std::vector<Triple<double>>{{2, 3, 0.5}});
+        core::merge_update(A, merge);
+        auto mask = core::build_update_matrix(
+            grid, n, n, std::vector<Triple<double>>{{4, 4, 0.0}});
+        core::mask_delete(A, mask);
+
+        test::expect_matches_exactly(A, {{{0, 1}, 3.0}, {{2, 3}, 0.5}});
+        comm.barrier();
+    });
+}
+
+TEST(UpdateOpsEdgeCases, OneByOneMatrixOnMultiRankGrid) {
+    par::run_world(kRanks, [&](par::Comm& comm) {
+        core::ProcessGrid grid(comm);
+        // A 1x1 matrix on a 2x2 grid: three of the four blocks are empty
+        // (0x1, 1x0, 0x0) and every update routes to one rank.
+        const index_t n = 1;
+        core::DistDynamicMatrix<double> A(grid, n, n);
+
+        std::vector<Triple<double>> batch;
+        if (comm.rank() == 3) batch = {{0, 0, 2.0}, {0, 0, 3.0}};
+        auto add = core::build_update_matrix(grid, n, n, batch);
+        core::add_update<SR>(A, add);
+        test::expect_matches_exactly(A, {{{0, 0}, 5.0}});
+
+        auto merge = core::build_update_matrix(
+            grid, n, n,
+            comm.rank() == 0 ? std::vector<Triple<double>>{{0, 0, -1.5}}
+                             : std::vector<Triple<double>>{});
+        core::merge_update(A, merge);
+        test::expect_matches_exactly(A, {{{0, 0}, -1.5}});
+
+        auto mask = core::build_update_matrix(
+            grid, n, n,
+            comm.rank() == 1 ? std::vector<Triple<double>>{{0, 0, 0.0}}
+                             : std::vector<Triple<double>>{});
+        core::mask_delete(A, mask);
+        EXPECT_EQ(A.global_nnz(), 0u);
+    });
+}
+
+}  // namespace

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "stream/workloads.hpp"
+
+namespace {
+
+using dsg::sparse::index_t;
+using dsg::stream::Event;
+using dsg::stream::OpKind;
+using dsg::stream::Scenario;
+using dsg::stream::StreamOp;
+using dsg::stream::WorkloadConfig;
+using dsg::stream::WorkloadProducer;
+
+std::vector<Event> collect(const WorkloadConfig& cfg, int producer_id) {
+    WorkloadProducer p(cfg, producer_id);
+    std::vector<Event> out;
+    while (auto ev = p.next()) out.push_back(*ev);
+    return out;
+}
+
+WorkloadConfig small_config(Scenario s) {
+    WorkloadConfig cfg;
+    cfg.scenario = s;
+    cfg.n = 256;
+    cfg.writes = 2'000;
+    cfg.seed = 77;
+    return cfg;
+}
+
+TEST(Workloads, EveryScenarioEmitsExactlyTheConfiguredWrites) {
+    for (auto s : dsg::stream::all_scenarios()) {
+        const auto events = collect(small_config(s), 0);
+        std::size_t writes = 0;
+        for (const auto& ev : events)
+            if (ev.type == Event::Type::Write) ++writes;
+        EXPECT_EQ(writes, small_config(s).writes) << dsg::stream::scenario_name(s);
+    }
+}
+
+TEST(Workloads, DeterministicPerProducerAndDistinctAcrossProducers) {
+    for (auto s : dsg::stream::all_scenarios()) {
+        const auto cfg = small_config(s);
+        const auto a0 = collect(cfg, 0);
+        const auto a0_again = collect(cfg, 0);
+        const auto a1 = collect(cfg, 1);
+        ASSERT_EQ(a0.size(), a0_again.size());
+        for (std::size_t k = 0; k < a0.size(); ++k) {
+            EXPECT_EQ(static_cast<int>(a0[k].type), static_cast<int>(a0_again[k].type));
+            EXPECT_EQ(a0[k].op, a0_again[k].op);
+        }
+        // Different producer ids must not replay the same stream.
+        bool differs = a0.size() != a1.size();
+        for (std::size_t k = 0; !differs && k < a0.size(); ++k)
+            differs = !(a0[k].op == a1[k].op);
+        EXPECT_TRUE(differs) << dsg::stream::scenario_name(s);
+    }
+}
+
+TEST(Workloads, AllCoordinatesWithinBounds) {
+    for (auto s : dsg::stream::all_scenarios()) {
+        const auto cfg = small_config(s);
+        for (const auto& ev : collect(cfg, 3)) {
+            if (ev.type == Event::Type::Pause) continue;
+            EXPECT_GE(ev.op.tuple.row, 0);
+            EXPECT_LT(ev.op.tuple.row, cfg.n);
+            EXPECT_GE(ev.op.tuple.col, 0);
+            EXPECT_LT(ev.op.tuple.col, cfg.n);
+        }
+    }
+}
+
+TEST(Workloads, SustainedUniformIsAddOnlyWithoutPauses) {
+    for (const auto& ev : collect(small_config(Scenario::SustainedUniform), 0)) {
+        EXPECT_EQ(static_cast<int>(ev.type), static_cast<int>(Event::Type::Write));
+        EXPECT_EQ(static_cast<int>(ev.op.kind), static_cast<int>(OpKind::Add));
+    }
+}
+
+TEST(Workloads, BurstyPausesAtBurstBoundaries) {
+    auto cfg = small_config(Scenario::Bursty);
+    cfg.burst_len = 100;
+    const auto events = collect(cfg, 0);
+    std::size_t pauses = 0, writes_since_pause = 0;
+    for (const auto& ev : events) {
+        if (ev.type == Event::Type::Pause) {
+            EXPECT_EQ(writes_since_pause, cfg.burst_len);
+            writes_since_pause = 0;
+            ++pauses;
+        } else {
+            ++writes_since_pause;
+        }
+    }
+    EXPECT_EQ(pauses, cfg.writes / cfg.burst_len - 1);
+}
+
+TEST(Workloads, HotVertexSkewConcentratesRowsOnHotSet) {
+    auto cfg = small_config(Scenario::HotVertexSkew);
+    cfg.hot_fraction = 0.9;
+    cfg.hot_rows = 8;
+    std::size_t hot = 0, merges = 0, total = 0;
+    for (const auto& ev : collect(cfg, 0)) {
+        ++total;
+        if (ev.op.tuple.row < cfg.hot_rows) ++hot;
+        if (ev.op.kind == OpKind::Merge) ++merges;
+    }
+    // ~90% requested (plus uniform collisions); far above uniform's ~3%.
+    EXPECT_GT(static_cast<double>(hot) / static_cast<double>(total), 0.8);
+    EXPECT_GT(merges, 0u);
+    EXPECT_LT(merges, total);
+}
+
+TEST(Workloads, SlidingWindowOnlyMasksLiveInsertsAndHonorsWindow) {
+    auto cfg = small_config(Scenario::SlidingWindowDelete);
+    cfg.window = 64;
+    std::multiset<std::pair<index_t, index_t>> live;
+    std::size_t masks = 0;
+    for (const auto& ev : collect(cfg, 0)) {
+        const auto coord = std::make_pair(ev.op.tuple.row, ev.op.tuple.col);
+        if (ev.op.kind == OpKind::Add) {
+            live.insert(coord);
+        } else {
+            ASSERT_EQ(static_cast<int>(ev.op.kind), static_cast<int>(OpKind::Mask));
+            auto it = live.find(coord);
+            ASSERT_NE(it, live.end()) << "masked a coordinate never inserted";
+            live.erase(it);
+            ++masks;
+        }
+        EXPECT_LE(live.size(), cfg.window);
+    }
+    EXPECT_GT(masks, 0u);
+}
+
+TEST(Workloads, MixedReadWriteEmitsReadsThatDoNotConsumeWriteBudget) {
+    auto cfg = small_config(Scenario::MixedReadWrite);
+    cfg.read_fraction = 0.5;
+    std::size_t reads = 0, writes = 0;
+    for (const auto& ev : collect(cfg, 0)) {
+        if (ev.type == Event::Type::Read)
+            ++reads;
+        else if (ev.type == Event::Type::Write)
+            ++writes;
+    }
+    EXPECT_EQ(writes, cfg.writes);
+    // P(read) = 0.5: reads should be in the same ballpark as writes.
+    EXPECT_GT(reads, cfg.writes / 4);
+}
+
+TEST(Workloads, DegenerateKnobsAreClampedToSafeValues) {
+    // Each of these would crash, divide by zero, or never terminate without
+    // the constructor's clamping.
+    auto sliding = small_config(Scenario::SlidingWindowDelete);
+    sliding.window = 0;
+    auto bursty = small_config(Scenario::Bursty);
+    bursty.burst_len = 0;
+    auto mixed = small_config(Scenario::MixedReadWrite);
+    mixed.read_fraction = 1.0;
+    auto hot = small_config(Scenario::HotVertexSkew);
+    hot.hot_rows = 0;
+    hot.hot_fraction = 2.0;
+    for (const auto& cfg : {sliding, bursty, mixed, hot}) {
+        std::size_t writes = 0;
+        for (const auto& ev : collect(cfg, 0))
+            if (ev.type == Event::Type::Write) ++writes;
+        EXPECT_EQ(writes, cfg.writes)
+            << dsg::stream::scenario_name(cfg.scenario);
+    }
+}
+
+TEST(Workloads, RemainingWritesMatchesReplayedEventStream) {
+    const auto cfg = small_config(Scenario::HotVertexSkew);
+    WorkloadProducer replay(cfg, 5);
+    std::vector<StreamOp<double>> expected;
+    while (auto ev = replay.next())
+        if (ev->type == Event::Type::Write) expected.push_back(ev->op);
+
+    WorkloadProducer collected(cfg, 5);
+    const auto got = collected.remaining_writes();
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t k = 0; k < got.size(); ++k) EXPECT_EQ(got[k], expected[k]);
+}
+
+}  // namespace
