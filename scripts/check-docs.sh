@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Documentation consistency checks, run in CI next to format-check:
+#
+#   1. every intra-repo markdown link ([text](path), path not a URL or pure
+#      anchor) in a tracked *.md file resolves to an existing file or
+#      directory, relative to the file containing it;
+#   2. every subdirectory of src/ appears in the README module map (a
+#      "(`src/<dir>/`)" section heading), so new subsystems cannot ship
+#      undocumented.
+#
+#   scripts/check-docs.sh    # exit 1 on any violation, listing all of them
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bad=0
+
+# --- 1. intra-repo markdown links ------------------------------------------
+# PAPER.md / PAPERS.md / SNIPPETS.md are retrieved reference material (their
+# links point at artifacts of the retrieval, not at this repo); only docs
+# this repository authors and maintains are checked.
+mapfile -t docs < <(git ls-files '*.md' |
+                    grep -vE '^(PAPER|PAPERS|SNIPPETS)\.md$')
+for doc in "${docs[@]}"; do
+    dir=$(dirname "$doc")
+    # Inline links only: [text](target). Reference-style links and autolinks
+    # are not used in this repo.
+    while IFS= read -r target; do
+        case "$target" in
+            http://*|https://*|mailto:*|'#'*) continue ;;
+        esac
+        path="${target%%#*}"         # drop an anchor suffix
+        [[ -z "$path" ]] && continue
+        if [[ ! -e "$dir/$path" ]]; then
+            echo "dangling link: $doc -> $target"
+            bad=1
+        fi
+    done < <(grep -oE '\[[^]]*\]\([^)]+\)' "$doc" |
+             sed -E 's/^\[[^]]*\]\(([^) ]+).*\)$/\1/')
+done
+
+# --- 2. src/ subdirectories in the README module map -----------------------
+for dir in src/*/; do
+    name=$(basename "$dir")
+    if ! grep -qF "(\`src/$name/\`)" README.md; then
+        echo "src/$name/ missing from the README module map"
+        bad=1
+    fi
+done
+
+if [[ $bad -ne 0 ]]; then
+    echo "check-docs: FAILED (fix the findings above)" >&2
+    exit 1
+fi
+echo "check-docs: ${#docs[@]} markdown files, all links resolve; module map covers src/"

@@ -1,0 +1,149 @@
+// The live analytics layer: incremental maintainers subscribed to epoch
+// boundaries of the streaming engine (docs/ARCHITECTURE.md, "The live
+// analytics layer").
+//
+// A Maintainer owns one derived value (a triangle count, a distance table, a
+// contraction) and keeps it consistent with the stream: at every *applied*
+// epoch the engine hands it the rank's drained ops (stream::EpochDelta) via
+// on_epoch(), which runs collectively on every rank — after the epoch's ops
+// were applied to the matrix and before the engine's reader lock is
+// released. snapshot() is the other half of the contract: a lock-free read
+// of the most recently published derived scalar, callable from any thread at
+// any time (reader threads poll it while epochs are being applied).
+//
+// The AnalyticsHub composes maintainers: it registers any number of them,
+// drives them in registration order from a single engine epoch hook
+// (attach()), and accounts per-maintainer latency so benchmarks can
+// attribute epoch-boundary cost (bench_analytics_latency). Registration
+// order is part of the collective contract — every rank must register the
+// same maintainers in the same order, exactly like issuing collectives.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stream/epoch_engine.hpp"
+
+namespace dsg::analytics {
+
+/// One incrementally maintained derived value (see the header comment for
+/// the on_epoch/snapshot contract).
+template <typename T>
+class Maintainer {
+public:
+    virtual ~Maintainer() = default;
+
+    /// Stable display name (also the key in AnalyticsHub::snapshots()).
+    [[nodiscard]] virtual const char* name() const = 0;
+
+    /// Collective: folds one applied epoch's local ops into the derived
+    /// value and publishes the new snapshot. Called on every rank of the
+    /// epoch, under the engine's writer lock; delta lists may be empty on
+    /// ranks that drained nothing.
+    virtual void on_epoch(const stream::EpochDelta<T>& delta) = 0;
+
+    /// Lock-free read of the most recently published derived scalar; safe
+    /// from any thread, any time.
+    [[nodiscard]] virtual double snapshot() const = 0;
+};
+
+/// Per-maintainer epoch-hook accounting of one rank.
+struct MaintainerStats {
+    std::uint64_t epochs = 0;  ///< on_epoch invocations
+    double total_ms = 0;
+    double max_ms = 0;
+
+    [[nodiscard]] double mean_ms() const {
+        return epochs > 0 ? total_ms / static_cast<double>(epochs) : 0.0;
+    }
+};
+
+/// Registry + dispatcher for a rank's maintainers. One hub per rank, driven
+/// by that rank's engine; every rank must build an identical hub (same
+/// maintainer types, same order) because on_epoch bodies issue collectives.
+template <typename T>
+class AnalyticsHub {
+public:
+    AnalyticsHub() = default;
+    AnalyticsHub(const AnalyticsHub&) = delete;
+    AnalyticsHub& operator=(const AnalyticsHub&) = delete;
+
+    /// Constructs a maintainer in place; returns a typed reference for
+    /// seeding and typed reads.
+    template <typename M, typename... Args>
+    M& emplace(Args&&... args) {
+        auto owned = std::make_unique<M>(std::forward<Args>(args)...);
+        M& ref = *owned;
+        maintainers_.push_back(std::move(owned));
+        stats_.emplace_back();
+        return ref;
+    }
+
+    /// Registers an externally constructed maintainer.
+    Maintainer<T>& add(std::unique_ptr<Maintainer<T>> m) {
+        maintainers_.push_back(std::move(m));
+        stats_.emplace_back();
+        return *maintainers_.back();
+    }
+
+    [[nodiscard]] std::size_t size() const { return maintainers_.size(); }
+    [[nodiscard]] Maintainer<T>& operator[](std::size_t k) {
+        return *maintainers_[k];
+    }
+    [[nodiscard]] const Maintainer<T>& operator[](std::size_t k) const {
+        return *maintainers_[k];
+    }
+    [[nodiscard]] const MaintainerStats& stats(std::size_t k) const {
+        return stats_[k];
+    }
+
+    /// The epoch-hook body: drives every maintainer in registration order
+    /// and records per-maintainer latency. Collective (maintainers issue
+    /// collectives); invoked by the engine under its writer lock, so it must
+    /// not be called concurrently with itself.
+    void on_epoch(const stream::EpochDelta<T>& delta) {
+        using Clock = std::chrono::steady_clock;
+        for (std::size_t k = 0; k < maintainers_.size(); ++k) {
+            const auto t0 = Clock::now();
+            maintainers_[k]->on_epoch(delta);
+            const double ms =
+                std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                    .count();
+            ++stats_[k].epochs;
+            stats_[k].total_ms += ms;
+            stats_[k].max_ms = std::max(stats_[k].max_ms, ms);
+        }
+    }
+
+    /// Subscribes this hub to an engine's epoch boundary. Call on every rank
+    /// (with that rank's engine and hub) before pumping starts; the hub must
+    /// outlive the engine's run.
+    template <typename Engine>
+    void attach(Engine& engine) {
+        engine.set_epoch_hook(
+            [this](const stream::EpochDelta<T>& delta) { on_epoch(delta); });
+    }
+
+    /// (name, snapshot) of every maintainer, in registration order. Reads
+    /// are lock-free; safe from any thread.
+    [[nodiscard]] std::vector<std::pair<std::string, double>> snapshots()
+        const {
+        std::vector<std::pair<std::string, double>> out;
+        out.reserve(maintainers_.size());
+        for (const auto& m : maintainers_)
+            out.emplace_back(m->name(), m->snapshot());
+        return out;
+    }
+
+private:
+    std::vector<std::unique_ptr<Maintainer<T>>> maintainers_;
+    std::vector<MaintainerStats> stats_;
+};
+
+}  // namespace dsg::analytics

@@ -4,9 +4,10 @@
 //
 // pulls in the parallel runtime (dsg::par), the local sparse substrates
 // (dsg::sparse), the distributed core (dsg::core — the paper's
-// contribution), the streaming ingestion engine (dsg::stream), the
-// competitor baselines (dsg::baseline) and the graph
-// layer (dsg::graph). Individual headers remain includable on their own;
+// contribution), the streaming ingestion engine (dsg::stream), the live
+// analytics layer (dsg::analytics), the competitor baselines (dsg::baseline)
+// and the graph layer (dsg::graph). Individual headers remain includable on
+// their own;
 // see README.md for the module map and docs/ARCHITECTURE.md for the design
 // of the runtime and the storage substrates.
 #pragma once
@@ -40,6 +41,9 @@
 #include "stream/epoch_engine.hpp"
 #include "stream/update_queue.hpp"
 #include "stream/workloads.hpp"
+
+#include "analytics/graph_maintainers.hpp"
+#include "analytics/maintainer.hpp"
 
 #include "baseline/static_rebuild.hpp"
 

@@ -1,7 +1,20 @@
 // Algebraic graph algorithms on top of the distributed SpGEMM stack — the
-// application classes the paper's introduction motivates (triangle counting,
-// shortest paths with multiple sources), each in a static and a dynamic
-// (incrementally maintained) variant.
+// application classes the paper's introduction motivates, each in a static
+// and a dynamic (incrementally maintained) variant:
+//
+//  - triangle_count / DynamicTriangleCounter — exact triangle counting via
+//    masked SUMMA, maintained as C = A·A under batch edge insertions AND
+//    deletions (deletions are algebraic in the (+,*) ring);
+//  - khop_distances / DynamicMultiSourceProduct — multi-source (min,+)
+//    shortest distances; the dynamic class maintains the one-hop product
+//    D = S·A under algebraic updates (insertions / weight decreases);
+//  - DynamicContraction — cluster contraction C = Sᵀ·A·S maintained under
+//    batch edge insertions via the transposed variant of Algorithm 1.
+//
+// The free helpers (elementwise_combine, source_selector) are the small
+// algebra the classes share. For continuously maintaining these values
+// against a live op stream, see the adapters in
+// src/analytics/graph_maintainers.hpp.
 #pragma once
 
 #include <vector>

@@ -29,6 +29,7 @@ std::string_view phase_name(Phase phase) {
         case Phase::ReduceScatter: return "Reduce Scatter";
         case Phase::StreamDrain: return "Stream drain";
         case Phase::StreamApply: return "Stream apply";
+        case Phase::Analytics: return "Analytics maint.";
         case Phase::Other: return "Other";
         case Phase::kCount: break;
     }

@@ -16,7 +16,8 @@ namespace dsg::par {
 
 /// Phases instrumented across the library. The first five correspond to the
 /// bars of the paper's Fig. 7, the next five to Fig. 12; the two Stream
-/// phases bracket the streaming ingestion engine (src/stream/).
+/// phases bracket the streaming ingestion engine (src/stream/), and
+/// Analytics covers the epoch-subscribed maintainers (src/analytics/).
 enum class Phase : int {
     RedistSort = 0,     ///< counting/comparison sort by destination rank
     RedistComm,         ///< alltoallv exchanges of update tuples
@@ -30,6 +31,7 @@ enum class Phase : int {
     ReduceScatter,      ///< sparse tree reduction of partial results
     StreamDrain,        ///< waiting on / draining the per-rank update queue
     StreamApply,        ///< epoch application (A* build + ADD/MERGE/MASK)
+    Analytics,          ///< epoch-hook maintainer updates (src/analytics/)
     Other,
     kCount
 };

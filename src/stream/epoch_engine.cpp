@@ -14,7 +14,9 @@ void StreamStats::record(const EpochStats& e) {
     masks += e.masks;
     drain_ms += e.drain_ms;
     apply_ms += e.apply_ms;
-    max_epoch_ms = std::max(max_epoch_ms, e.drain_ms + e.apply_ms);
+    hook_ms += e.hook_ms;
+    max_hook_ms = std::max(max_hook_ms, e.hook_ms);
+    max_epoch_ms = std::max(max_epoch_ms, e.drain_ms + e.apply_ms + e.hook_ms);
     max_backlog = std::max(max_backlog, e.backlog_after);
 }
 
@@ -24,16 +26,19 @@ double StreamStats::ops_per_second() const {
 }
 
 std::string StreamStats::summary() const {
-    char buf[256];
-    std::snprintf(buf, sizeof buf,
-                  "%llu ops in %llu epochs (%llu applied): "
-                  "%.0f ops/s, drain %.1f ms, apply %.1f ms, "
-                  "worst epoch %.2f ms, worst backlog %zu",
-                  static_cast<unsigned long long>(local_ops),
-                  static_cast<unsigned long long>(epochs),
-                  static_cast<unsigned long long>(applied_epochs),
-                  ops_per_second(), drain_ms, apply_ms, max_epoch_ms,
-                  max_backlog);
+    char buf[320];
+    int len = std::snprintf(buf, sizeof buf,
+                            "%llu ops in %llu epochs (%llu applied): "
+                            "%.0f ops/s, drain %.1f ms, apply %.1f ms, "
+                            "worst epoch %.2f ms, worst backlog %zu",
+                            static_cast<unsigned long long>(local_ops),
+                            static_cast<unsigned long long>(epochs),
+                            static_cast<unsigned long long>(applied_epochs),
+                            ops_per_second(), drain_ms, apply_ms, max_epoch_ms,
+                            max_backlog);
+    if (hook_ms > 0 && len > 0 && static_cast<std::size_t>(len) < sizeof buf)
+        std::snprintf(buf + len, sizeof buf - static_cast<std::size_t>(len),
+                      ", analytics %.1f ms", hook_ms);
     return std::string(buf);
 }
 

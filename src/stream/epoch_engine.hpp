@@ -23,6 +23,15 @@
 // excludes, so any number of reader threads may query concurrently with
 // producers pushing — they only ever wait while an epoch is being applied.
 //
+// Epoch subscribers: set_epoch_hook(fn) registers a callback invoked at
+// every *applied* epoch boundary — after the drained ops are applied to the
+// matrix and before the reader lock is released — with an EpochDelta holding
+// this rank's drained ops partitioned by kind. The hook fires on every rank
+// of the same epoch (the trigger is the agreed global op count), so hook
+// bodies may issue collectives; src/analytics/ builds on exactly this to
+// keep derived values (triangle counts, distances, contractions)
+// continuously consistent with the matrix readers observe.
+//
 // Every rank of the grid must construct the engine and call run()/pump()
 // collectively (the engine issues collectives even for ranks whose queues
 // are empty, exactly like any SPMD object in src/core/).
@@ -30,8 +39,10 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/dist_matrix.hpp"
@@ -53,6 +64,21 @@ struct EngineConfig {
     std::size_t max_epoch_log = std::size_t{1} << 16;
 };
 
+/// What ONE rank contributed to one applied epoch, as handed to the epoch
+/// hook: the drained local ops partitioned by kind, queue order preserved
+/// within each list (the order the engine applied them in, ADDs before
+/// MERGEs before MASKs). Tuples are in global coordinates; lists may be
+/// empty on ranks that drained nothing while another rank's ops triggered
+/// the epoch.
+template <typename T>
+struct EpochDelta {
+    std::uint64_t version = 0;    ///< engine version after this epoch's apply
+    std::uint64_t global_ops = 0; ///< ops applied across all ranks this epoch
+    std::vector<sparse::Triple<T>> adds;
+    std::vector<sparse::Triple<T>> merges;
+    std::vector<sparse::Triple<T>> masks;
+};
+
 /// Per-epoch measurements of ONE rank.
 struct EpochStats {
     std::uint64_t epoch = 0;       ///< epoch index (counts empty epochs too)
@@ -61,6 +87,7 @@ struct EpochStats {
     std::uint64_t global_ops = 0;  ///< drained summed over all ranks
     double drain_ms = 0;           ///< trigger wait + queue drain
     double apply_ms = 0;           ///< A* builds + local application
+    double hook_ms = 0;            ///< epoch hook (analytics maintainers)
     std::size_t backlog_after = 0; ///< ops already buffered for the next epoch
 };
 
@@ -72,7 +99,9 @@ struct StreamStats {
     std::uint64_t adds = 0, merges = 0, masks = 0;
     double drain_ms = 0;
     double apply_ms = 0;
-    double max_epoch_ms = 0;     ///< slowest single epoch (drain + apply)
+    double hook_ms = 0;          ///< total epoch-hook time (0 without a hook)
+    double max_hook_ms = 0;      ///< slowest single hook invocation
+    double max_epoch_ms = 0;     ///< slowest single epoch (drain + apply + hook)
     std::size_t max_backlog = 0; ///< worst backlog left behind by an epoch
     double run_seconds = 0;      ///< wall time of run() (0 if pumped manually)
 
@@ -94,6 +123,17 @@ public:
 
     [[nodiscard]] UpdateQueue<T>& queue() { return queue_; }
     [[nodiscard]] const EngineConfig& config() const { return cfg_; }
+
+    /// Called at every applied epoch boundary, after apply and before the
+    /// reader lock is released, with this rank's drained ops.
+    using EpochHook = std::function<void(const EpochDelta<T>&)>;
+
+    /// Subscribes to epoch boundaries. Must be set before pumping starts,
+    /// and — because the hook fires on every rank of an applied epoch — on
+    /// either all ranks of the grid or none, with hooks that agree on the
+    /// collectives they issue (analytics::AnalyticsHub::attach satisfies
+    /// this by construction).
+    void set_epoch_hook(EpochHook hook) { hook_ = std::move(hook); }
 
     /// Runs one epoch (collective). Returns false once every rank's queue is
     /// exhausted — the caller may stop pumping.
@@ -150,30 +190,48 @@ public:
         if (e.global_ops > 0) {
             const auto t1 = Clock::now();
             std::unique_lock lock(snapshot_mx_);
-            par::Profiler::Scope scope(par::Phase::StreamApply);
-            auto& grid = A_->shape().grid();
-            const index_t nr = A_->shape().nrows();
-            const index_t nc = A_->shape().ncols();
-            if (g.adds > 0) {
-                auto ua = core::build_update_matrix(grid, nr, nc,
-                                                    std::move(adds_),
-                                                    cfg_.redist);
-                core::add_update<SR>(*A_, ua, cfg_.pool);
+            // The applies below consume the partitioned streams, so the
+            // hook's delta is captured first (copies only when subscribed).
+            EpochDelta<T> delta;
+            if (hook_) {
+                delta.global_ops = e.global_ops;
+                delta.adds = adds_;
+                delta.merges = merges_;
+                delta.masks = masks_;
             }
-            if (g.merges > 0) {
-                auto um = core::build_update_matrix(grid, nr, nc,
-                                                    std::move(merges_),
-                                                    cfg_.redist);
-                core::merge_update(*A_, um, cfg_.pool);
+            {
+                par::Profiler::Scope scope(par::Phase::StreamApply);
+                auto& grid = A_->shape().grid();
+                const index_t nr = A_->shape().nrows();
+                const index_t nc = A_->shape().ncols();
+                if (g.adds > 0) {
+                    auto ua = core::build_update_matrix(grid, nr, nc,
+                                                        std::move(adds_),
+                                                        cfg_.redist);
+                    core::add_update<SR>(*A_, ua, cfg_.pool);
+                }
+                if (g.merges > 0) {
+                    auto um = core::build_update_matrix(grid, nr, nc,
+                                                        std::move(merges_),
+                                                        cfg_.redist);
+                    core::merge_update(*A_, um, cfg_.pool);
+                }
+                if (g.masks > 0) {
+                    auto ud = core::build_update_matrix(grid, nr, nc,
+                                                        std::move(masks_),
+                                                        cfg_.redist);
+                    core::mask_delete(*A_, ud, cfg_.pool);
+                }
+                ++version_;
             }
-            if (g.masks > 0) {
-                auto ud = core::build_update_matrix(grid, nr, nc,
-                                                    std::move(masks_),
-                                                    cfg_.redist);
-                core::mask_delete(*A_, ud, cfg_.pool);
-            }
-            ++version_;
             e.apply_ms = ms_since(t1);
+            if (hook_) {
+                const auto t2 = Clock::now();
+                par::Profiler::Scope scope(par::Phase::Analytics);
+                delta.version = version_;
+                hook_(delta);
+                e.hook_ms = ms_since(t2);
+            }
         }
 
         e.backlog_after = queue_.size();
@@ -216,6 +274,7 @@ private:
     core::DistDynamicMatrix<T>* A_;
     EngineConfig cfg_;
     UpdateQueue<T> queue_;
+    EpochHook hook_;
 
     mutable std::shared_mutex snapshot_mx_;
     std::uint64_t version_ = 0;  // written under unique snapshot_mx_

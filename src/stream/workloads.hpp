@@ -8,12 +8,15 @@
 // between epochs), and pauses (burst gaps the driver may honor by sleeping
 // or yield to model think time).
 //
-// The five scenarios cover the axes that stress distinct parts of the
-// engine: steady uniform load (the paper's R-MAT-batch regime), bursty
-// arrivals (deadline-triggered epochs + backpressure), hot-vertex skew
-// (long DHB rows and unbalanced grid blocks), sliding-window deletion
-// (MASK-heavy traffic over the producer's own recent inserts), and mixed
-// read/write traffic (snapshot readers racing epoch application).
+// The six scenarios cover the axes that stress distinct parts of the
+// engine: sustained-uniform — steady uniform load (the paper's R-MAT-batch
+// regime); bursty — deadline-triggered epochs + backpressure; hot-vertex-skew
+// — long DHB rows and unbalanced grid blocks; sliding-window-delete —
+// MASK-heavy traffic over the producer's own recent inserts; mixed-read-write
+// — point-probe readers racing epoch application; and analytics-read —
+// weighted inserts plus windowed deletes with frequent reads, where a read
+// means "poll the derived analytics" (the driver's on_read typically samples
+// analytics::AnalyticsHub snapshots instead of probing the matrix).
 #pragma once
 
 #include <algorithm>
@@ -35,6 +38,7 @@ enum class Scenario : int {
     HotVertexSkew,        ///< ADD/MERGE concentrated on a small hot row set
     SlidingWindowDelete,  ///< ADD new edges, MASK those older than a window
     MixedReadWrite,       ///< uniform ADDs interleaved with point reads
+    AnalyticsRead,        ///< weighted ADDs + windowed MASKs + derived-value reads
 };
 
 [[nodiscard]] constexpr const char* scenario_name(Scenario s) {
@@ -44,14 +48,16 @@ enum class Scenario : int {
         case Scenario::HotVertexSkew: return "hot-vertex-skew";
         case Scenario::SlidingWindowDelete: return "sliding-window-delete";
         case Scenario::MixedReadWrite: return "mixed-read-write";
+        case Scenario::AnalyticsRead: return "analytics-read";
     }
     return "?";
 }
 
 [[nodiscard]] inline const std::vector<Scenario>& all_scenarios() {
     static const std::vector<Scenario> all = {
-        Scenario::SustainedUniform, Scenario::Bursty, Scenario::HotVertexSkew,
-        Scenario::SlidingWindowDelete, Scenario::MixedReadWrite};
+        Scenario::SustainedUniform,    Scenario::Bursty,
+        Scenario::HotVertexSkew,       Scenario::SlidingWindowDelete,
+        Scenario::MixedReadWrite,      Scenario::AnalyticsRead};
     return all;
 }
 
@@ -66,8 +72,8 @@ struct WorkloadConfig {
     double hot_fraction = 0.9;        ///< HotVertexSkew: P(row in hot set)
     sparse::index_t hot_rows = 16;    ///< HotVertexSkew: hot-set size
     double merge_fraction = 0.3;      ///< HotVertexSkew: P(MERGE | write)
-    std::size_t window = 512;         ///< SlidingWindowDelete: live inserts
-    double read_fraction = 0.5;       ///< MixedReadWrite: P(read)
+    std::size_t window = 512;         ///< SlidingWindowDelete/AnalyticsRead: live inserts
+    double read_fraction = 0.5;       ///< MixedReadWrite/AnalyticsRead: P(read)
 };
 
 /// One workload event.
@@ -154,6 +160,37 @@ public:
                 }
                 auto op = uniform_add();
                 if (live_.size() < 4096) live_.push_back({op.tuple.row, op.tuple.col});
+                return write(op);
+            }
+            case Scenario::AnalyticsRead: {
+                // Sustained weighted ingestion with a sliding deletion
+                // window, sampled by frequent reads. A read event here means
+                // "poll the derived analytics" — the driver's on_read
+                // decides what to sample; the carried coordinates are a
+                // recently written edge for drivers that also want a point
+                // probe. Reads do not consume the write budget.
+                if (chance(cfg_.read_fraction)) {
+                    sparse::Triple<double> probe{rand_index(cfg_.n),
+                                                 rand_index(cfg_.n), 0.0};
+                    if (!live_.empty()) {
+                        const auto& c =
+                            live_[static_cast<std::size_t>(rng_()) % live_.size()];
+                        probe.row = c.row;
+                        probe.col = c.col;
+                    }
+                    return Event{Event::Type::Read, {OpKind::Add, probe}};
+                }
+                if (live_.size() >= cfg_.window && !just_masked_) {
+                    auto victim = live_.front();
+                    live_.pop_front();
+                    just_masked_ = true;
+                    return write({OpKind::Mask, {victim.row, victim.col, 0.0}});
+                }
+                just_masked_ = false;
+                StreamOp<double> op{
+                    OpKind::Add,
+                    {rand_index(cfg_.n), rand_index(cfg_.n), rand_value()}};
+                live_.push_back({op.tuple.row, op.tuple.col});
                 return write(op);
             }
         }
