@@ -129,6 +129,13 @@ int main() {
         std::printf("%-8zu | %7.2fms %10.2fms | %8.2fx | %.2f\n", bs,
                     mean.ours / k, mean.recompute / k,
                     mean.recompute / mean.ours, mean.ar_fraction / k);
+        JsonRecord rec("bench_fig10_spgemm_general");
+        rec.field("batch", bs)
+            .field("ours_ms", mean.ours / k)
+            .field("recompute_ms", mean.recompute / k)
+            .field("speedup", mean.recompute / mean.ours)
+            .field("ar_fraction", mean.ar_fraction / k);
+        json_record(rec);
     }
     std::printf(
         "\npaper: 2.39x-4.57x faster than CombBLAS (which must recompute A'B\n"

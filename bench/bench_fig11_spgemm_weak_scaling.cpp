@@ -72,6 +72,11 @@ int main() {
         const Row r = run_p(p);
         std::printf("%-8d | %13.1f us | %15.0f B\n", p, r.us_per_nnz,
                     r.bytes_per_rank);
+        JsonRecord rec("bench_fig11_spgemm_weak_scaling");
+        rec.field("ranks", p)
+            .field("us_per_nnz", r.us_per_nnz)
+            .field("comm_bytes_per_rank", r.bytes_per_rank);
+        json_record(rec);
     }
     std::printf(
         "\npaper: time per non-zero decreases with more nodes (no bottleneck\n"

@@ -75,6 +75,12 @@ int main() {
         std::printf("%-8d |", p);
         for (double v : row) std::printf(" %12.2f us", v);
         std::printf("\n");
+        JsonRecord rec("bench_fig12_spgemm_breakdown");
+        rec.field("ranks", p);
+        for (std::size_t k = 0; k < row.size(); ++k)
+            rec.field(std::string(par::phase_name(kPhases[k])).c_str(),
+                      row[k]);
+        json_record(rec);
     }
     std::printf(
         "\npaper: local multiplication / reduce-scatter / send-recv scale with\n"

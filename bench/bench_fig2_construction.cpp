@@ -72,6 +72,15 @@ int main() {
         std::printf("%-12s | %6.1fms %7.1fms %7.1fms %5.1fms %5.1fms | %.2fx\n",
                     inst.name, r.ours_ms, r.ours_dcsr_ms, r.combblas_ms,
                     r.ctf_ms, r.petsc_ms, rel);
+        JsonRecord rec("bench_fig2_construction");
+        rec.field("instance", inst.name)
+            .field("ours_ms", r.ours_ms)
+            .field("ours_dcsr_ms", r.ours_dcsr_ms)
+            .field("combblas_ms", r.combblas_ms)
+            .field("ctf_ms", r.ctf_ms)
+            .field("petsc_ms", r.petsc_ms)
+            .field("rel_combblas", rel);
+        json_record(rec);
     }
     std::printf("\ngeometric-mean speedup over CombBLAS-like baseline: %.2fx\n",
                 std::pow(geo, 1.0 / count));

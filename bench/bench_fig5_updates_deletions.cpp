@@ -114,6 +114,16 @@ int main() {
         std::printf("%-8zu | %7.2fms %7.2fms %7.2fms %7.2fms | %8.1fx\n", bs,
                     mean.upd_ours, mean.upd_cb, mean.upd_ctf, mean.upd_petsc,
                     mean.upd_cb / mean.upd_ours);
+        JsonRecord rec("bench_fig5_updates_deletions");
+        rec.field("batch", bs)
+            .field("update_ours_ms", mean.upd_ours)
+            .field("update_combblas_ms", mean.upd_cb)
+            .field("update_ctf_ms", mean.upd_ctf)
+            .field("update_petsc_ms", mean.upd_petsc)
+            .field("delete_ours_ms", mean.del_ours)
+            .field("delete_combblas_ms", mean.del_cb)
+            .field("delete_ctf_ms", mean.del_ctf);
+        json_record(rec);
     }
     std::printf("\n-- (b) deletions (MASK); PETSc excluded as in the paper --\n");
     std::printf("%-8s | %9s %9s %9s | %9s\n", "batch", "ours", "CombBLAS",

@@ -75,6 +75,11 @@ int main() {
         const Row r = run_p(p);
         std::printf("%-8d | %11.1f ns | %15.0f B\n", p, r.ns_per_nnz,
                     r.bytes_per_rank);
+        JsonRecord rec("bench_fig6_insert_weak_scaling");
+        rec.field("ranks", p)
+            .field("ns_per_nnz", r.ns_per_nnz)
+            .field("comm_bytes_per_rank", r.bytes_per_rank);
+        json_record(rec);
     }
     std::printf(
         "\npaper: time per non-zero *decreases* with more compute nodes. On\n"

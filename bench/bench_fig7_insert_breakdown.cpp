@@ -69,6 +69,12 @@ int main() {
         std::printf("%-8d |", p);
         for (double v : row) std::printf(" %13.1f ns", v);
         std::printf("\n");
+        JsonRecord rec("bench_fig7_insert_breakdown");
+        rec.field("ranks", p);
+        for (std::size_t k = 0; k < row.size(); ++k)
+            rec.field(std::string(par::phase_name(kPhases[k])).c_str(),
+                      row[k]);
+        json_record(rec);
     }
     std::printf(
         "\npaper: local operations dominate communication; every phase's cost\n"

@@ -63,12 +63,24 @@ int main() {
         if (p == 1) base_ms = r.total_ms;
         std::printf("%-8d | %8.1fms | %9.2fx\n", p, r.total_ms,
                     base_ms / r.total_ms);
+        JsonRecord rec("bench_fig8_rmat_scaling");
+        rec.field("mode", "strong")
+            .field("ranks", p)
+            .field("total_ms", r.total_ms)
+            .field("speedup", base_ms / r.total_ms);
+        json_record(rec);
     }
     std::printf("\n-- (b) weak scaling: 2^16 insertions per rank --\n");
     std::printf("%-8s | %10s | %14s\n", "ranks", "total", "time per nnz");
     for (int p : {1, 4, 16}) {
         const Row r = run(p, std::size_t{1} << 16);
         std::printf("%-8d | %8.1fms | %11.1f ns\n", p, r.total_ms, r.ns_per_nnz);
+        JsonRecord rec("bench_fig8_rmat_scaling");
+        rec.field("mode", "weak")
+            .field("ranks", p)
+            .field("total_ms", r.total_ms)
+            .field("ns_per_nnz", r.ns_per_nnz);
+        json_record(rec);
     }
     std::printf(
         "\npaper: strong-scaling speedup 10.85x at 16 nodes; weak-scaling time\n"

@@ -153,6 +153,14 @@ int main() {
                     bs, mean.ours / k, mean.combblas / k, mean.recompute / k,
                     mean.combblas / mean.ours, mean.ours_bytes / k / 1024,
                     mean.combblas_bytes / k / 1024);
+        JsonRecord rec("bench_fig9_spgemm_algebraic");
+        rec.field("batch", bs)
+            .field("ours_ms", mean.ours / k)
+            .field("combblas_ms", mean.combblas / k)
+            .field("recompute_ms", mean.recompute / k)
+            .field("ours_comm_bytes", mean.ours_bytes / k)
+            .field("combblas_comm_bytes", mean.combblas_bytes / k);
+        json_record(rec);
     }
     std::printf(
         "\npaper: 3.41x-6.18x faster than CombBLAS (best competitor), with the\n"

@@ -178,6 +178,18 @@ public:
         return counter_;
     }
 
+    void save_state(par::Buffer& out) const override {
+        par::BufferWriter w(out);
+        w.write<std::uint64_t>(skipped_);
+        w.write<double>(count_.load(std::memory_order_acquire));
+        counter_.save(out);
+    }
+    void load_state(par::BufferReader& in) override {
+        skipped_ = in.read<std::uint64_t>();
+        count_.store(in.read<double>(), std::memory_order_release);
+        counter_.load(in);
+    }
+
 private:
     // Collective: one scalar all-reduce over an O(local nnz) rescan of the
     // derived state — simple over incremental, and the cost is what
@@ -231,6 +243,20 @@ public:
     [[nodiscard]] std::uint64_t ops_skipped() const { return skipped_; }
     [[nodiscard]] const graph::DynamicMultiSourceProduct& product() const {
         return product_;
+    }
+
+    void save_state(par::Buffer& out) const override {
+        par::BufferWriter w(out);
+        w.write<std::uint64_t>(skipped_);
+        w.write<double>(sum_.load(std::memory_order_acquire));
+        w.write<std::uint64_t>(reached_.load(std::memory_order_acquire));
+        product_.save(out);
+    }
+    void load_state(par::BufferReader& in) override {
+        skipped_ = in.read<std::uint64_t>();
+        sum_.store(in.read<double>(), std::memory_order_release);
+        reached_.store(in.read<std::uint64_t>(), std::memory_order_release);
+        product_.load(in);
     }
 
 private:
@@ -297,6 +323,18 @@ public:
     [[nodiscard]] std::uint64_t ops_skipped() const { return skipped_; }
     [[nodiscard]] const graph::DynamicContraction& contraction() const {
         return contraction_;
+    }
+
+    void save_state(par::Buffer& out) const override {
+        par::BufferWriter w(out);
+        w.write<std::uint64_t>(skipped_);
+        w.write<double>(weight_.load(std::memory_order_acquire));
+        contraction_.save(out);
+    }
+    void load_state(par::BufferReader& in) override {
+        skipped_ = in.read<std::uint64_t>();
+        weight_.store(in.read<double>(), std::memory_order_release);
+        contraction_.load(in);
     }
 
 private:

@@ -24,10 +24,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
+#include "par/buffer.hpp"
 #include "stream/epoch_engine.hpp"
 
 namespace dsg::analytics {
@@ -51,6 +55,17 @@ public:
     /// Lock-free read of the most recently published derived scalar; safe
     /// from any thread, any time.
     [[nodiscard]] virtual double snapshot() const = 0;
+
+    /// Serializes this rank's share of the maintainer's state (derived
+    /// matrices, published scalars, skip counters) so the durability layer
+    /// (src/persist/) can include it in epoch-consistent checkpoints.
+    /// Rank-local — no collectives. Default: stateless.
+    virtual void save_state(par::Buffer& out) const { (void)out; }
+    /// Restores what save_state wrote, called at the same epoch boundary
+    /// semantics (before any post-checkpoint epoch is replayed). Must not
+    /// issue collectives and must leave snapshot() returning the restored
+    /// published value. Default: stateless.
+    virtual void load_state(par::BufferReader& in) { (void)in; }
 };
 
 /// Per-maintainer epoch-hook accounting of one rank.
@@ -128,6 +143,46 @@ public:
     void attach(Engine& engine) {
         engine.set_epoch_hook(
             [this](const stream::EpochDelta<T>& delta) { on_epoch(delta); });
+    }
+
+    /// Serializes every maintainer's rank-local state in registration order
+    /// (name-tagged, length-framed) — the hub's contribution to a
+    /// checkpoint. Rank-local; no collectives.
+    void save_state(par::Buffer& out) const {
+        par::BufferWriter w(out);
+        w.write<std::uint64_t>(maintainers_.size());
+        for (const auto& m : maintainers_) {
+            const std::string_view name = m->name();
+            w.write_span(std::span<const char>(name.data(), name.size()));
+            par::Buffer state;
+            m->save_state(state);
+            w.write_vector(state);
+        }
+    }
+
+    /// Restores a blob produced by save_state into this hub, which must
+    /// hold the same maintainers in the same order (the collective
+    /// registration contract already requires exactly that). Throws
+    /// std::runtime_error on any mismatch.
+    void load_state(par::BufferReader& in) {
+        const auto count = in.read<std::uint64_t>();
+        if (count != maintainers_.size())
+            throw std::runtime_error(
+                "AnalyticsHub::load_state: checkpoint holds " +
+                std::to_string(count) + " maintainers, hub has " +
+                std::to_string(maintainers_.size()));
+        for (const auto& m : maintainers_) {
+            const auto name = in.read_vector<char>();
+            if (std::string_view(name.data(), name.size()) != m->name())
+                throw std::runtime_error(
+                    "AnalyticsHub::load_state: maintainer order mismatch ("
+                    "checkpoint has '" +
+                    std::string(name.data(), name.size()) + "', hub has '" +
+                    m->name() + "')");
+            const auto state = in.read_vector<std::byte>();
+            par::BufferReader sub(state);
+            m->load_state(sub);
+        }
     }
 
     /// (name, snapshot) of every maintainer, in registration order. Reads

@@ -5,7 +5,8 @@
 // pulls in the parallel runtime (dsg::par), the local sparse substrates
 // (dsg::sparse), the distributed core (dsg::core — the paper's
 // contribution), the streaming ingestion engine (dsg::stream), the live
-// analytics layer (dsg::analytics), the competitor baselines (dsg::baseline)
+// analytics layer (dsg::analytics), the durability layer (dsg::persist),
+// the competitor baselines (dsg::baseline)
 // and the graph layer (dsg::graph). Individual headers remain includable on
 // their own;
 // see README.md for the module map and docs/ARCHITECTURE.md for the design
@@ -44,6 +45,11 @@
 
 #include "analytics/graph_maintainers.hpp"
 #include "analytics/maintainer.hpp"
+
+#include "persist/checkpoint.hpp"
+#include "persist/durability.hpp"
+#include "persist/op_log.hpp"
+#include "persist/recovery.hpp"
 
 #include "baseline/static_rebuild.hpp"
 

@@ -17,12 +17,14 @@
 // src/analytics/graph_maintainers.hpp.
 #pragma once
 
+#include <stdexcept>
 #include <vector>
 
 #include "core/dynamic_spgemm.hpp"
 #include "core/ewise.hpp"
 #include "core/summa.hpp"
 #include "core/update_ops.hpp"
+#include "par/buffer.hpp"
 #include "sparse/semiring.hpp"
 
 namespace dsg::graph {
@@ -30,6 +32,24 @@ namespace dsg::graph {
 using core::DistDcsr;
 using core::DistDynamicMatrix;
 using core::ProcessGrid;
+
+namespace detail {
+
+/// Replaces a distributed matrix's local block with a tile deserialized
+/// from a checkpoint blob (src/persist/), validating the block shape. The
+/// distribution itself is not serialized — the caller reconstructs the
+/// object on the same grid, which recovery verifies against the manifest.
+inline void restore_local_block(DistDynamicMatrix<double>& m,
+                                par::BufferReader& r) {
+    auto tile = sparse::DynamicMatrix<double>::deserialize(r);
+    if (tile.nrows() != m.local().nrows() || tile.ncols() != m.local().ncols())
+        throw std::runtime_error(
+            "restore_local_block: tile shape disagrees with this rank's "
+            "block (was the checkpoint taken on a different grid?)");
+    m.local() = tile;
+}
+
+}  // namespace detail
 
 /// Element-wise combine of two identically distributed matrices:
 /// A <- A (+) B with add(old, new). Local-only.
@@ -152,6 +172,17 @@ public:
     }
     [[nodiscard]] const DistDynamicMatrix<double>& square() const { return c_; }
 
+    /// Rank-local checkpoint of A and C = A·A (src/persist/); pair with
+    /// load() on an identically constructed counter on the same grid.
+    void save(par::Buffer& out) const {
+        a_.local().serialize(out);
+        c_.local().serialize(out);
+    }
+    void load(par::BufferReader& in) {
+        detail::restore_local_block(a_, in);
+        detail::restore_local_block(c_, in);
+    }
+
 private:
     core::SummaOptions summa_opts() const {
         core::SummaOptions opts;
@@ -252,6 +283,18 @@ public:
     }
     [[nodiscard]] DistDynamicMatrix<double>& selector() { return s_; }
 
+    /// Rank-local checkpoint of S, A, and D = S·A (src/persist/).
+    void save(par::Buffer& out) const {
+        s_.local().serialize(out);
+        a_.local().serialize(out);
+        d_.local().serialize(out);
+    }
+    void load(par::BufferReader& in) {
+        detail::restore_local_block(s_, in);
+        detail::restore_local_block(a_, in);
+        detail::restore_local_block(d_, in);
+    }
+
 private:
     DistDynamicMatrix<double> s_;
     DistDynamicMatrix<double> a_;
@@ -326,6 +369,20 @@ public:
     }
     [[nodiscard]] const DistDynamicMatrix<double>& selector() const {
         return s_;
+    }
+
+    /// Rank-local checkpoint of A, S, T = A·S, C = SᵀAS (src/persist/).
+    void save(par::Buffer& out) const {
+        a_.local().serialize(out);
+        s_.local().serialize(out);
+        t_.local().serialize(out);
+        c_.local().serialize(out);
+    }
+    void load(par::BufferReader& in) {
+        detail::restore_local_block(a_, in);
+        detail::restore_local_block(s_, in);
+        detail::restore_local_block(t_, in);
+        detail::restore_local_block(c_, in);
     }
 
 private:

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <type_traits>
 #include <vector>
 
@@ -18,6 +19,19 @@ namespace dsg::par {
 
 /// Raw byte buffer exchanged between ranks.
 using Buffer = std::vector<std::byte>;
+
+/// Typed error for every malformed-input condition BufferReader can hit:
+/// scalar reads past the end, vector length headers larger than the bytes
+/// that follow (including lengths crafted to overflow `n * sizeof(T)` — the
+/// regression found in PR 1). Derives from std::out_of_range so existing
+/// call sites catching the old type keep working; the message names the
+/// failing operation so persisted-state loaders (src/persist/) can surface
+/// which field of a frame was truncated.
+class TruncatedBufferError : public std::out_of_range {
+public:
+    explicit TruncatedBufferError(const std::string& what)
+        : std::out_of_range("BufferReader: " + what) {}
+};
 
 /// Appends trivially copyable values and spans to a Buffer.
 class BufferWriter {
@@ -67,7 +81,7 @@ public:
         requires std::is_trivially_copyable_v<T>
     T read() {
         T value;
-        require(sizeof(T));
+        require(sizeof(T), "scalar read");
         std::memcpy(&value, data_.data() + pos_, sizeof(T));
         pos_ += sizeof(T);
         return value;
@@ -80,7 +94,8 @@ public:
         // Divide instead of multiplying: n * sizeof(T) could wrap around and
         // slip past the bounds check on a corrupt length header.
         if (n > remaining() / sizeof(T))
-            throw std::out_of_range("BufferReader: truncated buffer");
+            throw TruncatedBufferError(
+                "vector length header exceeds remaining bytes");
         std::vector<T> values(static_cast<std::size_t>(n));
         if (n != 0) {  // data() of an empty vector may be nullptr
             std::memcpy(values.data(), data_.data() + pos_, values.size() * sizeof(T));
@@ -89,14 +104,22 @@ public:
         return values;
     }
 
+    /// Skips bytes without reading them (bounds-checked like read()).
+    void skip(std::size_t bytes) {
+        require(bytes, "skip");
+        pos_ += bytes;
+    }
+
     [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+    [[nodiscard]] std::size_t position() const { return pos_; }
     [[nodiscard]] bool exhausted() const { return remaining() == 0; }
 
 private:
-    void require(std::size_t bytes) const {
+    void require(std::size_t bytes, const char* what) const {
         // pos_ <= size() is an invariant, so this form cannot overflow.
         if (bytes > data_.size() - pos_)
-            throw std::out_of_range("BufferReader: truncated buffer");
+            throw TruncatedBufferError(std::string(what) +
+                                       " past the end of the buffer");
     }
 
     std::span<const std::byte> data_;

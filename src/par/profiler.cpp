@@ -30,6 +30,9 @@ std::string_view phase_name(Phase phase) {
         case Phase::StreamDrain: return "Stream drain";
         case Phase::StreamApply: return "Stream apply";
         case Phase::Analytics: return "Analytics maint.";
+        case Phase::PersistLog: return "Persist log";
+        case Phase::PersistCheckpoint: return "Persist ckpt.";
+        case Phase::PersistRecover: return "Persist recover";
         case Phase::Other: return "Other";
         case Phase::kCount: break;
     }

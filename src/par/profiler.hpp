@@ -32,6 +32,9 @@ enum class Phase : int {
     StreamDrain,        ///< waiting on / draining the per-rank update queue
     StreamApply,        ///< epoch application (A* build + ADD/MERGE/MASK)
     Analytics,          ///< epoch-hook maintainer updates (src/analytics/)
+    PersistLog,         ///< write-ahead op-log appends + fsyncs (src/persist/)
+    PersistCheckpoint,  ///< epoch-consistent snapshot + manifest commit
+    PersistRecover,     ///< checkpoint load + log-tail replay on restart
     Other,
     kCount
 };

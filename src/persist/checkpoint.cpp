@@ -1,0 +1,178 @@
+#include "persist/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace dsg::persist {
+
+namespace {
+
+void fsync_path(const std::filesystem::path& path, int flags) {
+    const int fd = ::open(path.c_str(), flags);
+    if (fd < 0)
+        throw PersistError("cannot open " + path.string() + " for fsync: " +
+                           std::strerror(errno));
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0)
+        throw PersistError("fsync " + path.string() + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+std::filesystem::path manifest_path(const std::filesystem::path& dir) {
+    return dir / "MANIFEST";
+}
+
+std::filesystem::path checkpoint_path(const std::filesystem::path& dir,
+                                      std::uint64_t version, int rank) {
+    char name[64];
+    std::snprintf(name, sizeof name, "ckpt-v%llu-r%d.ckpt",
+                  static_cast<unsigned long long>(version), rank);
+    return dir / name;
+}
+
+void write_file_atomic(const std::filesystem::path& path, std::uint32_t magic,
+                       const par::Buffer& payload) {
+    par::Buffer framed;
+    par::BufferWriter w(framed);
+    w.write<std::uint32_t>(magic);
+    w.write<std::uint32_t>(kFormatVersion);
+    w.write<std::uint64_t>(payload.size());
+    if (!payload.empty()) {
+        const std::size_t old = framed.size();
+        framed.resize(old + payload.size());
+        std::memcpy(framed.data() + old, payload.data(), payload.size());
+    }
+    w.write<std::uint32_t>(crc32(payload));
+
+    const auto tmp = path.string() + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            throw PersistError("cannot create " + tmp + ": " +
+                               std::strerror(errno));
+        out.write(reinterpret_cast<const char*>(framed.data()),
+                  static_cast<std::streamsize>(framed.size()));
+        if (!out)
+            throw PersistError("cannot write " + tmp + ": " +
+                               std::strerror(errno));
+    }
+    fsync_path(tmp, O_WRONLY);
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        throw PersistError("cannot rename " + tmp + " over " + path.string() +
+                           ": " + ec.message());
+    // The rename must itself be durable before anything relies on the new
+    // file being the one recovery will see.
+    fsync_path(path.parent_path().empty() ? "." : path.parent_path(),
+               O_RDONLY | O_DIRECTORY);
+}
+
+std::optional<par::Buffer> read_framed_file(const std::filesystem::path& path,
+                                            std::uint32_t magic) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        // Only genuine absence may read as "no file" — recover() treats a
+        // missing manifest as a cold start, so a transient open failure
+        // (permissions, EMFILE, read-only remount) must error loudly
+        // instead of silently recovering to an empty matrix.
+        if (!std::filesystem::exists(path)) return std::nullopt;
+        throw PersistError("cannot open " + path.string() + ": " +
+                           std::strerror(errno));
+    }
+    par::Buffer raw;
+    in.seekg(0, std::ios::end);
+    raw.resize(static_cast<std::size_t>(in.tellg()));
+    in.seekg(0);
+    in.read(reinterpret_cast<char*>(raw.data()),
+            static_cast<std::streamsize>(raw.size()));
+    if (!in)
+        throw PersistError("cannot read " + path.string() + ": " +
+                           std::strerror(errno));
+
+    try {
+        par::BufferReader r(raw);
+        if (r.read<std::uint32_t>() != magic)
+            throw PersistError("bad magic in " + path.string());
+        if (const auto format = r.read<std::uint32_t>();
+            format != kFormatVersion)
+            throw PersistError("unsupported format " + std::to_string(format) +
+                               " in " + path.string());
+        const auto payload_bytes = r.read<std::uint64_t>();
+        if (payload_bytes > r.remaining() ||
+            r.remaining() - payload_bytes != sizeof(std::uint32_t))
+            throw PersistError("bad framing in " + path.string());
+        par::Buffer payload(raw.begin() + static_cast<std::ptrdiff_t>(r.position()),
+                            raw.begin() + static_cast<std::ptrdiff_t>(
+                                              r.position() + payload_bytes));
+        r.skip(static_cast<std::size_t>(payload_bytes));
+        if (r.read<std::uint32_t>() != crc32(payload))
+            throw PersistError("CRC mismatch in " + path.string());
+        return payload;
+    } catch (const par::TruncatedBufferError&) {
+        throw PersistError("truncated frame in " + path.string());
+    }
+}
+
+void write_manifest(const std::filesystem::path& dir, const Manifest& m) {
+    par::Buffer payload;
+    par::BufferWriter w(payload);
+    w.write<std::uint64_t>(m.version);
+    w.write<std::int32_t>(m.grid_q);
+    w.write<sparse::index_t>(m.nrows);
+    w.write<sparse::index_t>(m.ncols);
+    w.write_vector(m.log);
+    write_file_atomic(manifest_path(dir), kManifestMagic, payload);
+}
+
+std::optional<Manifest> read_manifest(const std::filesystem::path& dir) {
+    auto payload = read_framed_file(manifest_path(dir), kManifestMagic);
+    if (!payload) return std::nullopt;
+    try {
+        par::BufferReader r(*payload);
+        Manifest m;
+        m.version = r.read<std::uint64_t>();
+        m.grid_q = r.read<std::int32_t>();
+        m.nrows = r.read<sparse::index_t>();
+        m.ncols = r.read<sparse::index_t>();
+        m.log = r.read_vector<LogPosition>();
+        if (!r.exhausted())
+            throw PersistError("manifest carries trailing bytes");
+        if (m.grid_q <= 0 ||
+            m.log.size() != static_cast<std::size_t>(m.grid_q) *
+                                static_cast<std::size_t>(m.grid_q))
+            throw PersistError("manifest log positions disagree with grid");
+        return m;
+    } catch (const par::TruncatedBufferError&) {
+        throw PersistError("truncated manifest in " + dir.string());
+    }
+}
+
+std::size_t delete_checkpoints_below(const std::filesystem::path& dir,
+                                     int rank, std::uint64_t below) {
+    std::size_t removed = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        const auto name = entry.path().filename().string();
+        unsigned long long version = 0;
+        int file_rank = -1;
+        int consumed = 0;
+        if (std::sscanf(name.c_str(), "ckpt-v%llu-r%d.ckpt%n", &version,
+                        &file_rank, &consumed) != 2 ||
+            static_cast<std::size_t>(consumed) != name.size())
+            continue;
+        if (file_rank != rank || version >= below) continue;
+        std::error_code ec;
+        if (std::filesystem::remove(entry.path(), ec)) ++removed;
+    }
+    return removed;
+}
+
+}  // namespace dsg::persist

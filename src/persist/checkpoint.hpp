@@ -1,0 +1,137 @@
+// Epoch-consistent checkpoints of the distributed dynamic matrix
+// (docs/ARCHITECTURE.md, "The durability layer").
+//
+// A checkpoint at version V is one file per rank — the rank's DCSR-encoded
+// local tile plus an opaque extra-state blob (the analytics maintainers'
+// state, when subscribed) — and one manifest. The per-rank files carry a
+// CRC and are written tmp + rename; the manifest, also tmp + rename, is the
+// COMMIT POINT: it records {version, grid shape, per-rank log position}, and
+// until it lands, recovery keeps using the previous checkpoint. A crash
+// anywhere inside checkpointing therefore never leaves a half-trusted
+// snapshot, at the cost of one stale file generation that the next
+// successful checkpoint deletes.
+//
+// The manifest's per-rank log position (segment, offset) is where replay
+// resumes: frames at or past it hold exactly the epochs younger than V.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <vector>
+
+#include "par/buffer.hpp"
+#include "persist/op_log.hpp"
+#include "sparse/dynamic_matrix.hpp"
+#include "sparse/types.hpp"
+
+namespace dsg::persist {
+
+inline constexpr std::uint32_t kCheckpointMagic = 0x43475344;  // "DSGC"
+inline constexpr std::uint32_t kManifestMagic = 0x4d475344;    // "DSGM"
+
+/// Where one rank's log tail starts relative to a checkpoint.
+struct LogPosition {
+    std::uint64_t segment = 0;
+    std::uint64_t offset = 0;
+
+    friend bool operator==(const LogPosition&, const LogPosition&) = default;
+};
+
+/// The commit record of the latest durable checkpoint.
+struct Manifest {
+    std::uint64_t version = 0;  ///< engine version the checkpoint captured
+    std::int32_t grid_q = 0;    ///< grid side length (p = q²)
+    sparse::index_t nrows = 0;
+    sparse::index_t ncols = 0;
+    std::vector<LogPosition> log;  ///< per world rank, size q²
+};
+
+[[nodiscard]] std::filesystem::path manifest_path(
+    const std::filesystem::path& dir);
+[[nodiscard]] std::filesystem::path checkpoint_path(
+    const std::filesystem::path& dir, std::uint64_t version, int rank);
+
+/// Writes `payload` framed as {magic, format, length, payload, crc} to
+/// `path` via tmp + rename + fsync (file and directory) — atomic on POSIX.
+void write_file_atomic(const std::filesystem::path& path, std::uint32_t magic,
+                       const par::Buffer& payload);
+
+/// Reads a file framed by write_file_atomic back, validating magic, format,
+/// length and CRC. nullopt when the file does not exist; PersistError when
+/// it exists but does not validate.
+std::optional<par::Buffer> read_framed_file(const std::filesystem::path& path,
+                                            std::uint32_t magic);
+
+/// Commits `m` as the durability directory's manifest (the commit point).
+void write_manifest(const std::filesystem::path& dir, const Manifest& m);
+
+/// The committed manifest, or nullopt for a cold directory.
+std::optional<Manifest> read_manifest(const std::filesystem::path& dir);
+
+/// Unlinks this rank's checkpoint files older than `below` (run after a
+/// newer manifest committed). Returns the number removed.
+std::size_t delete_checkpoints_below(const std::filesystem::path& dir,
+                                     int rank, std::uint64_t below);
+
+// -- per-rank checkpoint files -----------------------------------------------
+
+template <typename T>
+    requires std::is_trivially_copyable_v<T>
+void write_checkpoint_file(const std::filesystem::path& dir,
+                           std::uint64_t version, int rank, int grid_q,
+                           sparse::index_t nrows, sparse::index_t ncols,
+                           const sparse::DynamicMatrix<T>& tile,
+                           const par::Buffer& extra_state) {
+    par::Buffer payload;
+    par::BufferWriter w(payload);
+    w.write<std::uint64_t>(version);
+    w.write<std::int32_t>(rank);
+    w.write<std::int32_t>(grid_q);
+    w.write<sparse::index_t>(nrows);
+    w.write<sparse::index_t>(ncols);
+    tile.serialize(payload);
+    w.write_vector(extra_state);
+    write_file_atomic(checkpoint_path(dir, version, rank), kCheckpointMagic,
+                      payload);
+}
+
+/// One rank's restored checkpoint: the tile plus the opaque extra blob.
+template <typename T>
+struct CheckpointTile {
+    sparse::DynamicMatrix<T> tile;
+    par::Buffer extra_state;
+};
+
+template <typename T>
+    requires std::is_trivially_copyable_v<T>
+[[nodiscard]] CheckpointTile<T> read_checkpoint_file(
+    const std::filesystem::path& dir, std::uint64_t version, int rank,
+    int grid_q, sparse::index_t nrows, sparse::index_t ncols) {
+    const auto path = checkpoint_path(dir, version, rank);
+    auto payload = read_framed_file(path, kCheckpointMagic);
+    if (!payload)
+        throw PersistError("manifest names checkpoint v" +
+                           std::to_string(version) + " but " + path.string() +
+                           " is missing");
+    par::BufferReader r(*payload);
+    const auto got_version = r.read<std::uint64_t>();
+    const auto got_rank = r.read<std::int32_t>();
+    const auto got_q = r.read<std::int32_t>();
+    const auto got_nrows = r.read<sparse::index_t>();
+    const auto got_ncols = r.read<sparse::index_t>();
+    if (got_version != version || got_rank != rank || got_q != grid_q ||
+        got_nrows != nrows || got_ncols != ncols)
+        throw PersistError("checkpoint " + path.string() +
+                           " disagrees with the manifest (version/rank/grid "
+                           "shape mismatch)");
+    CheckpointTile<T> out;
+    out.tile = sparse::DynamicMatrix<T>::deserialize(r);
+    out.extra_state = r.read_vector<std::byte>();
+    if (!r.exhausted())
+        throw PersistError("checkpoint " + path.string() +
+                           " carries trailing bytes");
+    return out;
+}
+
+}  // namespace dsg::persist

@@ -1,0 +1,274 @@
+// Per-rank write-ahead op log: the redo log of the durability layer
+// (docs/ARCHITECTURE.md, "The durability layer").
+//
+// Every applied epoch is appended as one CRC-framed record — the rank's
+// drained ADD/MERGE/MASK streams exactly as the engine partitioned them —
+// BEFORE any of the epoch's ops touch the matrix (the engine's WAL hook
+// fires pre-apply). A crash therefore loses at most the unflushed buffer
+// tail; every epoch whose frame survives can be replayed bit-identically
+// through the normal collective apply path.
+//
+// Logs are segmented: a fresh segment starts at every checkpoint, and the
+// checkpoint manifest records (segment, offset) per rank — the point replay
+// starts from. Compaction is segment deletion: once a checkpoint commits,
+// all fully-covered older segments are unlinked (no rewrite, no window in
+// which a crash can see a half-compacted log).
+//
+// The writer buffers in user space over a raw POSIX fd with an explicit
+// fsync cadence, so (a) append cost is a memcpy until the cadence strikes
+// and (b) tests can simulate a kill -9 honestly: abandon() drops the buffer
+// without flushing, exactly what the page cache would lose.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "par/buffer.hpp"
+#include "sparse/types.hpp"
+
+namespace dsg::persist {
+
+/// Typed error for every unrecoverable durability condition: corrupt
+/// manifests, checkpoint/grid mismatches, version discontinuities in a log.
+/// (Torn log *tails* are NOT errors — they are truncated and survived.)
+class PersistError : public std::runtime_error {
+public:
+    explicit PersistError(const std::string& what)
+        : std::runtime_error("persist: " + what) {}
+};
+
+/// CRC-32C (Castagnoli, reflected) over a byte span; the integrity check on
+/// every log frame, checkpoint payload, and manifest. Hardware-accelerated
+/// on SSE4.2 x86-64 (runtime-detected), slicing-by-8 elsewhere — identical
+/// values either way.
+[[nodiscard]] std::uint32_t crc32(const std::byte* data, std::size_t size);
+[[nodiscard]] inline std::uint32_t crc32(const par::Buffer& buf) {
+    return crc32(buf.data(), buf.size());
+}
+
+// -- on-disk layout ----------------------------------------------------------
+
+inline constexpr std::uint32_t kLogMagic = 0x4c475344;    // "DSGL"
+inline constexpr std::uint32_t kFrameMagic = 0x4d524653;  // "SFRM"
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Segment header size on disk (fields are written individually; struct
+/// padding never hits the wire): magic u32, format u32, rank i32, seg u64.
+inline constexpr std::uint64_t kLogHeaderBytes = 20;
+/// Per-frame framing overhead: magic u32, version u64, length u64, crc u32.
+inline constexpr std::uint64_t kLogFrameOverhead = 24;
+
+/// Fixed-size segment file header (written once at creation).
+struct LogHeader {
+    std::uint32_t magic = kLogMagic;
+    std::uint32_t format = kFormatVersion;
+    std::int32_t rank = 0;
+    std::uint64_t segment = 0;
+};
+
+/// One undecoded log frame: the epoch's version plus the serialized payload
+/// (three Triple vectors). Decoding is templated (decode_frame below).
+struct LogFrame {
+    std::uint64_t version = 0;
+    par::Buffer payload;
+};
+
+/// Frame payload for one epoch of ops (the rank-local EpochDelta image).
+template <typename T>
+struct EpochOps {
+    std::vector<sparse::Triple<T>> adds;
+    std::vector<sparse::Triple<T>> merges;
+    std::vector<sparse::Triple<T>> masks;
+
+    [[nodiscard]] std::size_t total() const {
+        return adds.size() + merges.size() + masks.size();
+    }
+};
+
+template <typename T>
+    requires std::is_trivially_copyable_v<T>
+[[nodiscard]] par::Buffer encode_ops(const std::vector<sparse::Triple<T>>& adds,
+                                     const std::vector<sparse::Triple<T>>& merges,
+                                     const std::vector<sparse::Triple<T>>& masks) {
+    par::Buffer payload;
+    par::BufferWriter w(payload);
+    w.write_vector(adds);
+    w.write_vector(merges);
+    w.write_vector(masks);
+    return payload;
+}
+
+template <typename T>
+    requires std::is_trivially_copyable_v<T>
+[[nodiscard]] EpochOps<T> decode_frame(const LogFrame& frame) {
+    par::BufferReader r(frame.payload);
+    EpochOps<T> ops;
+    ops.adds = r.read_vector<sparse::Triple<T>>();
+    ops.merges = r.read_vector<sparse::Triple<T>>();
+    ops.masks = r.read_vector<sparse::Triple<T>>();
+    if (!r.exhausted())
+        throw PersistError("log frame carries trailing bytes (type mismatch?)");
+    return ops;
+}
+
+/// Path of one rank's log segment inside a durability directory.
+[[nodiscard]] std::filesystem::path log_path(const std::filesystem::path& dir,
+                                             int rank, std::uint64_t segment);
+
+// -- writer ------------------------------------------------------------------
+
+/// Appends CRC-framed epoch records to one segment file. Not thread-safe
+/// (only the rank's engine thread appends, from the WAL hook).
+class OpLogWriter {
+public:
+    /// Creates (truncating) a fresh segment with its header.
+    static OpLogWriter create(const std::filesystem::path& path, int rank,
+                              std::uint64_t segment);
+    /// Reopens an existing segment for appending at its current end —
+    /// the continue-after-recovery path. The header must validate and match
+    /// `rank`; recovery has already truncated any torn tail.
+    static OpLogWriter append_to(const std::filesystem::path& path, int rank);
+
+    OpLogWriter(OpLogWriter&& other) noexcept;
+    OpLogWriter& operator=(OpLogWriter&&) noexcept;
+    OpLogWriter(const OpLogWriter&) = delete;
+    OpLogWriter& operator=(const OpLogWriter&) = delete;
+    ~OpLogWriter();  // flushes (but does not fsync) and closes
+
+    /// Appends one epoch frame to the user-space buffer. O(payload) memcpy;
+    /// nothing reaches the kernel until flush()/sync() or the buffer grows
+    /// past the flush threshold.
+    void append(std::uint64_t version, const par::Buffer& payload);
+
+    /// Like append(encode_ops(...)) but frames the three streams directly
+    /// into the write buffer — no intermediate payload allocation, no
+    /// second copy, exactly one CRC pass. This is the engine's per-epoch
+    /// WAL path, running on the collective critical path of every applied
+    /// epoch; bench_recovery gates its cost.
+    template <typename T>
+        requires std::is_trivially_copyable_v<T>
+    void append_epoch(std::uint64_t version,
+                      const std::vector<sparse::Triple<T>>& adds,
+                      const std::vector<sparse::Triple<T>>& merges,
+                      const std::vector<sparse::Triple<T>>& masks) {
+        const std::uint64_t payload_bytes =
+            3 * sizeof(std::uint64_t) +
+            (adds.size() + merges.size() + masks.size()) *
+                sizeof(sparse::Triple<T>);
+        const std::size_t payload_start = begin_frame(version, payload_bytes);
+        for (const auto* vec : {&adds, &merges, &masks}) {
+            put_u64(vec->size());
+            put_bytes(vec->data(), vec->size() * sizeof(sparse::Triple<T>));
+        }
+        end_frame(payload_start);
+    }
+
+    /// Hands the buffer to the kernel (write(2)); durability still pending.
+    void flush();
+    /// flush() + fsync(2): everything appended so far survives a crash.
+    void sync();
+
+    /// Logical end-of-log offset (header + all appended frames), regardless
+    /// of how much has been flushed — the value checkpoints record.
+    [[nodiscard]] std::uint64_t offset() const { return offset_; }
+    [[nodiscard]] std::uint64_t segment() const { return segment_; }
+    /// Frames appended since creation/reopen.
+    [[nodiscard]] std::uint64_t frames() const { return frames_; }
+
+    /// TEST ONLY — models a kill -9: drops the unflushed buffer and closes
+    /// the fd without flushing. The file keeps only what flush()/sync()
+    /// already pushed down.
+    void abandon();
+
+private:
+    OpLogWriter() = default;
+
+    /// Grows the raw pending buffer to hold `more` additional bytes
+    /// (geometric, no zero-initialization — a std::vector resize would pay
+    /// a full extra pass value-initializing bytes memcpy overwrites).
+    void ensure(std::size_t more);
+    // The put_* helpers assume begin_frame() already ensured capacity for
+    // the whole frame (asserted); they must stay a bare memcpy.
+    void put_u32(std::uint32_t v) { put_bytes(&v, sizeof v); }
+    void put_u64(std::uint64_t v) { put_bytes(&v, sizeof v); }
+    void put_bytes(const void* src, std::size_t bytes) {
+        assert(size_ + bytes <= cap_);
+        if (bytes == 0) return;  // empty vectors may carry data() == nullptr
+        std::memcpy(buf_.get() + size_, src, bytes);
+        size_ += bytes;
+    }
+
+    /// Reserves + writes the frame header for `payload_bytes` of payload
+    /// the caller is about to put_*; returns the payload's start index.
+    std::size_t begin_frame(std::uint64_t version,
+                            std::uint64_t payload_bytes);
+    /// Checksums the pending payload in place, appends the CRC, and
+    /// accounts the finished frame (may flush).
+    void end_frame(std::size_t payload_start);
+
+    int fd_ = -1;
+    std::uint64_t segment_ = 0;
+    std::uint64_t offset_ = 0;
+    std::uint64_t frames_ = 0;
+    std::unique_ptr<std::byte[]> buf_;  // pending bytes [0, size_)
+    std::size_t size_ = 0;
+    std::size_t cap_ = 0;
+};
+
+// -- reader ------------------------------------------------------------------
+
+/// Reads a segment file frame by frame, stopping (not throwing) at the
+/// first torn or corrupt frame — the valid prefix is what recovery replays.
+class OpLogReader {
+public:
+    /// Loads the file; throws PersistError only if the segment HEADER is
+    /// unreadable (a segment that never finished its 20-byte header is
+    /// reported as valid_end() == 0 with zero frames instead).
+    explicit OpLogReader(const std::filesystem::path& path);
+
+    [[nodiscard]] const LogHeader& header() const { return header_; }
+
+    /// Next valid frame, or nullopt at the end of the valid prefix.
+    std::optional<LogFrame> next();
+
+    /// Byte offset one past the last valid frame read so far (starts at the
+    /// header size) — where truncation cuts a torn tail.
+    [[nodiscard]] std::uint64_t valid_end() const { return valid_end_; }
+    /// True once next() hit bytes it could not validate (torn/corrupt tail).
+    [[nodiscard]] bool torn() const { return torn_; }
+    /// Skips forward to `offset` (a frame boundary recorded by a manifest).
+    void seek(std::uint64_t offset);
+
+private:
+    par::Buffer data_;
+    LogHeader header_;
+    std::size_t pos_ = 0;
+    std::uint64_t valid_end_ = 0;
+    bool torn_ = false;
+};
+
+// -- maintenance -------------------------------------------------------------
+
+/// Truncates `path` to `size` bytes (used to cut torn tails after the
+/// cross-rank replay agreement).
+void truncate_file(const std::filesystem::path& path, std::uint64_t size);
+
+/// Unlinks every log segment of `rank` in `dir` with segment id < `below`
+/// — the compaction step after a committed checkpoint. Returns the number
+/// of files removed.
+std::size_t delete_segments_below(const std::filesystem::path& dir, int rank,
+                                  std::uint64_t below);
+
+/// Highest existing segment id of `rank` in `dir`, or nullopt when the rank
+/// has no log yet.
+std::optional<std::uint64_t> latest_segment(const std::filesystem::path& dir,
+                                            int rank);
+
+}  // namespace dsg::persist

@@ -149,6 +149,38 @@ public:
         m.rowptr_ = r.read_vector<std::size_t>();
         m.colidx_ = r.read_vector<index_t>();
         m.values_ = r.read_vector<T>();
+        // Validate the structural invariants before anything indexes through
+        // rowptr_: buffers from the wire come from a peer rank, but the same
+        // frames also come back from disk (src/persist/), where corruption
+        // is a matter of time, not trust.
+        const auto fail = [](const char* what) {
+            throw par::TruncatedBufferError(std::string("corrupt DCSR: ") +
+                                            what);
+        };
+        if (m.nrows_ < 0 || m.ncols_ < 0) fail("negative dimension");
+        if (m.colidx_.size() != m.values_.size())
+            fail("colidx/values size mismatch");
+        if (m.rowptr_.size() != m.rows_.size() + 1) {
+            // A default-constructed (never begun) matrix serializes with an
+            // empty rows_ and rowptr_ == {0}; anything else must pair up.
+            if (!(m.rows_.empty() && m.rowptr_.empty() && m.colidx_.empty()))
+                fail("rowptr/rows size mismatch");
+        }
+        if (!m.rowptr_.empty()) {
+            if (m.rowptr_.front() != 0) fail("rowptr does not start at 0");
+            for (std::size_t k = 1; k < m.rowptr_.size(); ++k)
+                if (m.rowptr_[k] < m.rowptr_[k - 1]) fail("rowptr not monotone");
+            if (m.rowptr_.back() != m.colidx_.size())
+                fail("rowptr/colidx size mismatch");
+        }
+        for (std::size_t k = 0; k < m.rows_.size(); ++k) {
+            if (m.rows_[k] < 0 || m.rows_[k] >= m.nrows_)
+                fail("row id out of range");
+            if (k > 0 && m.rows_[k] <= m.rows_[k - 1])
+                fail("row ids not ascending");
+        }
+        for (const index_t c : m.colidx_)
+            if (c < 0 || c >= m.ncols_) fail("column id out of range");
         return m;
     }
     static Dcsr deserialize(const par::Buffer& buf)

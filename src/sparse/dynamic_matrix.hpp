@@ -166,6 +166,32 @@ public:
         nnz_ = 0;
     }
 
+    // -- wire format (checkpoint tiles; src/persist/) ------------------------
+
+    /// Serializes this block as a DCSR tile (the library's one wire layout);
+    /// round trips through deserialize() bit-identically: rows ascending and
+    /// the within-row entry order both survive, so a restored matrix is
+    /// indistinguishable from the original, including iteration order.
+    void serialize(par::Buffer& buf) const
+        requires std::is_trivially_copyable_v<T>
+    {
+        to_dcsr().serialize(buf);
+    }
+
+    static DynamicMatrix deserialize(par::BufferReader& r)
+        requires std::is_trivially_copyable_v<T>
+    {
+        const auto tile = Dcsr<T>::deserialize(r);
+        DynamicMatrix m(tile.nrows(), tile.ncols());
+        tile.for_each([&](index_t i, index_t j, const T& v) {
+            if (i < 0 || i >= m.nrows_ || j < 0 || j >= m.ncols_)
+                throw par::TruncatedBufferError(
+                    "dynamic-matrix tile entry out of bounds");
+            m.append_entry(i, j, v);
+        });
+        return m;
+    }
+
     /// Heap bytes held by adjacency arrays and hash indices.
     [[nodiscard]] std::size_t memory_bytes() const {
         std::size_t bytes = rows_.capacity() * sizeof(Row);
@@ -193,15 +219,10 @@ private:
         return npos;
     }
 
-    template <typename Update>
-    bool upsert(index_t i, index_t j, const T& value, Update&& update) {
-        assert(i >= 0 && i < nrows_ && j >= 0 && j < ncols_);
+    /// Appends (i, j) to its row WITHOUT checking for a duplicate — only for
+    /// entry streams already known duplicate-free (deserialize).
+    void append_entry(index_t i, index_t j, const T& value) {
         auto& row = rows_[static_cast<std::size_t>(i)];
-        const std::size_t pos = locate(row, j);
-        if (pos != npos) {
-            update(row.entries[pos].value);
-            return false;
-        }
         row.entries.push_back({j, value});
         ++nnz_;
         if (!row.index.empty()) {
@@ -213,6 +234,18 @@ private:
                 row.index.get_or_insert(row.entries[k].col,
                                         static_cast<std::uint32_t>(k));
         }
+    }
+
+    template <typename Update>
+    bool upsert(index_t i, index_t j, const T& value, Update&& update) {
+        assert(i >= 0 && i < nrows_ && j >= 0 && j < ncols_);
+        auto& row = rows_[static_cast<std::size_t>(i)];
+        const std::size_t pos = locate(row, j);
+        if (pos != npos) {
+            update(row.entries[pos].value);
+            return false;
+        }
+        append_entry(i, j, value);
         return true;
     }
 

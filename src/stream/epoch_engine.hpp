@@ -62,6 +62,10 @@ struct EngineConfig {
     par::ThreadPool* pool = nullptr;  ///< intra-rank threads for apply
     /// Per-epoch log entries kept (the aggregate totals are always exact).
     std::size_t max_epoch_log = std::size_t{1} << 16;
+    /// Version the engine starts counting epochs from. 0 for a fresh run;
+    /// recovery (src/persist/) sets it to the restored checkpoint's version
+    /// so replayed and post-restart epochs continue the original numbering.
+    std::uint64_t initial_version = 0;
 };
 
 /// What ONE rank contributed to one applied epoch, as handed to the epoch
@@ -88,6 +92,7 @@ struct EpochStats {
     double drain_ms = 0;           ///< trigger wait + queue drain
     double apply_ms = 0;           ///< A* builds + local application
     double hook_ms = 0;            ///< epoch hook (analytics maintainers)
+    double persist_ms = 0;         ///< WAL append + checkpoint (src/persist/)
     std::size_t backlog_after = 0; ///< ops already buffered for the next epoch
 };
 
@@ -100,6 +105,7 @@ struct StreamStats {
     double drain_ms = 0;
     double apply_ms = 0;
     double hook_ms = 0;          ///< total epoch-hook time (0 without a hook)
+    double persist_ms = 0;       ///< total WAL + checkpoint time (0 without)
     double max_hook_ms = 0;      ///< slowest single hook invocation
     double max_epoch_ms = 0;     ///< slowest single epoch (drain + apply + hook)
     std::size_t max_backlog = 0; ///< worst backlog left behind by an epoch
@@ -119,7 +125,10 @@ public:
     using Clock = std::chrono::steady_clock;
 
     explicit EpochEngine(core::DistDynamicMatrix<T>& A, EngineConfig cfg = {})
-        : A_(&A), cfg_(cfg), queue_(cfg.queue_capacity) {}
+        : A_(&A),
+          cfg_(cfg),
+          queue_(cfg.queue_capacity),
+          version_(cfg.initial_version) {}
 
     [[nodiscard]] UpdateQueue<T>& queue() { return queue_; }
     [[nodiscard]] const EngineConfig& config() const { return cfg_; }
@@ -134,6 +143,25 @@ public:
     /// collectives they issue (analytics::AnalyticsHub::attach satisfies
     /// this by construction).
     void set_epoch_hook(EpochHook hook) { hook_ = std::move(hook); }
+
+    /// Write-ahead subscriber: called on every rank of an applied epoch
+    /// BEFORE any of the epoch's ops touch the matrix, with the same
+    /// EpochDelta the epoch hook will see (delta.version is the version the
+    /// epoch is about to produce). The durability layer (src/persist/)
+    /// appends the delta to the rank's op log here, so a crash between log
+    /// write and apply replays the epoch instead of losing it (redo
+    /// semantics). Same all-ranks-or-none rule as set_epoch_hook.
+    void set_wal_hook(EpochHook hook) { wal_hook_ = std::move(hook); }
+
+    /// Called after the epoch hook (still under the writer lock, so the
+    /// matrix and any epoch-subscribed maintainers are quiescent and
+    /// mutually consistent) with the epoch's version — the point where the
+    /// durability layer takes its epoch-consistent checkpoints. Fires on
+    /// every rank of the same epochs, so hook bodies may issue collectives.
+    using CheckpointHook = std::function<void(std::uint64_t version)>;
+    void set_checkpoint_hook(CheckpointHook hook) {
+        checkpoint_hook_ = std::move(hook);
+    }
 
     /// Runs one epoch (collective). Returns false once every rank's queue is
     /// exhausted — the caller may stop pumping.
@@ -188,16 +216,41 @@ public:
         e.global_ops = g.adds + g.merges + g.masks;
 
         if (e.global_ops > 0) {
-            const auto t1 = Clock::now();
+            auto t1 = Clock::now();
             std::unique_lock lock(snapshot_mx_);
             // The applies below consume the partitioned streams, so the
-            // hook's delta is captured first (copies only when subscribed).
+            // hooks' delta is captured first. With an epoch hook the lists
+            // are copied (the hook reads them after apply consumed the
+            // originals); with ONLY a WAL hook they are moved through the
+            // delta and moved back out by the applies — zero copies, which
+            // keeps the durable-ingest overhead bench_recovery gates low.
             EpochDelta<T> delta;
-            if (hook_) {
+            const bool wal_only = wal_hook_ && !hook_;
+            if (hook_ || wal_hook_) {
+                delta.version = version_ + 1;
                 delta.global_ops = e.global_ops;
-                delta.adds = adds_;
-                delta.merges = merges_;
-                delta.masks = masks_;
+                if (wal_only) {
+                    delta.adds = std::move(adds_);
+                    delta.merges = std::move(merges_);
+                    delta.masks = std::move(masks_);
+                } else {
+                    delta.adds = adds_;
+                    delta.merges = merges_;
+                    delta.masks = masks_;
+                }
+            }
+            auto& apply_adds = wal_only ? delta.adds : adds_;
+            auto& apply_merges = wal_only ? delta.merges : merges_;
+            auto& apply_masks = wal_only ? delta.masks : masks_;
+            if (wal_hook_) {
+                // Write-ahead: the epoch is logged (buffered; durability
+                // follows the subscriber's fsync cadence) before any of its
+                // ops become visible, so replay can redo exactly what
+                // readers may have observed minus a clean suffix.
+                const auto tw = Clock::now();
+                wal_hook_(delta);
+                e.persist_ms += ms_since(tw);
+                t1 = Clock::now();  // keep WAL time out of apply_ms
             }
             {
                 par::Profiler::Scope scope(par::Phase::StreamApply);
@@ -205,21 +258,18 @@ public:
                 const index_t nr = A_->shape().nrows();
                 const index_t nc = A_->shape().ncols();
                 if (g.adds > 0) {
-                    auto ua = core::build_update_matrix(grid, nr, nc,
-                                                        std::move(adds_),
-                                                        cfg_.redist);
+                    auto ua = core::build_update_matrix(
+                        grid, nr, nc, std::move(apply_adds), cfg_.redist);
                     core::add_update<SR>(*A_, ua, cfg_.pool);
                 }
                 if (g.merges > 0) {
-                    auto um = core::build_update_matrix(grid, nr, nc,
-                                                        std::move(merges_),
-                                                        cfg_.redist);
+                    auto um = core::build_update_matrix(
+                        grid, nr, nc, std::move(apply_merges), cfg_.redist);
                     core::merge_update(*A_, um, cfg_.pool);
                 }
                 if (g.masks > 0) {
-                    auto ud = core::build_update_matrix(grid, nr, nc,
-                                                        std::move(masks_),
-                                                        cfg_.redist);
+                    auto ud = core::build_update_matrix(
+                        grid, nr, nc, std::move(apply_masks), cfg_.redist);
                     core::mask_delete(*A_, ud, cfg_.pool);
                 }
                 ++version_;
@@ -228,9 +278,13 @@ public:
             if (hook_) {
                 const auto t2 = Clock::now();
                 par::Profiler::Scope scope(par::Phase::Analytics);
-                delta.version = version_;
                 hook_(delta);
                 e.hook_ms = ms_since(t2);
+            }
+            if (checkpoint_hook_) {
+                const auto t3 = Clock::now();
+                checkpoint_hook_(version_);
+                e.persist_ms += ms_since(t3);
             }
         }
 
@@ -275,6 +329,8 @@ private:
     EngineConfig cfg_;
     UpdateQueue<T> queue_;
     EpochHook hook_;
+    EpochHook wal_hook_;
+    CheckpointHook checkpoint_hook_;
 
     mutable std::shared_mutex snapshot_mx_;
     std::uint64_t version_ = 0;  // written under unique snapshot_mx_

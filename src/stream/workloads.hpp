@@ -8,15 +8,19 @@
 // between epochs), and pauses (burst gaps the driver may honor by sleeping
 // or yield to model think time).
 //
-// The six scenarios cover the axes that stress distinct parts of the
+// The eight scenarios cover the axes that stress distinct parts of the
 // engine: sustained-uniform — steady uniform load (the paper's R-MAT-batch
 // regime); bursty — deadline-triggered epochs + backpressure; hot-vertex-skew
 // — long DHB rows and unbalanced grid blocks; sliding-window-delete —
 // MASK-heavy traffic over the producer's own recent inserts; mixed-read-write
-// — point-probe readers racing epoch application; and analytics-read —
+// — point-probe readers racing epoch application; analytics-read —
 // weighted inserts plus windowed deletes with frequent reads, where a read
 // means "poll the derived analytics" (the driver's on_read typically samples
-// analytics::AnalyticsHub snapshots instead of probing the matrix).
+// analytics::AnalyticsHub snapshots instead of probing the matrix);
+// checkpoint-under-load — all three op kinds sustained so the durability
+// layer (src/persist/) logs and checkpoints under real write pressure; and
+// kill-and-recover — deterministic ADD bursts + MASK sweeps whose every
+// prefix is exactly regenerable, the stream crash drills kill mid-flight.
 #pragma once
 
 #include <algorithm>
@@ -39,6 +43,8 @@ enum class Scenario : int {
     SlidingWindowDelete,  ///< ADD new edges, MASK those older than a window
     MixedReadWrite,       ///< uniform ADDs interleaved with point reads
     AnalyticsRead,        ///< weighted ADDs + windowed MASKs + derived-value reads
+    CheckpointUnderLoad,  ///< all three kinds sustained: durability pressure
+    KillAndRecover,       ///< deterministic ADD bursts + MASK sweeps, kill-friendly
 };
 
 [[nodiscard]] constexpr const char* scenario_name(Scenario s) {
@@ -49,6 +55,8 @@ enum class Scenario : int {
         case Scenario::SlidingWindowDelete: return "sliding-window-delete";
         case Scenario::MixedReadWrite: return "mixed-read-write";
         case Scenario::AnalyticsRead: return "analytics-read";
+        case Scenario::CheckpointUnderLoad: return "checkpoint-under-load";
+        case Scenario::KillAndRecover: return "kill-and-recover";
     }
     return "?";
 }
@@ -57,7 +65,8 @@ enum class Scenario : int {
     static const std::vector<Scenario> all = {
         Scenario::SustainedUniform,    Scenario::Bursty,
         Scenario::HotVertexSkew,       Scenario::SlidingWindowDelete,
-        Scenario::MixedReadWrite,      Scenario::AnalyticsRead};
+        Scenario::MixedReadWrite,      Scenario::AnalyticsRead,
+        Scenario::CheckpointUnderLoad, Scenario::KillAndRecover};
     return all;
 }
 
@@ -193,6 +202,59 @@ public:
                 live_.push_back({op.tuple.row, op.tuple.col});
                 return write(op);
             }
+            case Scenario::CheckpointUnderLoad: {
+                // Durability pressure: every op kind, sustained, writes
+                // only. The live window keeps the log's MASK share honest
+                // (only ever retiring this producer's own inserts), MERGEs
+                // re-weight live edges, ADDs grow the matrix — so both the
+                // WAL (all three streams per epoch) and the checkpoint (a
+                // steadily growing tile) are exercised while the driver
+                // runs a small checkpoint stride underneath.
+                if (live_.size() >= cfg_.window && !just_masked_) {
+                    auto victim = live_.front();
+                    live_.pop_front();
+                    just_masked_ = true;
+                    return write(
+                        {OpKind::Mask, {victim.row, victim.col, 0.0}});
+                }
+                just_masked_ = false;
+                if (!live_.empty() && chance(cfg_.merge_fraction)) {
+                    const auto& c =
+                        live_[static_cast<std::size_t>(rng_()) % live_.size()];
+                    return write({OpKind::Merge, {c.row, c.col, rand_value()}});
+                }
+                StreamOp<double> op{
+                    OpKind::Add,
+                    {rand_index(cfg_.n), rand_index(cfg_.n), rand_value()}};
+                live_.push_back({op.tuple.row, op.tuple.col});
+                return write(op);
+            }
+            case Scenario::KillAndRecover: {
+                // Deterministic phased rounds for crash drills: burst_len
+                // weighted ADDs, then a MASK sweep retiring the oldest
+                // quarter of the live set. Writes only, no pauses — a
+                // driver killed at ANY point leaves a prefix this same
+                // producer regenerates exactly, which is what the recovery
+                // equivalence tests replay against.
+                if (mask_sweep_ > 0 && !live_.empty()) {
+                    --mask_sweep_;
+                    auto victim = live_.front();
+                    live_.pop_front();
+                    return write(
+                        {OpKind::Mask, {victim.row, victim.col, 0.0}});
+                }
+                mask_sweep_ = 0;
+                if (phase_pos_ >= cfg_.burst_len) {
+                    phase_pos_ = 0;
+                    mask_sweep_ = live_.size() / 4;
+                }
+                ++phase_pos_;
+                StreamOp<double> op{
+                    OpKind::Add,
+                    {rand_index(cfg_.n), rand_index(cfg_.n), rand_value()}};
+                live_.push_back({op.tuple.row, op.tuple.col});
+                return write(op);
+            }
         }
         return std::nullopt;
     }
@@ -235,6 +297,8 @@ private:
     std::size_t writes_emitted_ = 0;
     bool pause_pending_ = false;
     bool just_masked_ = false;
+    std::size_t phase_pos_ = 0;   // KillAndRecover: position within a burst
+    std::size_t mask_sweep_ = 0;  // KillAndRecover: MASKs left in the sweep
     std::deque<Coord> live_;
 };
 

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "par/buffer.hpp"
@@ -66,6 +67,72 @@ TEST(Buffer, TruncatedVectorThrows) {
     w.write<std::uint64_t>(1000);  // claims 1000 elements, provides none
     BufferReader r(buf);
     EXPECT_THROW((void)r.read_vector<double>(), std::out_of_range);
+}
+
+// Every malformed-input path must surface the typed error (which still
+// derives from std::out_of_range for older call sites) instead of UB.
+TEST(Buffer, MalformedInputThrowsTypedError) {
+    using dsg::par::TruncatedBufferError;
+
+    // Scalar read from an empty buffer.
+    {
+        Buffer empty;
+        BufferReader r(empty);
+        EXPECT_THROW((void)r.read<std::uint8_t>(), TruncatedBufferError);
+    }
+    // Vector read whose length header itself is cut short.
+    {
+        Buffer buf;
+        BufferWriter w(buf);
+        w.write<std::uint32_t>(7);  // 4 bytes: not even a full u64 header
+        BufferReader r(buf);
+        EXPECT_THROW((void)r.read_vector<int>(), TruncatedBufferError);
+    }
+    // Vector payload shorter than the (honest) length header claims.
+    {
+        Buffer buf;
+        BufferWriter w(buf);
+        w.write_vector(std::vector<double>{1.0, 2.0, 3.0});
+        buf.resize(buf.size() - 1);  // tear one byte off the payload
+        BufferReader r(buf);
+        EXPECT_THROW((void)r.read_vector<double>(), TruncatedBufferError);
+    }
+    // skip() past the end is bounds-checked like a read.
+    {
+        Buffer buf(4);
+        BufferReader r(buf);
+        EXPECT_THROW(r.skip(5), TruncatedBufferError);
+    }
+}
+
+// Regression for the PR 1 length-overflow bug: a corrupt header near 2^64
+// makes n * sizeof(T) wrap to a small number; the check must reject it
+// instead of memcpy-ing out of bounds (or allocating n elements).
+TEST(Buffer, LengthOverflowHeaderRejected) {
+    using dsg::par::TruncatedBufferError;
+    for (const std::uint64_t n :
+         {~std::uint64_t{0}, ~std::uint64_t{0} / 2 + 1,
+          (std::uint64_t{1} << 61) + 1}) {
+        Buffer buf;
+        BufferWriter w(buf);
+        w.write<std::uint64_t>(n);
+        w.write<double>(0.5);  // a little real payload after the bogus header
+        BufferReader r(buf);
+        EXPECT_THROW((void)r.read_vector<double>(), TruncatedBufferError)
+            << "header " << n;
+    }
+}
+
+TEST(Buffer, ReaderStateIntactAfterFailedRead) {
+    Buffer buf;
+    BufferWriter w(buf);
+    w.write<std::uint32_t>(42);
+    BufferReader r(buf);
+    EXPECT_THROW((void)r.read<std::uint64_t>(), std::out_of_range);
+    // The failed read consumed nothing; the valid prefix is still readable.
+    EXPECT_EQ(r.position(), 0u);
+    EXPECT_EQ(r.read<std::uint32_t>(), 42u);
+    EXPECT_TRUE(r.exhausted());
 }
 
 TEST(Buffer, RemainingTracksPosition) {

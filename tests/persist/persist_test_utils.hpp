@@ -1,0 +1,69 @@
+// Shared fixtures for the durability tests: unique scratch directories and
+// exact (bit-level) comparison of gathered distributed matrices.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/dist_matrix.hpp"
+#include "sparse/types.hpp"
+
+namespace dsg::test {
+
+/// Creates (and on success removes) a unique scratch directory per test.
+/// Left behind on failure so the durable state can be inspected.
+class ScratchDir {
+public:
+    ScratchDir() {
+        static std::atomic<int> counter{0};
+        const auto base = std::filesystem::temp_directory_path();
+        path_ = base / ("dsg-persist-" + std::to_string(::getpid()) + "-" +
+                        std::to_string(counter.fetch_add(1)));
+        std::filesystem::create_directories(path_);
+    }
+    ~ScratchDir() {
+        if (!::testing::Test::HasFailure()) {
+            std::error_code ec;
+            std::filesystem::remove_all(path_, ec);
+        }
+    }
+    [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+private:
+    std::filesystem::path path_;
+};
+
+/// Gathered global triples, sorted by coordinate — the canonical image two
+/// runs are compared by. Values are NOT rounded: recovery promises
+/// bit-identical state, so comparisons use exact equality.
+inline std::vector<sparse::Triple<double>> sorted_global(
+    const core::DistDynamicMatrix<double>& m) {
+    auto ts = m.gather_global();
+    std::sort(ts.begin(), ts.end(), [](const auto& a, const auto& b) {
+        return a.row != b.row ? a.row < b.row : a.col < b.col;
+    });
+    return ts;
+}
+
+inline void expect_bit_identical(
+    const std::vector<sparse::Triple<double>>& got,
+    const std::vector<sparse::Triple<double>>& want, const char* what) {
+    ASSERT_EQ(got.size(), want.size()) << what;
+    for (std::size_t k = 0; k < got.size(); ++k) {
+        ASSERT_EQ(got[k].row, want[k].row) << what << " entry " << k;
+        ASSERT_EQ(got[k].col, want[k].col) << what << " entry " << k;
+        ASSERT_EQ(got[k].value, want[k].value)
+            << what << " value at (" << got[k].row << ", " << got[k].col
+            << ")";
+    }
+}
+
+}  // namespace dsg::test

@@ -1,0 +1,146 @@
+// Checkpoint/manifest unit tests: framed-file atomicity and validation,
+// tile round trips, manifest commit semantics, retention helpers.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "persist/checkpoint.hpp"
+#include "persist/persist_test_utils.hpp"
+#include "sparse/dynamic_matrix.hpp"
+
+namespace {
+
+using dsg::sparse::DynamicMatrix;
+using dsg::sparse::index_t;
+using dsg::test::ScratchDir;
+namespace persist = dsg::persist;
+namespace fs = std::filesystem;
+
+DynamicMatrix<double> sample_tile(index_t rows, index_t cols, int salt) {
+    DynamicMatrix<double> m(rows, cols);
+    for (index_t i = 0; i < rows; ++i)
+        for (index_t j = i % 3; j < cols; j += 3)
+            m.insert_or_assign(i, j, static_cast<double>(salt) + 0.25 *
+                                         static_cast<double>(i * cols + j));
+    // A deletion so the restored entry order must reproduce the swap-erase
+    // layout, not just the set of entries.
+    m.erase(0, 0);
+    return m;
+}
+
+TEST(Checkpoint, TileAndExtraStateRoundTrip) {
+    ScratchDir dir;
+    const auto tile = sample_tile(12, 9, 3);
+    dsg::par::Buffer extra;
+    dsg::par::BufferWriter w(extra);
+    w.write<std::uint64_t>(0xfeedbeefu);
+
+    persist::write_checkpoint_file<double>(dir.path(), 40, 1, 2, 24, 18, tile,
+                                           extra);
+    auto loaded = persist::read_checkpoint_file<double>(dir.path(), 40, 1, 2,
+                                                        24, 18);
+    EXPECT_EQ(loaded.tile.nnz(), tile.nnz());
+    EXPECT_EQ(loaded.tile.to_triples(), tile.to_triples())
+        << "entry order must survive bit-identically";
+    dsg::par::BufferReader r(loaded.extra_state);
+    EXPECT_EQ(r.read<std::uint64_t>(), 0xfeedbeefu);
+
+    // Any disagreement with the manifest-provided expectations throws.
+    EXPECT_THROW((persist::read_checkpoint_file<double>(dir.path(), 40, 1, 3,
+                                                        24, 18)),
+                 persist::PersistError);
+    EXPECT_THROW((persist::read_checkpoint_file<double>(dir.path(), 41, 1, 2,
+                                                        24, 18)),
+                 persist::PersistError)
+        << "missing version must not silently fall back";
+}
+
+TEST(Checkpoint, CorruptFileIsRejected) {
+    ScratchDir dir;
+    persist::write_checkpoint_file<double>(dir.path(), 8, 0, 1, 6, 6,
+                                           sample_tile(6, 6, 1), {});
+    const auto path = persist::checkpoint_path(dir.path(), 8, 0);
+    {
+        std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+        f.seekp(40);
+        f.put('\x7f');
+    }
+    EXPECT_THROW(
+        (persist::read_checkpoint_file<double>(dir.path(), 8, 0, 1, 6, 6)),
+        persist::PersistError);
+}
+
+TEST(Checkpoint, ManifestCommitAndReRead) {
+    ScratchDir dir;
+    EXPECT_EQ(persist::read_manifest(dir.path()), std::nullopt);
+
+    persist::Manifest m;
+    m.version = 128;
+    m.grid_q = 2;
+    m.nrows = 1024;
+    m.ncols = 512;
+    m.log = {{3, 100}, {3, 80}, {2, 999}, {3, persist::kLogHeaderBytes}};
+    persist::write_manifest(dir.path(), m);
+
+    auto got = persist::read_manifest(dir.path());
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->version, 128u);
+    EXPECT_EQ(got->grid_q, 2);
+    EXPECT_EQ(got->nrows, 1024);
+    EXPECT_EQ(got->ncols, 512);
+    EXPECT_EQ(got->log, m.log);
+
+    // A newer manifest atomically replaces the old one.
+    m.version = 256;
+    m.log = {{5, 20}, {5, 20}, {5, 20}, {5, 20}};
+    persist::write_manifest(dir.path(), m);
+    EXPECT_EQ(persist::read_manifest(dir.path())->version, 256u);
+
+    // Truncation (a torn manifest could only come from fs corruption — the
+    // write is tmp + rename) is detected, not trusted.
+    persist::truncate_file(persist::manifest_path(dir.path()), 10);
+    EXPECT_THROW((void)persist::read_manifest(dir.path()),
+                 persist::PersistError);
+}
+
+TEST(Checkpoint, ManifestGridLogMismatchRejected) {
+    ScratchDir dir;
+    persist::Manifest m;
+    m.version = 1;
+    m.grid_q = 2;
+    m.nrows = m.ncols = 64;
+    m.log = {{0, 20}};  // 1 position for a 4-rank grid: corrupt
+    persist::write_manifest(dir.path(), m);
+    EXPECT_THROW((void)persist::read_manifest(dir.path()),
+                 persist::PersistError);
+}
+
+TEST(Checkpoint, RetentionDeletesOnlyOlderFilesOfTheRank) {
+    ScratchDir dir;
+    for (std::uint64_t v : {8u, 16u, 24u})
+        for (int rank : {0, 1})
+            persist::write_checkpoint_file<double>(dir.path(), v, rank, 2, 6,
+                                                   6, sample_tile(3, 3, 1),
+                                                   {});
+    EXPECT_EQ(persist::delete_checkpoints_below(dir.path(), 0, 24), 2u);
+    EXPECT_FALSE(fs::exists(persist::checkpoint_path(dir.path(), 8, 0)));
+    EXPECT_FALSE(fs::exists(persist::checkpoint_path(dir.path(), 16, 0)));
+    EXPECT_TRUE(fs::exists(persist::checkpoint_path(dir.path(), 24, 0)));
+    EXPECT_TRUE(fs::exists(persist::checkpoint_path(dir.path(), 8, 1)));
+}
+
+TEST(Checkpoint, EmptyTileRoundTrips) {
+    ScratchDir dir;
+    DynamicMatrix<double> empty(5, 7);
+    persist::write_checkpoint_file<double>(dir.path(), 1, 0, 1, 5, 7, empty,
+                                           {});
+    auto loaded =
+        persist::read_checkpoint_file<double>(dir.path(), 1, 0, 1, 5, 7);
+    EXPECT_EQ(loaded.tile.nnz(), 0u);
+    EXPECT_EQ(loaded.tile.nrows(), 5);
+    EXPECT_EQ(loaded.tile.ncols(), 7);
+    EXPECT_TRUE(loaded.extra_state.empty());
+}
+
+}  // namespace
