@@ -25,11 +25,22 @@
 //   ./example_streaming_ingest --checkpoint-dir=/tmp/d --writes=200000 &
 //   kill -9 $!; ./example_streaming_ingest --checkpoint-dir=/tmp/d --restore
 //
+// With --serve-queries the program runs the query-serving tier (src/serve/)
+// instead: a SnapshotStore publishes immutable snapshots at epoch
+// boundaries while producers stream the serving-read-heavy scenario, and
+// every read becomes a typed query (edge-exists / degree / k-hop /
+// analytics-read) submitted to a shared QueryExecutor with a result cache
+// — rate-limited by --query-rate=N (queries/s per producer thread).
+// Serving composes with durability: --serve-queries --checkpoint-dir=DIR
+// --restore recovers first and serves straight from the restored state
+// (the initial snapshot IS the recovered matrix + analytics).
+//
 // Run: ./build/examples/example_streaming_ingest
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -42,6 +53,9 @@
 #include "par/profiler.hpp"
 #include "persist/durability.hpp"
 #include "persist/recovery.hpp"
+#include "serve/query_executor.hpp"
+#include "serve/result_cache.hpp"
+#include "serve/snapshot_store.hpp"
 #include "stream/epoch_engine.hpp"
 #include "stream/workloads.hpp"
 
@@ -286,12 +300,133 @@ void run_durable(par::Comm& comm, core::ProcessGrid& grid,
     }
 }
 
+/// The query-serving tier: producers stream the serving-read-heavy scenario
+/// while every read becomes a typed query against the shared SnapshotStore
+/// through the QueryExecutor — rate-limited per producer so the serving
+/// side models user traffic, not a spin loop. With restore == true, state
+/// is recovered from `dir` first and the store's initial snapshot IS the
+/// recovered matrix + analytics (serving works straight after recovery);
+/// with a non-empty `dir` the run is also durable while it serves.
+void run_serving(par::Comm& comm, core::ProcessGrid& grid,
+                 serve::SnapshotStore<double>& store,
+                 serve::QueryExecutor<double>& executor,
+                 const std::string& dir, bool restore, std::size_t writes,
+                 double query_rate) {
+    using Manager = persist::DurabilityManager<SR>;
+    const sparse::index_t n = 1024;
+    const std::vector<sparse::index_t> sources = {0, 1, 2, 3};
+    core::DistDynamicMatrix<double> B(grid, n, n);
+
+    analytics::AnalyticsHub<double> hub;
+    auto& triangles = hub.emplace<analytics::LiveTriangleMaintainer>(grid, n);
+    hub.emplace<analytics::LiveDistanceMaintainer>(grid, n, sources);
+
+    std::uint64_t base_version = 0;
+    if (restore) {
+        persist::RecoveryOptions ropts;
+        ropts.dir = dir;
+        const auto res = persist::recover<SR>(B, ropts, &hub);
+        base_version = res.recovered_version;
+        if (comm.rank() == 0)
+            std::printf(
+                "recovery OK: serving from restored version %llu "
+                "(triangles %.0f)\n",
+                static_cast<unsigned long long>(res.recovered_version),
+                triangles.snapshot());
+    }
+
+    stream::WorkloadConfig wl;
+    wl.scenario = stream::Scenario::ServingReadHeavy;
+    wl.n = n;
+    wl.writes = writes;
+    wl.seed = 15'000 + static_cast<std::uint64_t>(comm.rank()) +
+              (restore ? 7'777 : 0);
+
+    stream::EngineConfig cfg;
+    cfg.queue_capacity = 4'096;
+    cfg.epoch_batch = 1'024;
+    cfg.epoch_deadline = std::chrono::milliseconds(5);
+    cfg.initial_version = base_version;
+    Engine engine(B, cfg);
+    hub.attach(engine);
+    store.attach(engine, B, &hub);  // initial snapshot: the starting state
+
+    std::unique_ptr<Manager> mgr;
+    if (!dir.empty()) {
+        persist::PersistConfig pc;
+        pc.dir = dir;
+        pc.fsync_every = 8;
+        pc.checkpoint_stride = 16;
+        mgr = std::make_unique<Manager>(engine, B, pc,
+                                        restore ? Manager::Start::Resume
+                                                : Manager::Start::Fresh,
+                                        &hub);
+    }
+
+    const auto query_gap = std::chrono::microseconds(
+        query_rate > 0 ? static_cast<long>(1e6 / query_rate) : 0);
+    for (int prod = 0; prod < kProducers; ++prod)
+        engine.queue().register_producer();
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    for (int prod = 0; prod < kProducers; ++prod) {
+        producers.emplace_back([&, prod] {
+            std::uint64_t k = 0;
+            stream::drive_producer(
+                engine, stream::WorkloadProducer(wl, prod),
+                [&](sparse::index_t row, sparse::index_t col) {
+                    serve::Query q;
+                    const std::uint64_t pick = k++;
+                    switch (pick % 4) {
+                        case 0:
+                            q = {serve::QueryKind::EdgeExists, row, col, 1, ""};
+                            break;
+                        case 1:
+                            q = {serve::QueryKind::Degree, row, 0, 1, ""};
+                            break;
+                        case 2:
+                            q = {serve::QueryKind::KHop, row, 0, 2, ""};
+                            break;
+                        default:
+                            q = {serve::QueryKind::AnalyticsRead, 0, 0, 1,
+                                 pick % 8 == 3 ? "triangles"
+                                               : "distance-sum"};
+                            break;
+                    }
+                    (void)executor.submit(std::move(q));  // fire and forget
+                    if (query_gap.count() > 0)
+                        std::this_thread::sleep_for(query_gap);
+                });
+        });
+    }
+    engine.run();  // collective; publishes snapshots at epoch boundaries
+    for (auto& t : producers) t.join();
+
+    const std::size_t nnz = B.global_nnz();  // collective
+    comm.barrier();
+    if (comm.rank() == 0) {
+        std::printf("query serving (%s%s):\n  %s\n",
+                    stream::scenario_name(wl.scenario),
+                    restore ? ", restored" : dir.empty() ? "" : ", durable",
+                    engine.stats().summary().c_str());
+        std::printf(
+            "  nnz %zu, snapshots published %llu (retained %zu, live %lld), "
+            "current version %llu\n",
+            nnz, static_cast<unsigned long long>(store.published()),
+            store.retained(), static_cast<long long>(store.live_snapshots()),
+            static_cast<unsigned long long>(
+                store.current_version().value_or(0)));
+    }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     std::string checkpoint_dir;
     bool restore = false;
-    std::size_t durable_writes = 20'000;
+    bool serve_queries = false;
+    double query_rate = 2'000;  // queries/s per producer thread
+    std::size_t writes = 0;     // 0 = mode default
     for (int a = 1; a < argc; ++a) {
         const char* arg = argv[a];
         if (std::strncmp(arg, "--checkpoint-dir=", 17) == 0) {
@@ -302,13 +437,21 @@ int main(int argc, char** argv) {
             }
         } else if (std::strcmp(arg, "--restore") == 0) {
             restore = true;
+        } else if (std::strcmp(arg, "--serve-queries") == 0) {
+            serve_queries = true;
+        } else if (std::strncmp(arg, "--query-rate=", 13) == 0) {
+            query_rate = std::strtod(arg + 13, nullptr);
+            if (!(query_rate > 0)) {
+                std::fprintf(stderr, "--query-rate needs a value > 0\n");
+                return 2;
+            }
         } else if (std::strncmp(arg, "--writes=", 9) == 0) {
-            durable_writes = static_cast<std::size_t>(
+            writes = static_cast<std::size_t>(
                 std::strtoull(arg + 9, nullptr, 10));
         } else {
             std::fprintf(stderr,
                          "usage: %s [--checkpoint-dir=DIR [--restore] "
-                         "[--writes=N]]\n",
+                         "[--writes=N]] [--serve-queries [--query-rate=N]]\n",
                          argv[0]);
             return 2;
         }
@@ -318,10 +461,64 @@ int main(int argc, char** argv) {
         return 2;
     }
 
+    if (serve_queries) {
+        // The serving tier is process-wide: one store, one cache, one
+        // executor shared by every rank's producers (ranks are threads).
+        serve::StoreConfig scfg;
+        scfg.publish_every = 4;
+        scfg.retain = 3;
+        serve::SnapshotStore<double> store(scfg);
+        serve::ResultCache cache;
+        store.set_cache(&cache);
+        serve::ExecutorConfig ecfg;
+        ecfg.pending_capacity = 4'096;
+        ecfg.deadline = std::chrono::milliseconds(250);
+        ecfg.cache = &cache;
+        serve::QueryExecutor<double> executor(store, ecfg);
+
+        const std::size_t serve_writes = writes > 0 ? writes : 2'000;
+        par::run_world(kRanks, [&](par::Comm& comm) {
+            core::ProcessGrid grid(comm);
+            run_serving(comm, grid, store, executor, checkpoint_dir, restore,
+                        serve_writes, query_rate);
+        });
+        executor.stop();
+
+        std::printf("  %-14s %10s %8s %8s %8s %8s %10s\n", "query class",
+                    "submitted", "ok", "hits", "shed", "expired", "mean us");
+        for (const auto kind :
+             {serve::QueryKind::EdgeExists, serve::QueryKind::Degree,
+              serve::QueryKind::KHop, serve::QueryKind::AnalyticsRead}) {
+            const auto s = executor.stats(kind);
+            std::printf("  %-14s %10llu %8llu %8llu %8llu %8llu %10.2f\n",
+                        serve::query_kind_name(kind),
+                        static_cast<unsigned long long>(s.submitted),
+                        static_cast<unsigned long long>(s.ok),
+                        static_cast<unsigned long long>(s.cache_hits),
+                        static_cast<unsigned long long>(s.shed),
+                        static_cast<unsigned long long>(s.expired),
+                        s.mean_us());
+        }
+        const auto cs = cache.stats();
+        std::printf(
+            "  cache: %llu hits / %llu lookups (%.0f%%), %llu invalidated "
+            "by version retire\n",
+            static_cast<unsigned long long>(cs.hits),
+            static_cast<unsigned long long>(cs.hits + cs.misses),
+            cs.hits + cs.misses > 0
+                ? 100.0 * static_cast<double>(cs.hits) /
+                      static_cast<double>(cs.hits + cs.misses)
+                : 0.0,
+            static_cast<unsigned long long>(cs.invalidated));
+        std::printf("serving run OK\n");
+        return 0;
+    }
+
     if (!checkpoint_dir.empty()) {
         par::run_world(kRanks, [&](par::Comm& comm) {
             core::ProcessGrid grid(comm);
-            run_durable(comm, grid, checkpoint_dir, restore, durable_writes);
+            run_durable(comm, grid, checkpoint_dir, restore,
+                        writes > 0 ? writes : 20'000);
         });
         return 0;
     }

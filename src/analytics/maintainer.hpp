@@ -186,7 +186,12 @@ public:
     }
 
     /// (name, snapshot) of every maintainer, in registration order. Reads
-    /// are lock-free; safe from any thread.
+    /// are lock-free; safe from any thread. This is also the hub's frozen
+    /// readout: taken under the engine's writer lock (where every
+    /// maintainer is quiescent and published), the returned vector is an
+    /// immutable, mutually consistent copy of all derived values — the
+    /// serving layer (src/serve/) embeds exactly this in each published
+    /// snapshot so analytics reads never touch the live hub.
     [[nodiscard]] std::vector<std::pair<std::string, double>> snapshots()
         const {
         std::vector<std::pair<std::string, double>> out;

@@ -95,6 +95,13 @@ public:
             local_.nnz(), [](std::uint64_t a, std::uint64_t b) { return a + b; });
     }
 
+    /// Freezes this rank's block as an immutable DCSR tile (local indices,
+    /// rows ascending) — the extraction step of snapshot publication
+    /// (src/serve/). O(local nnz); rank-local. The caller must hold the
+    /// block quiescent (the serving layer runs this under the epoch
+    /// engine's writer lock, where the matrix cannot change).
+    [[nodiscard]] Dcsr<T> freeze_tile() const { return local_.to_dcsr(); }
+
     /// Collective: gathers every entry (with global coordinates) on every
     /// rank. Testing/debugging helper; O(global nnz) everywhere.
     [[nodiscard]] std::vector<Triple<T>> gather_global() const

@@ -6,7 +6,8 @@
 // (dsg::sparse), the distributed core (dsg::core — the paper's
 // contribution), the streaming ingestion engine (dsg::stream), the live
 // analytics layer (dsg::analytics), the durability layer (dsg::persist),
-// the competitor baselines (dsg::baseline)
+// the query serving layer (dsg::serve), the competitor baselines
+// (dsg::baseline)
 // and the graph layer (dsg::graph). Individual headers remain includable on
 // their own;
 // see README.md for the module map and docs/ARCHITECTURE.md for the design
@@ -50,6 +51,10 @@
 #include "persist/durability.hpp"
 #include "persist/op_log.hpp"
 #include "persist/recovery.hpp"
+
+#include "serve/query_executor.hpp"
+#include "serve/result_cache.hpp"
+#include "serve/snapshot_store.hpp"
 
 #include "baseline/static_rebuild.hpp"
 

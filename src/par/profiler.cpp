@@ -33,6 +33,9 @@ std::string_view phase_name(Phase phase) {
         case Phase::PersistLog: return "Persist log";
         case Phase::PersistCheckpoint: return "Persist ckpt.";
         case Phase::PersistRecover: return "Persist recover";
+        case Phase::ServePublish: return "Serve publish";
+        case Phase::ServeQuery: return "Serve query";
+        case Phase::ServeCache: return "Serve cache";
         case Phase::Other: return "Other";
         case Phase::kCount: break;
     }

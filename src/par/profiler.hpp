@@ -16,8 +16,10 @@ namespace dsg::par {
 
 /// Phases instrumented across the library. The first five correspond to the
 /// bars of the paper's Fig. 7, the next five to Fig. 12; the two Stream
-/// phases bracket the streaming ingestion engine (src/stream/), and
-/// Analytics covers the epoch-subscribed maintainers (src/analytics/).
+/// phases bracket the streaming ingestion engine (src/stream/), Analytics
+/// covers the epoch-subscribed maintainers (src/analytics/), the Persist
+/// phases the durability layer (src/persist/), and the Serve phases the
+/// query-serving subsystem (src/serve/).
 enum class Phase : int {
     RedistSort = 0,     ///< counting/comparison sort by destination rank
     RedistComm,         ///< alltoallv exchanges of update tuples
@@ -35,6 +37,9 @@ enum class Phase : int {
     PersistLog,         ///< write-ahead op-log appends + fsyncs (src/persist/)
     PersistCheckpoint,  ///< epoch-consistent snapshot + manifest commit
     PersistRecover,     ///< checkpoint load + log-tail replay on restart
+    ServePublish,       ///< snapshot tile freeze + seal/publish (src/serve/)
+    ServeQuery,         ///< query evaluation on published snapshots
+    ServeCache,         ///< result-cache lookups, inserts and invalidation
     Other,
     kCount
 };

@@ -65,9 +65,12 @@ void ThreadPool::parallel_for(
     std::size_t n, const std::function<void(int, std::size_t, std::size_t)>& fn) {
     if (n == 0) return;
     if (threads_ == 1 || n == 1) {
+        // Inline execution touches no shared job state, so concurrent
+        // callers need no serialization on this path.
         fn(0, 0, n);
         return;
     }
+    std::lock_guard submit_lock(submit_mx_);
     {
         std::lock_guard lk(mx_);
         job_ = &fn;

@@ -5,6 +5,13 @@
 // one job at a time, chunked self-scheduling. With threads == 1 everything
 // runs inline on the calling thread (the default on this single-core host;
 // set DSG_THREADS or pass a count to exercise the parallel paths).
+//
+// parallel_for may be called from multiple threads: concurrent callers
+// serialize on a submission mutex, so one pool can be SHARED between the
+// epoch engine's apply path and the query executor's batch evaluation
+// (src/serve/) without external coordination. Jobs still run one at a time —
+// sharing trades latency under contention for not oversubscribing the host
+// with a second set of workers.
 #pragma once
 
 #include <atomic>
@@ -32,6 +39,7 @@ public:
     /// Invokes fn(thread_index, begin, end) over a partition of [0, n) into
     /// contiguous chunks; blocks until all chunks complete. thread_index is
     /// in [0, thread_count()). Exceptions from fn propagate to the caller.
+    /// Safe to call from multiple threads concurrently (jobs serialize).
     void parallel_for(std::size_t n,
                       const std::function<void(int, std::size_t, std::size_t)>& fn);
 
@@ -45,6 +53,7 @@ private:
     int threads_;
     std::vector<std::thread> workers_;
 
+    std::mutex submit_mx_;  // serializes concurrent parallel_for callers
     std::mutex mx_;
     std::condition_variable start_cv_;
     std::condition_variable done_cv_;

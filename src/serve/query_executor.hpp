@@ -1,0 +1,445 @@
+// Concurrent query executor with admission control: the compute side of the
+// serving subsystem (docs/ARCHITECTURE.md, "The query serving layer").
+//
+// Typed queries (edge-exists, degree, k-hop neighborhood, analytics reads)
+// are evaluated against the SnapshotStore's immutable published snapshots —
+// never against the live matrix — so query work and epoch application never
+// contend on the engine's locks. Two entry points:
+//
+//  - execute(q): synchronous, cache-aware evaluation on the calling thread.
+//    The inline path for callers that want the answer now and the path the
+//    cache gate benchmarks (cached vs uncached cost, same thread).
+//  - submit(q) -> future: the admission-controlled path. A bounded pending
+//    queue sheds on overflow (QueryStatus::Shed, counted per class) instead
+//    of queueing unboundedly; queries that waited past their deadline are
+//    expired un-executed (the client has given up — computing the answer
+//    would be pure waste). A dispatcher thread drains the queue in batches
+//    and fans each batch out over the SHARED par::ThreadPool (the same pool
+//    the engine applies epochs with; parallel_for serializes jobs, so
+//    serving borrows the pool between epochs instead of oversubscribing
+//    the host). With background = false nothing is spawned and the test
+//    harness pumps drain() deterministically.
+//
+// Caching: results are keyed by (query fingerprint, snapshot version) in
+// the ResultCache. A submit whose answer is cached under the CURRENT
+// version completes inline — it never consumes queue capacity. Version
+// advance invalidates for free (see result_cache.hpp).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "par/profiler.hpp"
+#include "par/thread_pool.hpp"
+#include "serve/result_cache.hpp"
+#include "serve/snapshot_store.hpp"
+#include "sparse/types.hpp"
+
+namespace dsg::serve {
+
+enum class QueryKind : std::uint8_t {
+    EdgeExists,     ///< is (row, col) a stored non-zero? value 1/0
+    Degree,         ///< stored out-degree of `row`
+    KHop,           ///< vertices within <= `hops` directed steps of `row`
+    AnalyticsRead,  ///< frozen maintainer readout named `metric`
+};
+inline constexpr std::size_t kQueryKindCount = 4;
+
+[[nodiscard]] constexpr const char* query_kind_name(QueryKind k) {
+    switch (k) {
+        case QueryKind::EdgeExists: return "edge-exists";
+        case QueryKind::Degree: return "degree";
+        case QueryKind::KHop: return "k-hop";
+        case QueryKind::AnalyticsRead: return "analytics-read";
+    }
+    return "?";
+}
+
+/// One typed query. Fields beyond `kind` are read per kind (see QueryKind).
+struct Query {
+    QueryKind kind = QueryKind::EdgeExists;
+    sparse::index_t row = 0;
+    sparse::index_t col = 0;
+    int hops = 1;        ///< KHop only
+    std::string metric;  ///< AnalyticsRead only
+
+    friend bool operator==(const Query&, const Query&) = default;
+};
+
+/// Stable 64-bit fingerprint of a query — the cache key next to the
+/// snapshot version. Collisions are as likely as any 64-bit hash; a
+/// colliding pair would serve one the other's cached double, which the
+/// serving tier tolerates (caches trade exactness of THIS kind away; the
+/// uncached path stays authoritative).
+[[nodiscard]] inline std::uint64_t fingerprint(const Query& q) {
+    auto mix = [](std::uint64_t h, std::uint64_t v) {
+        h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+        h *= 0xff51afd7ed558ccdull;
+        return h ^ (h >> 33);
+    };
+    std::uint64_t h = 0x5851f42d4c957f2dull;
+    h = mix(h, static_cast<std::uint64_t>(q.kind));
+    h = mix(h, static_cast<std::uint64_t>(q.row));
+    h = mix(h, static_cast<std::uint64_t>(q.col));
+    h = mix(h, static_cast<std::uint64_t>(q.hops));
+    for (const char c : q.metric)
+        h = mix(h, static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+    return h;
+}
+
+enum class QueryStatus : std::uint8_t {
+    Ok,          ///< value is the answer
+    NotFound,    ///< AnalyticsRead named an unknown metric
+    NoSnapshot,  ///< nothing published yet (store before first publication)
+    Shed,        ///< rejected by admission control (queue full / shutdown)
+    Expired,     ///< waited past its deadline; never executed
+};
+
+[[nodiscard]] constexpr const char* query_status_name(QueryStatus s) {
+    switch (s) {
+        case QueryStatus::Ok: return "ok";
+        case QueryStatus::NotFound: return "not-found";
+        case QueryStatus::NoSnapshot: return "no-snapshot";
+        case QueryStatus::Shed: return "shed";
+        case QueryStatus::Expired: return "expired";
+    }
+    return "?";
+}
+
+struct QueryResult {
+    QueryStatus status = QueryStatus::Ok;
+    double value = 0;           ///< answer (Ok): count, 0/1, or readout
+    std::uint64_t version = 0;  ///< snapshot version that answered
+    bool cache_hit = false;
+    double latency_us = 0;  ///< submit/execute entry to completion
+};
+
+/// Plain-value per-query-class accounting (copied out of atomics).
+struct QueryClassStats {
+    std::uint64_t submitted = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t not_found = 0;
+    std::uint64_t no_snapshot = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t expired = 0;
+    std::uint64_t cache_hits = 0;
+    double total_us = 0;  ///< latency over completed (non-shed) queries
+    double max_us = 0;
+
+    [[nodiscard]] std::uint64_t completed() const {
+        return ok + not_found + no_snapshot + expired;
+    }
+    [[nodiscard]] double mean_us() const {
+        return completed() > 0 ? total_us / static_cast<double>(completed())
+                               : 0.0;
+    }
+};
+
+struct ExecutorConfig {
+    /// Admission control: submits beyond this many pending queries shed.
+    std::size_t pending_capacity = 1024;
+    /// Queries not started within this much of submit() expire unrun.
+    std::chrono::milliseconds deadline{100};
+    /// Queries per dispatcher batch (one pool job per batch).
+    std::size_t batch_max = 64;
+    /// Spawn the dispatcher thread. false = tests pump drain() manually.
+    bool background = true;
+    /// Shared pool for batch fan-out; nullptr evaluates on the
+    /// dispatcher (or drain caller's) thread.
+    par::ThreadPool* pool = nullptr;
+    /// Result cache; nullptr disables caching entirely.
+    ResultCache* cache = nullptr;
+};
+
+template <typename T>
+class QueryExecutor {
+public:
+    using Clock = std::chrono::steady_clock;
+    using Config = ExecutorConfig;
+
+    explicit QueryExecutor(const SnapshotStore<T>& store, Config cfg = {})
+        : store_(&store), cfg_(cfg) {
+        if (cfg_.batch_max == 0) cfg_.batch_max = 1;
+        if (cfg_.background)
+            dispatcher_ = std::thread([this] { dispatch_loop(); });
+    }
+    ~QueryExecutor() { stop(); }
+
+    QueryExecutor(const QueryExecutor&) = delete;
+    QueryExecutor& operator=(const QueryExecutor&) = delete;
+
+    [[nodiscard]] const Config& config() const { return cfg_; }
+
+    /// Synchronous cache-aware evaluation on the calling thread; bypasses
+    /// admission control (inline callers self-limit by calling rate).
+    QueryResult execute(const Query& q) {
+        const auto t0 = Clock::now();
+        auto& cls = stats_[static_cast<std::size_t>(q.kind)];
+        cls.submitted.fetch_add(1, std::memory_order_relaxed);
+        auto snap = store_->current();
+        QueryResult r = evaluate(snap.get(), q, fingerprint(q));
+        finish(cls, r, t0);
+        return r;
+    }
+
+    /// Admission-controlled asynchronous evaluation. The returned future is
+    /// always eventually fulfilled: with the answer, a cached answer
+    /// (possibly inline), Shed on overflow/shutdown, or Expired past the
+    /// deadline.
+    std::future<QueryResult> submit(Query q) {
+        const auto t0 = Clock::now();
+        auto& cls = stats_[static_cast<std::size_t>(q.kind)];
+        cls.submitted.fetch_add(1, std::memory_order_relaxed);
+        std::promise<QueryResult> promise;
+        auto future = promise.get_future();
+
+        const std::uint64_t fp = fingerprint(q);
+        if (cfg_.cache != nullptr) {
+            if (const auto ver = store_->current_version()) {
+                if (const auto hit = cfg_.cache->lookup(*ver, fp)) {
+                    QueryResult r{QueryStatus::Ok, *hit, *ver, true, 0};
+                    finish(cls, r, t0);
+                    promise.set_value(r);
+                    return future;
+                }
+            }
+        }
+        {
+            std::lock_guard lock(mx_);
+            if (!stopping_ && pending_.size() < cfg_.pending_capacity) {
+                pending_.push_back(
+                    {std::move(q), fp, std::move(promise), t0});
+                cv_.notify_one();
+                return future;
+            }
+        }
+        cls.shed.fetch_add(1, std::memory_order_relaxed);
+        promise.set_value({QueryStatus::Shed, 0, 0, false, 0});
+        return future;
+    }
+
+    /// Processes everything currently pending on the calling thread (the
+    /// manual pump for background = false). Returns queries processed.
+    std::size_t drain() {
+        std::size_t done = 0;
+        for (;;) {
+            std::vector<Pending> batch = take_batch(false);
+            if (batch.empty()) return done;
+            process(batch);
+            done += batch.size();
+        }
+    }
+
+    /// Stops the dispatcher after it finishes the pending queue (idempotent;
+    /// also run by the destructor). Subsequent submits shed.
+    void stop() {
+        {
+            std::lock_guard lock(mx_);
+            stopping_ = true;
+            cv_.notify_all();
+        }
+        if (dispatcher_.joinable()) dispatcher_.join();
+        // Without a dispatcher the pending tail is nobody else's to flush.
+        if (!cfg_.background) drain();
+    }
+
+    [[nodiscard]] QueryClassStats stats(QueryKind kind) const {
+        const auto& c = stats_[static_cast<std::size_t>(kind)];
+        QueryClassStats out;
+        out.submitted = c.submitted.load(std::memory_order_relaxed);
+        out.ok = c.ok.load(std::memory_order_relaxed);
+        out.not_found = c.not_found.load(std::memory_order_relaxed);
+        out.no_snapshot = c.no_snapshot.load(std::memory_order_relaxed);
+        out.shed = c.shed.load(std::memory_order_relaxed);
+        out.expired = c.expired.load(std::memory_order_relaxed);
+        out.cache_hits = c.cache_hits.load(std::memory_order_relaxed);
+        out.total_us =
+            static_cast<double>(c.total_ns.load(std::memory_order_relaxed)) *
+            1e-3;
+        out.max_us =
+            static_cast<double>(c.max_ns.load(std::memory_order_relaxed)) *
+            1e-3;
+        return out;
+    }
+    /// Queries shed across all classes (admission-control rejections).
+    [[nodiscard]] std::uint64_t shed_total() const {
+        std::uint64_t total = 0;
+        for (const auto& c : stats_)
+            total += c.shed.load(std::memory_order_relaxed);
+        return total;
+    }
+    [[nodiscard]] std::size_t pending() const {
+        std::lock_guard lock(mx_);
+        return pending_.size();
+    }
+
+private:
+    struct Pending {
+        Query query;
+        std::uint64_t fp = 0;
+        std::promise<QueryResult> promise;
+        Clock::time_point enqueued;
+    };
+
+    struct ClassCounters {
+        std::atomic<std::uint64_t> submitted{0}, ok{0}, not_found{0},
+            no_snapshot{0}, shed{0}, expired{0}, cache_hits{0};
+        std::atomic<std::uint64_t> total_ns{0}, max_ns{0};
+    };
+
+    /// Evaluates one query against `snap` (may be null), consulting and
+    /// filling the cache. Thread-safe: called from pool workers.
+    QueryResult evaluate(const Snapshot<T>* snap, const Query& q,
+                         std::uint64_t fp) {
+        if (snap == nullptr) return {QueryStatus::NoSnapshot, 0, 0, false, 0};
+        QueryResult r;
+        r.version = snap->version();
+        if (cfg_.cache != nullptr) {
+            if (const auto hit = cfg_.cache->lookup(r.version, fp)) {
+                r.value = *hit;
+                r.cache_hit = true;
+                return r;
+            }
+        }
+        {
+            par::Profiler::Scope scope(par::Phase::ServeQuery);
+            switch (q.kind) {
+                case QueryKind::EdgeExists:
+                    r.value = snap->edge_exists(q.row, q.col) ? 1.0 : 0.0;
+                    break;
+                case QueryKind::Degree:
+                    r.value = static_cast<double>(snap->degree(q.row));
+                    break;
+                case QueryKind::KHop:
+                    r.value = static_cast<double>(
+                        snap->k_hop_count(q.row, q.hops));
+                    break;
+                case QueryKind::AnalyticsRead: {
+                    const auto v = snap->analytics(q.metric);
+                    if (!v) {
+                        r.status = QueryStatus::NotFound;
+                        return r;
+                    }
+                    r.value = *v;
+                    break;
+                }
+            }
+        }
+        if (cfg_.cache != nullptr) cfg_.cache->insert(r.version, fp, r.value);
+        return r;
+    }
+
+    /// Completion bookkeeping shared by every path that produced a result.
+    void finish(ClassCounters& cls, QueryResult& r, Clock::time_point t0) {
+        const auto ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - t0)
+                .count());
+        r.latency_us = static_cast<double>(ns) * 1e-3;
+        switch (r.status) {
+            case QueryStatus::Ok:
+                cls.ok.fetch_add(1, std::memory_order_relaxed);
+                if (r.cache_hit)
+                    cls.cache_hits.fetch_add(1, std::memory_order_relaxed);
+                break;
+            case QueryStatus::NotFound:
+                cls.not_found.fetch_add(1, std::memory_order_relaxed);
+                break;
+            case QueryStatus::NoSnapshot:
+                cls.no_snapshot.fetch_add(1, std::memory_order_relaxed);
+                break;
+            case QueryStatus::Expired:
+                cls.expired.fetch_add(1, std::memory_order_relaxed);
+                break;
+            case QueryStatus::Shed:
+                cls.shed.fetch_add(1, std::memory_order_relaxed);
+                return;  // shed latency is admission latency; not recorded
+        }
+        cls.total_ns.fetch_add(ns, std::memory_order_relaxed);
+        std::uint64_t prev = cls.max_ns.load(std::memory_order_relaxed);
+        while (prev < ns &&
+               !cls.max_ns.compare_exchange_weak(prev, ns,
+                                                 std::memory_order_relaxed)) {
+        }
+    }
+
+    /// Pops up to batch_max pending queries; with `wait` blocks until work
+    /// arrives or stop() is called.
+    std::vector<Pending> take_batch(bool wait) {
+        std::unique_lock lock(mx_);
+        if (wait)
+            cv_.wait(lock, [&] { return !pending_.empty() || stopping_; });
+        std::vector<Pending> batch;
+        const std::size_t n = std::min(pending_.size(), cfg_.batch_max);
+        batch.reserve(n);
+        for (std::size_t k = 0; k < n; ++k) {
+            batch.push_back(std::move(pending_.front()));
+            pending_.pop_front();
+        }
+        return batch;
+    }
+
+    void process(std::vector<Pending>& batch) {
+        // One consistent snapshot per batch: every query of the batch is
+        // answered at the same version.
+        auto snap = store_->current();
+        const auto now = Clock::now();
+        auto run_one = [&](std::size_t k) {
+            Pending& p = batch[k];
+            auto& cls = stats_[static_cast<std::size_t>(p.query.kind)];
+            QueryResult r;
+            if (now - p.enqueued > cfg_.deadline) {
+                r.status = QueryStatus::Expired;
+            } else {
+                r = evaluate(snap.get(), p.query, p.fp);
+            }
+            finish(cls, r, p.enqueued);
+            p.promise.set_value(r);
+        };
+        if (cfg_.pool != nullptr && batch.size() > 1) {
+            cfg_.pool->parallel_for(
+                batch.size(), [&](int, std::size_t begin, std::size_t end) {
+                    for (std::size_t k = begin; k < end; ++k) run_one(k);
+                });
+        } else {
+            for (std::size_t k = 0; k < batch.size(); ++k) run_one(k);
+        }
+    }
+
+    void dispatch_loop() {
+        for (;;) {
+            std::vector<Pending> batch = take_batch(true);
+            if (batch.empty()) {
+                std::lock_guard lock(mx_);
+                if (stopping_ && pending_.empty()) return;
+                continue;
+            }
+            process(batch);
+        }
+    }
+
+    const SnapshotStore<T>* store_;
+    Config cfg_;
+
+    mutable std::mutex mx_;
+    std::condition_variable cv_;
+    std::deque<Pending> pending_;
+    bool stopping_ = false;
+
+    std::array<ClassCounters, kQueryKindCount> stats_;
+    std::thread dispatcher_;
+};
+
+}  // namespace dsg::serve

@@ -1,0 +1,152 @@
+// Version-keyed query-result cache of the serving subsystem
+// (docs/ARCHITECTURE.md, "The query serving layer").
+//
+// Entries are keyed by (snapshot version, query fingerprint): a cached value
+// is the result of one query evaluated against one immutable published
+// snapshot, so it can never go stale — when the engine applies epochs and
+// the SnapshotStore publishes a newer version, lookups simply key on the new
+// version and miss. That is the whole invalidation story: version advance
+// invalidates for free, no per-write tracking, no TTLs. The entries of
+// retired versions are physically dropped by invalidate_before(), which the
+// SnapshotStore calls as its retention window slides.
+//
+// Internally the cache is sharded by version (one hash map per retained
+// snapshot version), because every maintenance operation — retire a
+// version, account a version's footprint, evict under pressure — is a
+// whole-shard operation. Reads take a shared lock; inserts and invalidation
+// take the exclusive lock. Counters are atomics so stats() is safe from any
+// thread without touching the lock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "par/profiler.hpp"
+
+namespace dsg::serve {
+
+struct CacheConfig {
+    /// Total entries across all version shards; inserting beyond this
+    /// evicts the oldest version's shard wholesale (oldest results are
+    /// the least likely to be queried again — readers follow current()).
+    std::size_t capacity = std::size_t{1} << 16;
+};
+
+class ResultCache {
+public:
+    using Config = CacheConfig;
+
+    /// Monotone counters; a plain-value copy is returned by stats().
+    struct Stats {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t inserts = 0;
+        std::uint64_t invalidated = 0;  ///< entries dropped by version retire
+        std::uint64_t evicted = 0;      ///< entries dropped by capacity
+    };
+
+    explicit ResultCache(Config cfg = {}) : cfg_(cfg) {
+        if (cfg_.capacity == 0) cfg_.capacity = 1;
+    }
+
+    ResultCache(const ResultCache&) = delete;
+    ResultCache& operator=(const ResultCache&) = delete;
+
+    [[nodiscard]] const Config& config() const { return cfg_; }
+
+    /// The cached value of `fingerprint` under snapshot `version`, if any.
+    [[nodiscard]] std::optional<double> lookup(std::uint64_t version,
+                                               std::uint64_t fingerprint) const {
+        par::Profiler::Scope scope(par::Phase::ServeCache);
+        {
+            std::shared_lock lock(mx_);
+            if (const auto shard = shards_.find(version);
+                shard != shards_.end()) {
+                if (const auto it = shard->second.find(fingerprint);
+                    it != shard->second.end()) {
+                    hits_.fetch_add(1, std::memory_order_relaxed);
+                    return it->second;
+                }
+            }
+        }
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+
+    /// Caches `value` under (version, fingerprint), evicting the oldest
+    /// version's shard first when the capacity is reached.
+    void insert(std::uint64_t version, std::uint64_t fingerprint,
+                double value) {
+        par::Profiler::Scope scope(par::Phase::ServeCache);
+        std::unique_lock lock(mx_);
+        while (entries_ >= cfg_.capacity && !shards_.empty()) {
+            auto oldest = shards_.begin();
+            // When the oldest shard IS the target version the cache is
+            // saturated by live-version results; dropping it still frees
+            // room and the hot keys repopulate on their next miss.
+            entries_ -= oldest->second.size();
+            evicted_.fetch_add(oldest->second.size(),
+                               std::memory_order_relaxed);
+            shards_.erase(oldest);
+        }
+        if (shards_[version].insert_or_assign(fingerprint, value).second)
+            ++entries_;
+        inserts_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /// Drops every shard with version < `version` — called by the
+    /// SnapshotStore when its retention window slides past those versions,
+    /// so cache memory tracks the set of snapshots still reachable.
+    void invalidate_before(std::uint64_t version) {
+        par::Profiler::Scope scope(par::Phase::ServeCache);
+        std::unique_lock lock(mx_);
+        while (!shards_.empty() && shards_.begin()->first < version) {
+            entries_ -= shards_.begin()->second.size();
+            invalidated_.fetch_add(shards_.begin()->second.size(),
+                                   std::memory_order_relaxed);
+            shards_.erase(shards_.begin());
+        }
+    }
+
+    void clear() {
+        std::unique_lock lock(mx_);
+        shards_.clear();
+        entries_ = 0;
+    }
+
+    /// Entries currently cached (all versions).
+    [[nodiscard]] std::size_t size() const {
+        std::shared_lock lock(mx_);
+        return entries_;
+    }
+    /// Retained version shards.
+    [[nodiscard]] std::size_t versions() const {
+        std::shared_lock lock(mx_);
+        return shards_.size();
+    }
+    [[nodiscard]] Stats stats() const {
+        return {hits_.load(std::memory_order_relaxed),
+                misses_.load(std::memory_order_relaxed),
+                inserts_.load(std::memory_order_relaxed),
+                invalidated_.load(std::memory_order_relaxed),
+                evicted_.load(std::memory_order_relaxed)};
+    }
+
+private:
+    Config cfg_;
+    mutable std::shared_mutex mx_;
+    // Version-ascending so "oldest shard" and "everything below v" are the
+    // map's front; the per-version inner maps carry the O(1) lookups.
+    std::map<std::uint64_t, std::unordered_map<std::uint64_t, double>> shards_;
+    std::size_t entries_ = 0;
+
+    mutable std::atomic<std::uint64_t> hits_{0}, misses_{0};
+    std::atomic<std::uint64_t> inserts_{0}, invalidated_{0}, evicted_{0};
+};
+
+}  // namespace dsg::serve

@@ -15,10 +15,11 @@ void StreamStats::record(const EpochStats& e) {
     drain_ms += e.drain_ms;
     apply_ms += e.apply_ms;
     hook_ms += e.hook_ms;
+    publish_ms += e.publish_ms;
     persist_ms += e.persist_ms;
     max_hook_ms = std::max(max_hook_ms, e.hook_ms);
     max_epoch_ms = std::max(max_epoch_ms, e.drain_ms + e.apply_ms + e.hook_ms +
-                                              e.persist_ms);
+                                              e.publish_ms + e.persist_ms);
     max_backlog = std::max(max_backlog, e.backlog_after);
 }
 
@@ -42,6 +43,10 @@ std::string StreamStats::summary() const {
         len += std::snprintf(buf + len,
                              sizeof buf - static_cast<std::size_t>(len),
                              ", analytics %.1f ms", hook_ms);
+    if (publish_ms > 0 && len > 0 && static_cast<std::size_t>(len) < sizeof buf)
+        len += std::snprintf(buf + len,
+                             sizeof buf - static_cast<std::size_t>(len),
+                             ", publish %.1f ms", publish_ms);
     if (persist_ms > 0 && len > 0 && static_cast<std::size_t>(len) < sizeof buf)
         std::snprintf(buf + len, sizeof buf - static_cast<std::size_t>(len),
                       ", persist %.1f ms", persist_ms);

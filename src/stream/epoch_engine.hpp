@@ -30,7 +30,12 @@
 // of the same epoch (the trigger is the agreed global op count), so hook
 // bodies may issue collectives; src/analytics/ builds on exactly this to
 // keep derived values (triangle counts, distances, contractions)
-// continuously consistent with the matrix readers observe.
+// continuously consistent with the matrix readers observe. Further
+// subscriber slots with the same all-ranks-or-none contract exist for the
+// durability layer (set_wal_hook / set_checkpoint_hook; src/persist/) and
+// for snapshot publication (set_publish_hook; src/serve/ freezes immutable
+// serving snapshots here, after analytics so the frozen readouts match the
+// frozen tiles).
 //
 // Every rank of the grid must construct the engine and call run()/pump()
 // collectively (the engine issues collectives even for ranks whose queues
@@ -92,6 +97,7 @@ struct EpochStats {
     double drain_ms = 0;           ///< trigger wait + queue drain
     double apply_ms = 0;           ///< A* builds + local application
     double hook_ms = 0;            ///< epoch hook (analytics maintainers)
+    double publish_ms = 0;         ///< snapshot publication (src/serve/)
     double persist_ms = 0;         ///< WAL append + checkpoint (src/persist/)
     std::size_t backlog_after = 0; ///< ops already buffered for the next epoch
 };
@@ -105,9 +111,11 @@ struct StreamStats {
     double drain_ms = 0;
     double apply_ms = 0;
     double hook_ms = 0;          ///< total epoch-hook time (0 without a hook)
+    double publish_ms = 0;       ///< total snapshot-publication time (serve)
     double persist_ms = 0;       ///< total WAL + checkpoint time (0 without)
     double max_hook_ms = 0;      ///< slowest single hook invocation
-    double max_epoch_ms = 0;     ///< slowest single epoch (drain + apply + hook)
+    double max_epoch_ms = 0;     ///< slowest epoch (drain + apply + hook
+                                 ///< + publish + persist)
     std::size_t max_backlog = 0; ///< worst backlog left behind by an epoch
     double run_seconds = 0;      ///< wall time of run() (0 if pumped manually)
 
@@ -162,6 +170,16 @@ public:
     void set_checkpoint_hook(CheckpointHook hook) {
         checkpoint_hook_ = std::move(hook);
     }
+
+    /// Snapshot-publication subscriber (src/serve/): called with the same
+    /// semantics as the checkpoint hook — after the epoch hook, under the
+    /// writer lock, on every rank of an applied epoch — but BEFORE the
+    /// checkpoint hook, so a published serving snapshot never reflects
+    /// state newer than what durability could replay to. The serving layer
+    /// freezes its immutable tile + readout snapshots here; the subscriber
+    /// decides its own cadence (cheap early-out on off-cycle versions).
+    using PublishHook = std::function<void(std::uint64_t version)>;
+    void set_publish_hook(PublishHook hook) { publish_hook_ = std::move(hook); }
 
     /// Runs one epoch (collective). Returns false once every rank's queue is
     /// exhausted — the caller may stop pumping.
@@ -281,6 +299,13 @@ public:
                 hook_(delta);
                 e.hook_ms = ms_since(t2);
             }
+            if (publish_hook_) {
+                // The subscriber brackets its own Phase::ServePublish (it
+                // also publishes outside the engine, at attach/recovery).
+                const auto tp = Clock::now();
+                publish_hook_(version_);
+                e.publish_ms = ms_since(tp);
+            }
             if (checkpoint_hook_) {
                 const auto t3 = Clock::now();
                 checkpoint_hook_(version_);
@@ -331,6 +356,7 @@ private:
     EpochHook hook_;
     EpochHook wal_hook_;
     CheckpointHook checkpoint_hook_;
+    PublishHook publish_hook_;
 
     mutable std::shared_mutex snapshot_mx_;
     std::uint64_t version_ = 0;  // written under unique snapshot_mx_

@@ -8,7 +8,7 @@
 // between epochs), and pauses (burst gaps the driver may honor by sleeping
 // or yield to model think time).
 //
-// The eight scenarios cover the axes that stress distinct parts of the
+// The nine scenarios cover the axes that stress distinct parts of the
 // engine: sustained-uniform — steady uniform load (the paper's R-MAT-batch
 // regime); bursty — deadline-triggered epochs + backpressure; hot-vertex-skew
 // — long DHB rows and unbalanced grid blocks; sliding-window-delete —
@@ -18,13 +18,18 @@
 // means "poll the derived analytics" (the driver's on_read typically samples
 // analytics::AnalyticsHub snapshots instead of probing the matrix);
 // checkpoint-under-load — all three op kinds sustained so the durability
-// layer (src/persist/) logs and checkpoints under real write pressure; and
+// layer (src/persist/) logs and checkpoints under real write pressure;
 // kill-and-recover — deterministic ADD bursts + MASK sweeps whose every
-// prefix is exactly regenerable, the stream crash drills kill mid-flight.
+// prefix is exactly regenerable, the stream crash drills kill mid-flight;
+// and serving-read-heavy — the query-serving stress (src/serve/): at least
+// nine reads per write, read keys zipf-skewed onto a small hot set (real
+// query traffic concentrates on celebrities), writes a thin stream of
+// uniform ADDs so snapshot versions keep advancing under the readers.
 #pragma once
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstdint>
 #include <deque>
 #include <optional>
@@ -45,6 +50,7 @@ enum class Scenario : int {
     AnalyticsRead,        ///< weighted ADDs + windowed MASKs + derived-value reads
     CheckpointUnderLoad,  ///< all three kinds sustained: durability pressure
     KillAndRecover,       ///< deterministic ADD bursts + MASK sweeps, kill-friendly
+    ServingReadHeavy,     ///< >= 9:1 zipf-skewed reads : uniform ADD writes
 };
 
 [[nodiscard]] constexpr const char* scenario_name(Scenario s) {
@@ -57,6 +63,7 @@ enum class Scenario : int {
         case Scenario::AnalyticsRead: return "analytics-read";
         case Scenario::CheckpointUnderLoad: return "checkpoint-under-load";
         case Scenario::KillAndRecover: return "kill-and-recover";
+        case Scenario::ServingReadHeavy: return "serving-read-heavy";
     }
     return "?";
 }
@@ -66,7 +73,8 @@ enum class Scenario : int {
         Scenario::SustainedUniform,    Scenario::Bursty,
         Scenario::HotVertexSkew,       Scenario::SlidingWindowDelete,
         Scenario::MixedReadWrite,      Scenario::AnalyticsRead,
-        Scenario::CheckpointUnderLoad, Scenario::KillAndRecover};
+        Scenario::CheckpointUnderLoad, Scenario::KillAndRecover,
+        Scenario::ServingReadHeavy};
     return all;
 }
 
@@ -83,6 +91,9 @@ struct WorkloadConfig {
     double merge_fraction = 0.3;      ///< HotVertexSkew: P(MERGE | write)
     std::size_t window = 512;         ///< SlidingWindowDelete/AnalyticsRead: live inserts
     double read_fraction = 0.5;       ///< MixedReadWrite/AnalyticsRead: P(read)
+    double zipf_skew = 4.0;           ///< ServingReadHeavy: read-key skew (>= 1;
+                                      ///< P(key < t·n) = t^(1/skew), so skew 4
+                                      ///< sends ~56% of reads to the top 10%)
 };
 
 /// One workload event.
@@ -113,6 +124,7 @@ public:
         cfg_.merge_fraction = std::clamp(cfg_.merge_fraction, 0.0, 1.0);
         cfg_.read_fraction = std::clamp(cfg_.read_fraction, 0.0, 0.95);
         cfg_.hot_rows = std::max<sparse::index_t>(1, cfg_.hot_rows);
+        cfg_.zipf_skew = std::max(1.0, cfg_.zipf_skew);
     }
 
     [[nodiscard]] const WorkloadConfig& config() const { return cfg_; }
@@ -229,6 +241,25 @@ public:
                 live_.push_back({op.tuple.row, op.tuple.col});
                 return write(op);
             }
+            case Scenario::ServingReadHeavy: {
+                // Query-serving stress: read-dominated (at least 9:1 —
+                // read_fraction can only push the ratio HIGHER, up to its
+                // 0.95 clamp) with zipf-skewed read keys, so the serving
+                // tier sees both a hot cached working set and a cold tail.
+                // A read event's coordinates are the query key; the driver
+                // decides the query mix (point probe, degree, k-hop,
+                // analytics read — src/serve/). Writes are uniform ADDs:
+                // enough traffic that epochs apply and snapshot versions
+                // advance underneath the readers. Reads do not consume the
+                // write budget.
+                if (chance(std::max(cfg_.read_fraction, 0.9))) {
+                    return Event{Event::Type::Read,
+                                 {OpKind::Add,
+                                  {zipf_index(cfg_.n), zipf_index(cfg_.n),
+                                   0.0}}};
+                }
+                return write(uniform_add());
+            }
             case Scenario::KillAndRecover: {
                 // Deterministic phased rounds for crash drills: burst_len
                 // weighted ADDs, then a MASK sweep retiring the oldest
@@ -284,6 +315,18 @@ private:
     sparse::index_t rand_index(sparse::index_t n) {
         return static_cast<sparse::index_t>(rng_() %
                                             static_cast<std::uint64_t>(n));
+    }
+    /// Zipf-like skewed index: u^skew concentrates mass near 0, giving the
+    /// power-law key popularity serving workloads see (exact Zipf sampling
+    /// needs a harmonic-number table; this one-liner preserves the property
+    /// the serving layer cares about — a small hot set absorbing most
+    /// reads — and stays deterministic and O(1)).
+    sparse::index_t zipf_index(sparse::index_t n) {
+        const double u =
+            std::uniform_real_distribution<double>(0.0, 1.0)(rng_);
+        const auto idx = static_cast<sparse::index_t>(
+            std::pow(u, cfg_.zipf_skew) * static_cast<double>(n));
+        return std::min(idx, n - 1);
     }
     double rand_value() {
         return 1.0 + static_cast<double>(rng_() % 1000) / 1000.0;

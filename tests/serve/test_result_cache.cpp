@@ -1,0 +1,125 @@
+// ResultCache tests: (version, fingerprint) keying, invalidation by version
+// advance / retention slide, capacity eviction, and concurrent access (the
+// TSan-exercised part).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "serve/result_cache.hpp"
+
+namespace {
+
+using dsg::serve::CacheConfig;
+using dsg::serve::ResultCache;
+
+TEST(ResultCache, MissThenHitAfterInsert) {
+    ResultCache cache;
+    EXPECT_FALSE(cache.lookup(1, 42).has_value());
+    cache.insert(1, 42, 3.5);
+    const auto hit = cache.lookup(1, 42);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_DOUBLE_EQ(*hit, 3.5);
+    EXPECT_EQ(cache.size(), 1u);
+
+    const auto s = cache.stats();
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.inserts, 1u);
+}
+
+TEST(ResultCache, VersionAdvanceMissesWithoutAnyInvalidationWork) {
+    ResultCache cache;
+    cache.insert(1, 42, 3.5);
+    // The same fingerprint under a newer snapshot version is a different
+    // key — this is the "invalidation for free" property.
+    EXPECT_FALSE(cache.lookup(2, 42).has_value());
+    cache.insert(2, 42, 4.5);
+    EXPECT_DOUBLE_EQ(*cache.lookup(2, 42), 4.5);
+    EXPECT_DOUBLE_EQ(*cache.lookup(1, 42), 3.5);  // old version still served
+    EXPECT_EQ(cache.versions(), 2u);
+}
+
+TEST(ResultCache, InvalidateBeforeDropsRetiredVersionsAndCounts) {
+    ResultCache cache;
+    for (std::uint64_t v = 1; v <= 4; ++v)
+        for (std::uint64_t f = 0; f < 10; ++f)
+            cache.insert(v, f, static_cast<double>(v));
+    EXPECT_EQ(cache.size(), 40u);
+
+    cache.invalidate_before(3);  // versions 1 and 2 slid out of retention
+    EXPECT_EQ(cache.size(), 20u);
+    EXPECT_EQ(cache.versions(), 2u);
+    EXPECT_FALSE(cache.lookup(1, 0).has_value());
+    EXPECT_FALSE(cache.lookup(2, 0).has_value());
+    EXPECT_TRUE(cache.lookup(3, 0).has_value());
+    EXPECT_EQ(cache.stats().invalidated, 20u);
+}
+
+TEST(ResultCache, CapacityEvictsOldestVersionShardFirst) {
+    CacheConfig cfg;
+    cfg.capacity = 8;
+    ResultCache cache(cfg);
+    for (std::uint64_t f = 0; f < 4; ++f) cache.insert(1, f, 1.0);
+    for (std::uint64_t f = 0; f < 4; ++f) cache.insert(2, f, 2.0);
+    EXPECT_EQ(cache.size(), 8u);
+
+    cache.insert(3, 0, 3.0);  // over capacity: version 1's shard goes
+    EXPECT_FALSE(cache.lookup(1, 0).has_value());
+    EXPECT_TRUE(cache.lookup(2, 0).has_value());
+    EXPECT_TRUE(cache.lookup(3, 0).has_value());
+    EXPECT_EQ(cache.stats().evicted, 4u);
+    EXPECT_LE(cache.size(), 8u);
+}
+
+TEST(ResultCache, InsertOrAssignUpdatesInPlaceWithoutGrowth) {
+    ResultCache cache;
+    cache.insert(5, 7, 1.0);
+    cache.insert(5, 7, 2.0);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_DOUBLE_EQ(*cache.lookup(5, 7), 2.0);
+}
+
+// The TSan-exercised part: readers, writers and the invalidation path all
+// running concurrently must be race-free (the serving tier does exactly
+// this: query threads look up and fill while rank 0 prunes at publish).
+TEST(ResultCache, ConcurrentLookupInsertInvalidate) {
+    constexpr int kThreads = 4;
+    constexpr int kOpsPerThread = 4'000;
+    ResultCache cache;
+    std::atomic<std::uint64_t> version{1};
+
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads + 1);
+    for (int w = 0; w < kThreads; ++w) {
+        workers.emplace_back([&, w] {
+            for (int k = 0; k < kOpsPerThread; ++k) {
+                const std::uint64_t v = version.load(std::memory_order_relaxed);
+                const auto fp = static_cast<std::uint64_t>(w * kOpsPerThread + k) % 97;
+                if (const auto hit = cache.lookup(v, fp)) {
+                    // Cached values are per-(version, fp) deterministic.
+                    EXPECT_DOUBLE_EQ(*hit, static_cast<double>(v + fp));
+                } else {
+                    cache.insert(v, fp, static_cast<double>(v + fp));
+                }
+            }
+        });
+    }
+    workers.emplace_back([&] {
+        // The publisher: advances the version and prunes a sliding window.
+        for (int k = 0; k < 50; ++k) {
+            const std::uint64_t v =
+                version.fetch_add(1, std::memory_order_relaxed) + 1;
+            cache.invalidate_before(v > 3 ? v - 3 : 0);
+            std::this_thread::yield();
+        }
+    });
+    for (auto& t : workers) t.join();
+
+    const auto s = cache.stats();
+    EXPECT_EQ(s.hits + s.misses,
+              static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+}
+
+}  // namespace

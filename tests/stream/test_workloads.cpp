@@ -171,6 +171,32 @@ TEST(Workloads, DegenerateKnobsAreClampedToSafeValues) {
     }
 }
 
+TEST(Workloads, ServingReadHeavyIsReadDominatedWithZipfSkewedKeys) {
+    auto cfg = small_config(Scenario::ServingReadHeavy);
+    cfg.writes = 1'000;
+    cfg.zipf_skew = 4.0;
+    std::size_t reads = 0, writes = 0, hot_reads = 0;
+    for (const auto& ev : collect(cfg, 0)) {
+        if (ev.type == Event::Type::Write) {
+            ++writes;
+            EXPECT_EQ(static_cast<int>(ev.op.kind),
+                      static_cast<int>(OpKind::Add));
+        } else {
+            ASSERT_EQ(static_cast<int>(ev.type),
+                      static_cast<int>(Event::Type::Read));
+            ++reads;
+            // Zipf skew concentrates read keys near 0: with skew 4 the top
+            // 10% of the key space draws ~56% of reads (vs 10% uniform).
+            if (ev.op.tuple.row < cfg.n / 10) ++hot_reads;
+        }
+    }
+    EXPECT_EQ(writes, cfg.writes);
+    // At least 9 reads per write on average (P(read) >= 0.9).
+    EXPECT_GT(reads, writes * 6);
+    EXPECT_GT(static_cast<double>(hot_reads) / static_cast<double>(reads),
+              0.4);
+}
+
 TEST(Workloads, RemainingWritesMatchesReplayedEventStream) {
     const auto cfg = small_config(Scenario::HotVertexSkew);
     WorkloadProducer replay(cfg, 5);
