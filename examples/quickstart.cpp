@@ -45,7 +45,7 @@ int main() {
         const std::size_t b_nnz = B.global_nnz();
         if (comm.rank() == 0)
             std::printf("built A (nnz %zu) and B (nnz %zu) on a %dx%d grid\n",
-                        a_nnz, b_nnz, grid.q(), grid.q());
+                        a_nnz, b_nnz, grid.rows(), grid.cols());
 
         // Initial product, statically (sparse SUMMA).
         auto C = core::summa_multiply<sparse::PlusTimes<double>>(A, B);

@@ -1,6 +1,6 @@
 // Distributed sparse matrices in the 2D block distribution (Section IV).
 //
-// Each rank of the sqrt(p) x sqrt(p) grid owns one block; blocks store LOCAL
+// Each rank of the rows x cols grid owns one block; blocks store LOCAL
 // indices (global index minus the block offset). Two flavours exist:
 //  - DistDynamicMatrix: the DHB-backed dynamic matrix supporting in-place
 //    updates (the paper's dynamic storage);
@@ -34,8 +34,8 @@ public:
         : grid_(&grid),
           nrows_(nrows),
           ncols_(ncols),
-          rp_(grid.partition(nrows)),
-          cp_(grid.partition(ncols)) {}
+          rp_(grid.row_partition(nrows)),
+          cp_(grid.col_partition(ncols)) {}
 
     [[nodiscard]] ProcessGrid& grid() const { return *grid_; }
     [[nodiscard]] index_t nrows() const { return nrows_; }

@@ -6,22 +6,35 @@
 //     C' = C + C*,   C* = A* B' + A B*.                            (Eq. 1)
 //
 // Instead of SUMMA (which would broadcast blocks of the *large* operands A
-// and B'), the algorithm broadcasts only the hypersparse blocks of A* and B*
-// and pays for that with a non-local aggregation of the partial results:
+// and B'), the algorithm moves only the hypersparse A* and B* and pays for
+// that with a non-local aggregation of the partial results. On a rows x cols
+// grid the inner dimension K carries two partitions (K^r over grid rows from
+// B's distribution, K^c over grid cols from A's), so the blocks of A* and B*
+// are first *re-slabbed* to the partition of the operand they multiply:
 //
-//   round k (of sqrt(p)):
-//     - A*_{k,i} is broadcast along grid row i (it was moved to rank (i,k)
-//       by one initial transpose send/receive), B*_{j,k} along grid col j;
-//     - rank (i,j) computes X^i_{k,j} = A*_{k,i} B'_{i,j} and
-//       Y^j_{i,k} = A_{i,j} B*_{j,k} locally;
-//     - X^i_{k,j} is tree-reduced over grid column j onto rank (k,j), and
-//       Y^j_{i,k} over grid row i onto rank (i,k) (sparse reduce, Sec. VI-A).
+//   - A* is exchanged into column slabs A*[:, K^r_i] (an alltoallv down each
+//     process column followed by an allgather along the process row);
+//   - B* into row slabs B*[K^c_j, :] (alltoallv along rows, allgather down
+//     columns).
+//   On a square grid this degenerates to the paper's single transpose
+//   send/receive plus the per-round broadcasts (same bytes, same O(nnz/
+//   sqrt(p)) per-rank volume).
+//
+//   X rounds (one per grid row a):   rank (i,j) multiplies the N^r_a row
+//     slice of its A* slab with B'_{i,j} and tree-reduces the partial over
+//     its process column onto rank (a,j) (sparse reduce, Sec. VI-A).
+//   Y rounds (one per grid col b):   A_{i,j} times the M^c_b column slice of
+//     the B* slab, tree-reduced over the process row onto rank (i,b).
 //
 // Communication volume is O((nnz(A*) + nnz(B*) + nnz(C*)) / sqrt(p)) versus
 // SUMMA's O((nnz(A) + nnz(B')) / sqrt(p)).
 #pragma once
 
+#include <utility>
+#include <vector>
+
 #include "core/dist_matrix.hpp"
+#include "core/redistribute.hpp"
 #include "par/profiler.hpp"
 #include "sparse/dcsr_ops.hpp"
 #include "sparse/local_spgemm.hpp"
@@ -31,41 +44,115 @@ namespace dsg::core {
 
 struct DynamicSpgemmOptions {
     par::ThreadPool* pool = nullptr;
+    /// Async posts the two slab-exchange alltoallvs together so they overlap
+    /// each other in flight. Bit-identical results either way.
+    par::CommMode comm_mode = par::CommMode::Sync;
 };
 
 namespace detail {
 
+/// Buckets triples by key into `buckets` packed wire buffers (the tuples are
+/// reordered in place by the counting sort).
+template <typename T, typename Key>
+std::vector<par::Buffer> bucket_triples(std::vector<Triple<T>>& ts,
+                                        int buckets, Key&& key) {
+    auto offsets = sparse::counting_sort(
+        ts, static_cast<std::size_t>(buckets), std::forward<Key>(key));
+    std::vector<par::Buffer> send(static_cast<std::size_t>(buckets));
+    for (int d = 0; d < buckets; ++d)
+        send[static_cast<std::size_t>(d)] = pack_triples(
+            ts.data() + offsets[static_cast<std::size_t>(d)],
+            offsets[static_cast<std::size_t>(d) + 1] -
+                offsets[static_cast<std::size_t>(d)]);
+    return send;
+}
+
+/// Allgathers this rank's triples over `comm` and concatenates (coordinates
+/// stay as passed in; callers localize afterwards).
+template <typename T>
+std::vector<Triple<T>> allgather_triples(par::Comm& comm,
+                                         std::vector<Triple<T>> mine) {
+    par::Buffer buf = pack_triples(mine.data(), mine.size());
+    auto all = comm.allgather(std::move(buf));
+    std::vector<Triple<T>> out;
+    for (int s = 0; s < comm.size(); ++s) {
+        if (s == comm.rank()) continue;
+        unpack_triples(all[static_cast<std::size_t>(s)], out);
+    }
+    out.insert(out.end(), mine.begin(), mine.end());
+    return out;
+}
+
 /// The communication skeleton shared by the algebraic algorithm and
-/// COMPUTEPATTERN. MultX(a_star_ki, k) and MultY(b_star_jk, k) produce the
-/// local partial products (Dcsr<V>); AddV combines overlapping entries in the
-/// tree reduction; AbsorbX/AbsorbY consume the fully reduced X_{i,j} / Y_{i,j}
-/// on their owner rank.
+/// COMPUTEPATTERN. MultX(a_slice, a) receives the N^r_a x K^r_i slice of the
+/// A* slab; MultY(b_slice, b) the K^c_j x M^c_b slice of the B* slab; both
+/// produce local partial products (Dcsr<V>). AddV combines overlapping
+/// entries in the tree reduction; AbsorbX/AbsorbY consume the fully reduced
+/// X_{a,j} / Y_{i,b} on their owner rank.
 template <typename T, typename V, typename MultX, typename MultY,
           typename AddV, typename AbsorbX, typename AbsorbY>
-void algebraic_rounds(ProcessGrid& grid, const Dcsr<T>& astar_local,
-                      const Dcsr<T>& bstar_local, MultX&& mult_x,
+void algebraic_rounds(ProcessGrid& grid, const DistDcsr<T>& Astar,
+                      const DistDcsr<T>& Bstar, MultX&& mult_x,
                       MultY&& mult_y, AddV&& add_v, AbsorbX&& absorb_x,
-                      AbsorbY&& absorb_y) {
+                      AbsorbY&& absorb_y,
+                      par::CommMode comm_mode = par::CommMode::Sync) {
     using par::Phase;
     using par::Profiler;
-    constexpr int kTagA = 101;
-    constexpr int kTagB = 102;
-    const int q = grid.q();
+    const int rows = grid.rows();
+    const int cols = grid.cols();
     const int i = grid.grid_row();
     const int j = grid.grid_col();
+    const index_t n = Astar.shape().nrows();
+    const index_t K = Astar.shape().ncols();
+    const index_t m = Bstar.shape().ncols();
+    const BlockPartition nr = grid.row_partition(n);
+    const BlockPartition mc = grid.col_partition(m);
+    const BlockPartition kr = grid.row_partition(K);
+    const BlockPartition kc = grid.col_partition(K);
 
-    // Initial transpose exchange: rank (i,j) sends its A*_{i,j} and B*_{i,j}
-    // to rank (j,i); afterwards it holds A*_{j,i} and B*_{j,i}, which makes
-    // all q broadcasts of a round run in parallel (Fig. 1a).
-    Dcsr<T> astar_t;
-    Dcsr<T> bstar_t;
+    // ---- Slab exchange (replaces the square grid's transpose exchange).
+    Dcsr<T> aslab;  // A*[:, K^r_i] — global rows, K^r_i-local cols
+    Dcsr<T> bslab;  // B*[K^c_j, :] — K^c_j-local rows, global cols
     {
         Profiler::Scope scope(Phase::SendRecv);
-        const int peer = grid.transposed_rank();
-        astar_t = Dcsr<T>::deserialize(
-            grid.world().sendrecv(peer, kTagA, astar_local.serialize()));
-        bstar_t = Dcsr<T>::deserialize(
-            grid.world().sendrecv(peer, kTagB, bstar_local.serialize()));
+        std::vector<Triple<T>> atrip;
+        atrip.reserve(Astar.local().nnz());
+        Astar.local().for_each([&](index_t u, index_t v, const T& x) {
+            atrip.push_back({u + nr.offset(i), v + kc.offset(j), x});
+        });
+        std::vector<Triple<T>> btrip;
+        btrip.reserve(Bstar.local().nnz());
+        Bstar.local().for_each([&](index_t u, index_t v, const T& x) {
+            btrip.push_back({u + kr.offset(i), v + mc.offset(j), x});
+        });
+        auto asend = bucket_triples(
+            atrip, rows, [&](const Triple<T>& t) { return kr.owner(t.col); });
+        auto bsend = bucket_triples(
+            btrip, cols, [&](const Triple<T>& t) { return kc.owner(t.row); });
+        std::vector<par::Buffer> arecv;
+        std::vector<par::Buffer> brecv;
+        if (comm_mode == par::CommMode::Async) {
+            // Both exchanges in flight at once — the overlap of this path.
+            auto pa = grid.col_comm().ialltoallv(std::move(asend));
+            auto pb = grid.row_comm().ialltoallv(std::move(bsend));
+            arecv = pa.wait();
+            brecv = pb.wait();
+        } else {
+            arecv = grid.col_comm().alltoallv(std::move(asend));
+            brecv = grid.row_comm().alltoallv(std::move(bsend));
+        }
+        atrip.clear();
+        for (const auto& buf : arecv) unpack_triples(buf, atrip);
+        btrip.clear();
+        for (const auto& buf : brecv) unpack_triples(buf, btrip);
+        atrip = allgather_triples(grid.row_comm(), std::move(atrip));
+        btrip = allgather_triples(grid.col_comm(), std::move(btrip));
+        for (auto& t : atrip) t.col -= kr.offset(i);
+        for (auto& t : btrip) t.row -= kc.offset(j);
+        aslab = sparse::dcsr_from_unique_triples(n, kr.size(i),
+                                                 std::move(atrip));
+        bslab = sparse::dcsr_from_unique_triples(kc.size(j), m,
+                                                 std::move(btrip));
     }
 
     auto merge_buffers = [&](par::Buffer a, par::Buffer b) {
@@ -74,52 +161,61 @@ void algebraic_rounds(ProcessGrid& grid, const Dcsr<T>& astar_local,
         return sparse::dcsr_add(ma, mb, add_v).serialize();
     };
 
-    for (int k = 0; k < q; ++k) {
-        // Broadcast A*_{k,i} along row i (root: column k holds it after the
-        // transpose exchange) and B*_{j,k} along column j (root: row k).
-        Dcsr<T> astar_ki;
-        Dcsr<T> bstar_jk;
-        {
-            Profiler::Scope scope(Phase::Bcast);
-            par::Buffer abuf;
-            if (j == k) abuf = astar_t.serialize();
-            astar_ki =
-                Dcsr<T>::deserialize(grid.row_comm().bcast(k, std::move(abuf)));
-            par::Buffer bbuf;
-            if (i == k) bbuf = bstar_t.serialize();
-            bstar_jk =
-                Dcsr<T>::deserialize(grid.col_comm().bcast(k, std::move(bbuf)));
-        }
-
+    // ---- X rounds: one per grid row (output row block).
+    for (int a = 0; a < rows; ++a) {
         Dcsr<V> x_part;
+        {
+            Profiler::Scope scope(Phase::LocalMult);
+            x_part = mult_x(
+                sparse::dcsr_row_block(aslab, nr.offset(a), nr.offset(a + 1)),
+                a);
+        }
+        par::Buffer x_wire;
+        {
+            Profiler::Scope scope(Phase::Scatter);
+            x_wire = x_part.serialize();
+        }
+        {
+            Profiler::Scope scope(Phase::ReduceScatter);
+            par::Buffer xr = grid.col_comm().reduce_merge(
+                a, std::move(x_wire), merge_buffers);
+            if (i == a) absorb_x(Dcsr<V>::deserialize(xr));
+        }
+    }
+    // ---- Y rounds: one per grid column (output column block).
+    for (int b = 0; b < cols; ++b) {
         Dcsr<V> y_part;
         {
             Profiler::Scope scope(Phase::LocalMult);
-            x_part = mult_x(astar_ki, k);
-            y_part = mult_y(bstar_jk, k);
+            y_part = mult_y(
+                sparse::dcsr_col_block(bslab, mc.offset(b), mc.offset(b + 1)),
+                b);
         }
-
-        par::Buffer x_wire;
         par::Buffer y_wire;
         {
-            // Packing the partial results for the tree reduction (the
-            // "Scatter" bar of Fig. 12).
             Profiler::Scope scope(Phase::Scatter);
-            x_wire = x_part.serialize();
             y_wire = y_part.serialize();
         }
         {
             Profiler::Scope scope(Phase::ReduceScatter);
-            // X^i_{k,j} -> rank (k,j): reduce over this grid column, root k.
-            par::Buffer xr = grid.col_comm().reduce_merge(
-                k, std::move(x_wire), merge_buffers);
-            if (i == k) absorb_x(Dcsr<V>::deserialize(xr));
-            // Y^j_{i,k} -> rank (i,k): reduce over this grid row, root k.
             par::Buffer yr = grid.row_comm().reduce_merge(
-                k, std::move(y_wire), merge_buffers);
-            if (j == k) absorb_y(Dcsr<V>::deserialize(yr));
+                b, std::move(y_wire), merge_buffers);
+            if (j == b) absorb_y(Dcsr<V>::deserialize(yr));
         }
     }
+}
+
+/// Scatters a reduced partial block whose rows or columns follow the "wrong"
+/// partition to the owners of the output blocks. `pieces[d]` must hold the
+/// triples for destination d in the destination's local coordinates; every
+/// piece is sent (empty included) so receivers match deterministically.
+template <typename T>
+void send_pieces(ProcessGrid& grid,
+                 std::vector<std::vector<Triple<T>>>& pieces, int tag,
+                 const std::function<int(int)>& dest_rank) {
+    for (std::size_t d = 0; d < pieces.size(); ++d)
+        grid.world().send(dest_rank(static_cast<int>(d)), tag,
+                          pack_triples(pieces[d].data(), pieces[d].size()));
 }
 
 }  // namespace detail
@@ -152,35 +248,38 @@ void dynamic_spgemm_algebraic(DistDynamicMatrix<T>& C,
         });
     };
     detail::algebraic_rounds<T, T>(
-        grid, Astar.local(), Bstar.local(),
-        // X^i_{k,j} = A*_{k,i} · B'_{i,j}
-        [&](const Dcsr<T>& astar_ki, int k) {
-            return sparse::spgemm<SR>(rp.size(k), C.shape().local_cols(),
-                                      sparse::as_left(astar_ki),
+        grid, Astar, Bstar,
+        // X_{a,j} partial: A*[N^r_a, K^r_i] · B'_{i,j}
+        [&](const Dcsr<T>& a_slice, int a) {
+            return sparse::spgemm<SR>(rp.size(a), C.shape().local_cols(),
+                                      sparse::as_left(a_slice),
                                       sparse::as_right(Bprime.local()), sopts);
         },
-        // Y^j_{i,k} = A_{i,j} · B*_{j,k}
-        [&](const Dcsr<T>& bstar_jk, int k) {
-            return sparse::spgemm<SR>(C.shape().local_rows(), cp.size(k),
+        // Y_{i,b} partial: A_{i,j} · B*[K^c_j, M^c_b]
+        [&](const Dcsr<T>& b_slice, int b) {
+            return sparse::spgemm<SR>(C.shape().local_rows(), cp.size(b),
                                       sparse::as_left(A.local()),
-                                      sparse::as_right(bstar_jk), sopts);
+                                      sparse::as_right(b_slice), sopts);
         },
-        [](const T& a, const T& b) { return SR::add(a, b); }, absorb, absorb);
+        [](const T& a, const T& b) { return SR::add(a, b); }, absorb, absorb,
+        opts.comm_mode);
 }
 
 /// Algorithm 1 with a transposed left operand (Section V-C):
 /// C <- C + A*^T B' + A^T B*, where A and A* are (inner x n) and C is n x m.
 ///
 /// Differences from the untransposed flow, exactly as the paper describes:
-///  - no initial transpose send/receive is needed for A*: block A*_{i,r} is
-///    broadcast along grid row i directly from its owner (i, r), locally
-///    pre-transposed (hypersparse, O(nnz));
-///  - B* is broadcast over *rows* instead of columns;
-///  - the Y-term partial (A_{i,j})^T B*_{i,r} is computed against the stored
-///    (row-major) A block by pairing the few non-empty rows of B* with the
-///    matching rows of A (sparse/transposed_spgemm.hpp), and the reduced
-///    block is forwarded to its owner with one transposed-rank message (the
-///    send/receive that disappeared at the start reappears here).
+///  - no re-slab of A* is needed: its blocks already sit on the inner-row
+///    partition, so one allgather along each process row assembles the full
+///    row slab A*[K^r_i, :], and the X partial transposes a hypersparse
+///    column slice locally (O(nnz));
+///  - B* is likewise assembled along *rows* (slab B*[K^r_i, :]);
+///  - the Y-term partial (A_{i,j})^T B* has rows on A's *column* partition
+///    (a c-way split), which on a rectangular grid does not coincide with
+///    C's r-way row partition: after the reduction the root re-splits the
+///    block by C's row owners and forwards each piece with one
+///    point-to-point message (the transposed-rank message of the square
+///    grid, generalized).
 /// Collective.
 template <sparse::Semiring SR, typename T = typename SR::value_type>
 void dynamic_spgemm_algebraic_transA(DistDynamicMatrix<T>& C,
@@ -193,12 +292,17 @@ void dynamic_spgemm_algebraic_transA(DistDynamicMatrix<T>& C,
     using par::Profiler;
     constexpr int kTagY = 105;
     ProcessGrid& grid = C.shape().grid();
-    const int q = grid.q();
+    const int rows = grid.rows();
+    const int cols = grid.cols();
     const int i = grid.grid_row();
     const int j = grid.grid_col();
-    // C rows are partitioned like A's columns (nu), C cols like B's (mu).
-    const auto& nu = C.shape().row_partition();
-    const auto& mu = C.shape().col_partition();
+    const index_t n = C.shape().nrows();
+    const index_t m = C.shape().ncols();
+    // C rows are partitioned r-ways (nrp); A's columns c-ways (ncp).
+    const auto& nrp = C.shape().row_partition();
+    const auto& mcp = C.shape().col_partition();
+    const BlockPartition ncp = grid.col_partition(n);
+    const BlockPartition kr = grid.row_partition(Astar.shape().nrows());
     sparse::SpgemmOptions sopts;
     sopts.pool = opts.pool;
 
@@ -214,65 +318,90 @@ void dynamic_spgemm_algebraic_transA(DistDynamicMatrix<T>& C,
             C.local().insert_or_add(u, v, x, SR::add);
         });
     };
+    auto absorb_triples = [&](const std::vector<Triple<T>>& ts) {
+        Profiler::Scope scope(Phase::LocalAddition);
+        for (const auto& t : ts)
+            C.local().insert_or_add(t.row, t.col, t.value, SR::add);
+    };
 
-    for (int r = 0; r < q; ++r) {
-        // X-term: (A*_{i,r})^T broadcast along grid row i, root column r.
-        Dcsr<T> astar_t;
-        {
-            Profiler::Scope scope(Phase::Bcast);
-            par::Buffer abuf;
-            if (j == r) abuf = sparse::dcsr_transpose(Astar.local()).serialize();
-            astar_t =
-                Dcsr<T>::deserialize(grid.row_comm().bcast(r, std::move(abuf)));
+    // Row slabs: A*[K^r_i, :] (n global cols) and B*[K^r_i, :] (m global
+    // cols), assembled from the per-column blocks of this process row.
+    auto gather_row_slab = [&](const Dcsr<T>& local, const BlockPartition& gc,
+                               index_t global_cols) {
+        Profiler::Scope scope(Phase::SendRecv);
+        auto all = grid.row_comm().allgather(local.serialize());
+        std::vector<Triple<T>> trips;
+        for (int jp = 0; jp < cols; ++jp) {
+            auto blk = Dcsr<T>::deserialize(all[static_cast<std::size_t>(jp)]);
+            blk.for_each([&](index_t u, index_t v, const T& x) {
+                trips.push_back({u, v + gc.offset(jp), x});
+            });
         }
+        return sparse::dcsr_from_unique_triples(kr.size(i), global_cols,
+                                                std::move(trips));
+    };
+    const Dcsr<T> astar_slab = gather_row_slab(Astar.local(), ncp, n);
+    const Dcsr<T> bstar_slab = gather_row_slab(Bstar.local(), mcp, m);
+
+    // X rounds: (A*[K^r_i, N^r_a])^T · B'_{i,j}, reduced down the process
+    // column onto the owner (a, j).
+    for (int a = 0; a < rows; ++a) {
         Dcsr<T> x_part;
         {
             Profiler::Scope scope(Phase::LocalMult);
-            // (A*_{i,r})^T is nu_r x kappa_i; B'_{i,j} is kappa_i x mu_j.
-            x_part = sparse::spgemm<SR>(nu.size(r), C.shape().local_cols(),
-                                        sparse::as_left(astar_t),
-                                        sparse::as_right(Bprime.local()), sopts);
+            auto a_t = sparse::dcsr_transpose(sparse::dcsr_col_block(
+                astar_slab, nrp.offset(a), nrp.offset(a + 1)));
+            x_part = sparse::spgemm<SR>(nrp.size(a), C.shape().local_cols(),
+                                        sparse::as_left(a_t),
+                                        sparse::as_right(Bprime.local()),
+                                        sopts);
         }
         {
             Profiler::Scope scope(Phase::ReduceScatter);
             par::Buffer xr = grid.col_comm().reduce_merge(
-                r, x_part.serialize(), merge_buffers);
-            if (i == r) absorb(Dcsr<T>::deserialize(xr));
+                a, x_part.serialize(), merge_buffers);
+            if (i == a) absorb(Dcsr<T>::deserialize(xr));
         }
+    }
 
-        // Y-term: B*_{i,r} broadcast along grid row i, root column r.
-        Dcsr<T> bstar_ir;
-        {
-            Profiler::Scope scope(Phase::Bcast);
-            par::Buffer bbuf;
-            if (j == r) bbuf = Bstar.local().serialize();
-            bstar_ir =
-                Dcsr<T>::deserialize(grid.row_comm().bcast(r, std::move(bbuf)));
-        }
+    // Y rounds: (A_{i,j})^T · B*[K^r_i, M^c_b] — rows follow A's column
+    // partition (ncp), so the reduced block is re-split by C's row owners.
+    for (int b = 0; b < cols; ++b) {
+        const int root_row = b % rows;
         Dcsr<T> y_part;
         {
             Profiler::Scope scope(Phase::LocalMult);
-            // (A_{i,j})^T B*_{i,r} -> block (j, r) of C: nu_j x mu_r.
+            auto b_slice = sparse::dcsr_col_block(bstar_slab, mcp.offset(b),
+                                                  mcp.offset(b + 1));
             y_part = sparse::spgemm_transposed_left<SR>(
-                A.shape().local_cols(), mu.size(r), A.local(), bstar_ir);
+                A.shape().local_cols(), mcp.size(b), A.local(), b_slice);
         }
         {
             Profiler::Scope scope(Phase::ReduceScatter);
-            // Partials for block (j, r) live on grid column j; reduce to the
-            // rank in grid row r, then forward to the owner (j, r) with one
-            // transposed-rank message.
             par::Buffer yr = grid.col_comm().reduce_merge(
-                r, y_part.serialize(), merge_buffers);
-            if (i == r && j == r) {
-                absorb(Dcsr<T>::deserialize(yr));
-            } else if (i == r) {
-                grid.world().send(grid.transposed_rank(), kTagY + r,
-                                  std::move(yr));
+                root_row, y_part.serialize(), merge_buffers);
+            if (i == root_row) {
+                auto reduced = Dcsr<T>::deserialize(yr);
+                std::vector<std::vector<Triple<T>>> pieces(
+                    static_cast<std::size_t>(rows));
+                reduced.for_each([&](index_t u, index_t v, const T& x) {
+                    const index_t gu = u + ncp.offset(j);
+                    const int a = nrp.owner(gu);
+                    pieces[static_cast<std::size_t>(a)].push_back(
+                        {gu - nrp.offset(a), v, x});
+                });
+                detail::send_pieces(grid, pieces, kTagY + b,
+                                    [&](int a) { return grid.rank_of(a, b); });
             }
-            if (j == r && i != r) {
-                par::Buffer in =
-                    grid.world().recv(grid.transposed_rank(), kTagY + r);
-                absorb(Dcsr<T>::deserialize(in));
+            if (j == b) {
+                for (int jp = 0; jp < cols; ++jp) {
+                    std::vector<Triple<T>> ts;
+                    detail::unpack_triples(
+                        grid.world().recv(grid.rank_of(root_row, jp),
+                                          kTagY + b),
+                        ts);
+                    absorb_triples(ts);
+                }
             }
         }
     }
@@ -282,17 +411,21 @@ void dynamic_spgemm_algebraic_transA(DistDynamicMatrix<T>& C,
 /// C <- C + A* B'^T + A B*^T, where B and B* are (m x inner), A and A* are
 /// (n x inner) and C is n x m.
 ///
-/// As the paper notes, A* is now broadcast over *columns* of the grid (no
-/// initial transpose exchange), and so is B*. Local multiplications against
-/// transposed right operands are rewritten to keep both operands streamable:
-///  - X-term: A*_{k,c} (B'_{j,c})^T = (B'_{j,c} (A*_{k,c})^T)^T — one
-///    ordinary Gustavson multiply against the locally transposed hypersparse
-///    A* block, plus a transpose of the (small) partial result;
-///  - Y-term: A_{i,c} (B*_{k,c})^T multiplies the stored A block against the
+/// As the paper notes, A* and B* are broadcast over *columns* of the grid
+/// (one allgather down each process column — their blocks already align with
+/// grid rows, so no re-slab or merge is needed). Local multiplications
+/// against transposed right operands are rewritten to keep both operands
+/// streamable:
+///  - X-term: A*_u (B'_{i,j})^T = (B'_{i,j} (A*_u)^T)^T — one ordinary
+///    Gustavson multiply against the locally transposed hypersparse A*
+///    block, plus a transpose of the (small) partial result;
+///  - Y-term: A_{i,j} (B*_u)^T multiplies the stored A block against the
 ///    locally transposed hypersparse B* block directly.
-/// X partials are reduced along grid rows and forwarded to the owner with a
-/// transposed-rank message; Y partials reduce along grid rows straight onto
-/// their owner. Collective.
+/// Both reduced partials have columns on B's r-way *row* partition, which a
+/// rectangular grid's c-way output column partition does not match: the
+/// reduction root re-splits each block by C's column owners and forwards the
+/// pieces point-to-point (the transposed-rank messages of the square grid,
+/// generalized). Collective.
 template <sparse::Semiring SR, typename T = typename SR::value_type>
 void dynamic_spgemm_algebraic_transB(DistDynamicMatrix<T>& C,
                                      const DistDynamicMatrix<T>& A,
@@ -302,14 +435,19 @@ void dynamic_spgemm_algebraic_transB(DistDynamicMatrix<T>& C,
                                      const DynamicSpgemmOptions& opts = {}) {
     using par::Phase;
     using par::Profiler;
-    constexpr int kTagX = 107;
+    constexpr int kTagX = 140;
+    constexpr int kTagYB = 170;
     ProcessGrid& grid = C.shape().grid();
-    const int q = grid.q();
+    const int rows = grid.rows();
+    const int cols = grid.cols();
     const int i = grid.grid_row();
     const int j = grid.grid_col();
-    // C rows partition like A's rows (n), C cols like B's rows (m).
-    const auto& rp = C.shape().row_partition();
-    const auto& mp = C.shape().col_partition();
+    const index_t m = C.shape().ncols();
+    // C rows partition like A's rows (nrp, r-way); C cols (mcp, c-way) do
+    // NOT match B's r-way row partition (mrp) on a rectangular grid.
+    const auto& nrp = C.shape().row_partition();
+    const auto& mcp = C.shape().col_partition();
+    const BlockPartition mrp = grid.row_partition(m);
     sparse::SpgemmOptions sopts;
     sopts.pool = opts.pool;
 
@@ -319,77 +457,101 @@ void dynamic_spgemm_algebraic_transB(DistDynamicMatrix<T>& C,
         auto mb = Dcsr<T>::deserialize(b);
         return sparse::dcsr_add(ma, mb, add).serialize();
     };
-    auto absorb = [&](const Dcsr<T>& reduced) {
+    auto absorb_triples = [&](const std::vector<Triple<T>>& ts) {
         Profiler::Scope scope(Phase::LocalAddition);
-        reduced.for_each([&](index_t u, index_t v, const T& x) {
-            C.local().insert_or_add(u, v, x, SR::add);
+        for (const auto& t : ts)
+            C.local().insert_or_add(t.row, t.col, t.value, SR::add);
+    };
+    // Splits a reduced block whose columns live in B's row block u (global
+    // offset mrp.offset(u)) by C's column owners and forwards the pieces to
+    // this grid row's owners (dest_row, b) — dest_row depends on the term.
+    auto scatter_cols = [&](par::Buffer reduced_wire, int u, int tag,
+                            const std::function<int(int)>& dest_rank) {
+        auto reduced = Dcsr<T>::deserialize(reduced_wire);
+        std::vector<std::vector<Triple<T>>> pieces(
+            static_cast<std::size_t>(cols));
+        reduced.for_each([&](index_t uu, index_t v, const T& x) {
+            const index_t gv = v + mrp.offset(u);
+            const int b = mcp.owner(gv);
+            pieces[static_cast<std::size_t>(b)].push_back(
+                {uu, gv - mcp.offset(b), x});
         });
+        detail::send_pieces(grid, pieces, tag, dest_rank);
     };
 
-    for (int k = 0; k < q; ++k) {
-        // Both update blocks of grid row k travel down their columns.
-        Dcsr<T> astar_kc;
-        Dcsr<T> bstar_kc;
-        {
-            Profiler::Scope scope(Phase::Bcast);
-            par::Buffer abuf;
-            par::Buffer bbuf;
-            if (i == k) {
-                abuf = Astar.local().serialize();
-                bbuf = Bstar.local().serialize();
-            }
-            astar_kc =
-                Dcsr<T>::deserialize(grid.col_comm().bcast(k, std::move(abuf)));
-            bstar_kc =
-                Dcsr<T>::deserialize(grid.col_comm().bcast(k, std::move(bbuf)));
-        }
+    // Column slabs: every rank learns all r blocks of its process column —
+    // A*[N^r_u, K^c_j] and B*[M^r_u, K^c_j] for u in [0, rows). The blocks
+    // stay separate; each drives one round.
+    auto gather_col_blocks = [&](const Dcsr<T>& local) {
+        Profiler::Scope scope(Phase::SendRecv);
+        auto all = grid.col_comm().allgather(local.serialize());
+        std::vector<Dcsr<T>> blocks;
+        blocks.reserve(all.size());
+        for (auto& buf : all) blocks.push_back(Dcsr<T>::deserialize(buf));
+        return blocks;
+    };
+    const auto astar_blocks = gather_col_blocks(Astar.local());
+    const auto bstar_blocks = gather_col_blocks(Bstar.local());
 
-        // X-term partial for output block (k, j), computed transposed:
-        // W = B'_{j,c} (A*_{k,c})^T, then X = W^T.
+    // X rounds: partial for output rows N^r_a, computed transposed:
+    // W = B'_{i,j} (A*_a)^T, then X = W^T (columns on M^r_i).
+    for (int a = 0; a < rows; ++a) {
+        const int root_col = a % cols;
         Dcsr<T> x_part;
         {
             Profiler::Scope scope(Phase::LocalMult);
-            auto astar_t = sparse::dcsr_transpose(astar_kc);
+            auto astar_t = sparse::dcsr_transpose(
+                astar_blocks[static_cast<std::size_t>(a)]);
             auto w = sparse::spgemm<SR>(
-                Bprime.shape().local_rows(), rp.size(k),
+                Bprime.shape().local_rows(), nrp.size(a),
                 sparse::as_left(Bprime.local()), sparse::as_right(astar_t),
                 sopts);
             x_part = sparse::dcsr_transpose(w);
         }
         {
             Profiler::Scope scope(Phase::ReduceScatter);
-            // Partials live on grid row j's ranks; reduce to column k, then
-            // forward (j, k) -> (k, j).
             par::Buffer xr = grid.row_comm().reduce_merge(
-                k, x_part.serialize(), merge_buffers);
-            if (j == k && i == k) {
-                absorb(Dcsr<T>::deserialize(xr));
-            } else if (j == k) {
-                grid.world().send(grid.transposed_rank(), kTagX + k,
-                                  std::move(xr));
-            }
-            if (i == k && j != k) {
-                par::Buffer in =
-                    grid.world().recv(grid.transposed_rank(), kTagX + k);
-                absorb(Dcsr<T>::deserialize(in));
+                root_col, x_part.serialize(), merge_buffers);
+            if (j == root_col)
+                scatter_cols(std::move(xr), i, kTagX + a,
+                             [&](int b) { return grid.rank_of(a, b); });
+            if (i == a) {
+                for (int ip = 0; ip < rows; ++ip) {
+                    std::vector<Triple<T>> ts;
+                    detail::unpack_triples(
+                        grid.world().recv(grid.rank_of(ip, root_col),
+                                          kTagX + a),
+                        ts);
+                    absorb_triples(ts);
+                }
             }
         }
+    }
 
-        // Y-term partial for output block (i, k):
-        // A_{i,c} (B*_{k,c})^T via the locally transposed B* block.
+    // Y rounds: A_{i,j} (B*_u)^T — output rows stay on this grid row, so
+    // the re-split pieces travel within the process row.
+    for (int u = 0; u < rows; ++u) {
+        const int root_col = u % cols;
         Dcsr<T> y_part;
         {
             Profiler::Scope scope(Phase::LocalMult);
-            auto bstar_t = sparse::dcsr_transpose(bstar_kc);
-            y_part = sparse::spgemm<SR>(C.shape().local_rows(), mp.size(k),
+            auto bstar_t = sparse::dcsr_transpose(
+                bstar_blocks[static_cast<std::size_t>(u)]);
+            y_part = sparse::spgemm<SR>(C.shape().local_rows(), mrp.size(u),
                                         sparse::as_left(A.local()),
                                         sparse::as_right(bstar_t), sopts);
         }
         {
             Profiler::Scope scope(Phase::ReduceScatter);
             par::Buffer yr = grid.row_comm().reduce_merge(
-                k, y_part.serialize(), merge_buffers);
-            if (j == k) absorb(Dcsr<T>::deserialize(yr));
+                root_col, y_part.serialize(), merge_buffers);
+            if (j == root_col)
+                scatter_cols(std::move(yr), u, kTagYB + u,
+                             [&](int b) { return grid.rank_of(i, b); });
+            std::vector<Triple<T>> ts;
+            detail::unpack_triples(
+                grid.world().recv(grid.rank_of(i, root_col), kTagYB + u), ts);
+            absorb_triples(ts);
         }
     }
 }
@@ -408,7 +570,8 @@ DistDynamicMatrix<std::uint64_t> compute_pattern(
                                            Bprime.shape().ncols());
     const auto& rp = cstar.shape().row_partition();
     const auto& cp = cstar.shape().col_partition();
-    const BlockPartition ip = grid.partition(A.shape().ncols());
+    const BlockPartition kr = grid.row_partition(A.shape().ncols());
+    const BlockPartition kc = grid.col_partition(A.shape().ncols());
     auto bits_or = [](std::uint64_t a, std::uint64_t b) { return a | b; };
 
     auto absorb = [&](const Dcsr<std::uint64_t>& reduced) {
@@ -418,29 +581,29 @@ DistDynamicMatrix<std::uint64_t> compute_pattern(
         });
     };
     detail::algebraic_rounds<T, std::uint64_t>(
-        grid, Astar.local(), Bstar.local(),
-        [&](const Dcsr<T>& astar_ki, int k) {
+        grid, Astar, Bstar,
+        [&](const Dcsr<T>& a_slice, int a) {
             sparse::SpgemmOptions sopts;
             sopts.pool = opts.pool;
-            // Columns of A*_{k,i} live in inner block i of this grid row.
-            sopts.inner_offset = ip.offset(grid.grid_row());
-            return sparse::spgemm_pattern(rp.size(k),
+            // Columns of the A* slab slice live in inner row block K^r_i.
+            sopts.inner_offset = kr.offset(grid.grid_row());
+            return sparse::spgemm_pattern(rp.size(a),
                                           cstar.shape().local_cols(),
-                                          sparse::as_left(astar_ki),
+                                          sparse::as_left(a_slice),
                                           sparse::as_right(Bprime.local()),
                                           sopts);
         },
-        [&](const Dcsr<T>& bstar_jk, int k) {
+        [&](const Dcsr<T>& b_slice, int b) {
             sparse::SpgemmOptions sopts;
             sopts.pool = opts.pool;
-            // Columns of A_{i,j} live in inner block j.
-            sopts.inner_offset = ip.offset(grid.grid_col());
+            // Columns of A_{i,j} live in inner column block K^c_j.
+            sopts.inner_offset = kc.offset(grid.grid_col());
             return sparse::spgemm_pattern(cstar.shape().local_rows(),
-                                          cp.size(k),
+                                          cp.size(b),
                                           sparse::as_left(A.local()),
-                                          sparse::as_right(bstar_jk), sopts);
+                                          sparse::as_right(b_slice), sopts);
         },
-        bits_or, absorb, absorb);
+        bits_or, absorb, absorb, opts.comm_mode);
     return cstar;
 }
 

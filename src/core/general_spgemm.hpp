@@ -12,16 +12,23 @@
 //   R_u = OR over v of e_{uv}              (or-reduce along the grid row)
 //   A^R = rows u of A' with r_u != 0, keeping only columns k with
 //         bit (k mod 64) set in r_u
-//   then: broadcast A^R_{k,i} along rows and the C*_{k,j} mask along
-//   columns; masked local multiply Z,H = A^R_{k,i} B'_{i,j} masked at
-//   C*_{k,j}; tree-reduce Z (semiring add) and H (bitwise or) onto (k,j);
-//   finally merge Z into C and H into F at mask positions — entries of the
-//   mask that received no value become structural zeros.
+//   then: re-slab A^R onto the inner *row* partition K^r (alltoallv down the
+//   process column + allgather along the row, as for A* in Algorithm 1; on a
+//   square grid this is the paper's transpose exchange), and for each grid
+//   row a: broadcast the C*_{a,j} mask down the column; masked local multiply
+//   Z,H = A^R[N^r_a, K^r_i] B'_{i,j} masked at C*_{a,j}; tree-reduce Z
+//   (semiring add) and H (bitwise or) onto (a,j); finally merge Z into C and
+//   H into F at mask positions — entries of the mask that received no value
+//   become structural zeros.
 //
 // The Bloom filter trades false positives (superfluous columns kept) for
 // communication volume; it never loses a contribution (tested property).
+// With comm_mode == Async the mask broadcast of round a+1 is posted before
+// round a's masked multiply (and the slab exchange uses the post/wait path);
+// bytes and reduction order are unchanged, so results are bit-identical.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "core/dist_matrix.hpp"
@@ -37,6 +44,9 @@ struct GeneralSpgemmOptions {
     /// Disables the Bloom *column* filter (rows are still selected by the
     /// mask); measured by bench_ablation_bloom.
     bool use_bloom_filter = true;
+    /// Async overlaps the next round's mask broadcast with this round's
+    /// masked multiply. Bit-identical results either way.
+    par::CommMode comm_mode = par::CommMode::Sync;
 };
 
 /// Volume diagnostics of one general-update pass.
@@ -61,13 +71,14 @@ GeneralSpgemmStats general_dynamic_spgemm(
     using par::Phase;
     using par::Profiler;
     using VB = sparse::ValueBits<T>;
-    constexpr int kTagAr = 103;
     ProcessGrid& grid = C.shape().grid();
-    const int q = grid.q();
+    const int rows = grid.rows();
     const int i = grid.grid_row();
-    const int j = grid.grid_col();
-    const BlockPartition ip = grid.partition(Aprime.shape().ncols());
+    const index_t n = Aprime.shape().nrows();
+    const BlockPartition kr = grid.row_partition(Aprime.shape().ncols());
+    const BlockPartition kc = grid.col_partition(Aprime.shape().ncols());
     const auto& rp = C.shape().row_partition();
+    const bool async = opts.comm_mode == par::CommMode::Async;
 
     // E = (F | F*) masked at C*, reduced over the grid row into the
     // row-filter vector R (one 64-bit word per local row of this block row).
@@ -87,7 +98,7 @@ GeneralSpgemmStats general_dynamic_spgemm(
     Dcsr<T> ar(Aprime.shape().local_rows(), Aprime.shape().local_cols());
     {
         Profiler::Scope scope(Phase::LocalConstruct);
-        const index_t col_off = ip.offset(j);
+        const index_t col_off = kc.offset(grid.grid_col());
         for (index_t u = 0; u < Aprime.shape().local_rows(); ++u) {
             const std::uint64_t bits = r_vec[static_cast<std::size_t>(u)];
             if (bits == 0) continue;
@@ -113,13 +124,29 @@ GeneralSpgemmStats general_dynamic_spgemm(
     stats.cstar_nnz_global = grid.world().template allreduce<std::uint64_t>(
         Cstar.local().nnz(), sum);
 
-    // Transpose exchange of A^R (as for A* in Algorithm 1) and the local C*
-    // mask snapshot to broadcast along columns.
-    Dcsr<T> ar_t;
+    // Re-slab A^R onto the inner row partition: this rank ends up with
+    // A^R[:, K^r_i] in full (the Algorithm 1 slab exchange; degenerates to
+    // the transpose exchange on a square grid).
+    Dcsr<T> ar_slab;
     {
         Profiler::Scope scope(Phase::SendRecv);
-        ar_t = Dcsr<T>::deserialize(
-            grid.world().sendrecv(grid.transposed_rank(), kTagAr, ar.serialize()));
+        std::vector<Triple<T>> trips;
+        trips.reserve(ar.nnz());
+        const index_t row_off = Aprime.shape().row_partition().offset(i);
+        const index_t col_off = kc.offset(grid.grid_col());
+        ar.for_each([&](index_t u, index_t v, const T& x) {
+            trips.push_back({u + row_off, v + col_off, x});
+        });
+        auto send = detail::bucket_triples(
+            trips, rows, [&](const Triple<T>& t) { return kr.owner(t.col); });
+        auto recv = detail::exchange(grid.col_comm(), std::move(send),
+                                     opts.comm_mode);
+        trips.clear();
+        for (const auto& buf : recv) detail::unpack_triples(buf, trips);
+        trips = detail::allgather_triples(grid.row_comm(), std::move(trips));
+        for (auto& t : trips) t.col -= kr.offset(i);
+        ar_slab =
+            sparse::dcsr_from_unique_triples(n, kr.size(i), std::move(trips));
     }
     par::Buffer mask_snapshot;
     {
@@ -138,40 +165,56 @@ GeneralSpgemmStats general_dynamic_spgemm(
             .serialize();
     };
 
+    // One round per grid row a: mask C*_{a,j} comes down the process column;
+    // the A^R rows for output block a are already local in the slab. In
+    // async mode round a+1's mask is posted before round a's multiply.
+    auto post_mask = [&](int a) {
+        Profiler::Scope scope(Phase::Bcast);
+        par::Buffer mbuf;
+        if (i == a) mbuf = mask_snapshot;  // copy: broadcast consumes it
+        return grid.col_comm().ibcast(a, std::move(mbuf));
+    };
+    std::optional<par::Comm::PendingBcast> inflight;
+    if (async && rows > 0) inflight.emplace(post_mask(0));
+
     Dcsr<VB> z_mine(C.shape().local_rows(), C.shape().local_cols());
-    for (int k = 0; k < q; ++k) {
-        Dcsr<T> ar_ki;
-        Dcsr<std::uint64_t> cstar_kj;
+    for (int a = 0; a < rows; ++a) {
+        Dcsr<std::uint64_t> cstar_aj;
         {
             Profiler::Scope scope(Phase::Bcast);
-            par::Buffer abuf;
-            if (j == k) abuf = ar_t.serialize();
-            ar_ki = Dcsr<T>::deserialize(grid.row_comm().bcast(k, std::move(abuf)));
-            par::Buffer mbuf;
-            if (i == k) mbuf = mask_snapshot;  // copy: broadcast consumes it
-            cstar_kj = Dcsr<std::uint64_t>::deserialize(
-                grid.col_comm().bcast(k, std::move(mbuf)));
+            if (async) {
+                cstar_aj = Dcsr<std::uint64_t>::deserialize(inflight->wait());
+                inflight.reset();
+            } else {
+                par::Buffer mbuf;
+                if (i == a) mbuf = mask_snapshot;
+                cstar_aj = Dcsr<std::uint64_t>::deserialize(
+                    grid.col_comm().bcast(a, std::move(mbuf)));
+            }
         }
+        if (async && a + 1 < rows) inflight.emplace(post_mask(a + 1));
 
         Dcsr<VB> z_part;
         {
             Profiler::Scope scope(Phase::LocalMult);
             // Each rank rebuilds the mask hash locally: faster than
             // broadcasting the hash table itself (Section VI-B).
-            const sparse::PairSet mask = sparse::dcsr_pattern(cstar_kj);
+            const sparse::PairSet mask = sparse::dcsr_pattern(cstar_aj);
             sparse::SpgemmOptions sopts;
             sopts.pool = opts.pool;
             sopts.mask = &mask;
-            sopts.inner_offset = ip.offset(i);
+            sopts.inner_offset = kr.offset(i);
+            auto ar_slice = sparse::dcsr_row_block(ar_slab, rp.offset(a),
+                                                   rp.offset(a + 1));
             z_part = sparse::spgemm_with_bloom<SR>(
-                rp.size(k), C.shape().local_cols(), sparse::as_left(ar_ki),
+                rp.size(a), C.shape().local_cols(), sparse::as_left(ar_slice),
                 sparse::as_right(Bprime.local()), sopts);
         }
         {
             Profiler::Scope scope(Phase::ReduceScatter);
             par::Buffer zr =
-                grid.col_comm().reduce_merge(k, z_part.serialize(), merge_vb);
-            if (i == k) z_mine = Dcsr<VB>::deserialize(zr);
+                grid.col_comm().reduce_merge(a, z_part.serialize(), merge_vb);
+            if (i == a) z_mine = Dcsr<VB>::deserialize(zr);
         }
     }
 

@@ -10,14 +10,23 @@ bool ProcessGrid::is_square(int p) {
     return q * q == p;
 }
 
-ProcessGrid::ProcessGrid(par::Comm world) : world_(world) {
-    const int p = world_.size();
-    if (!is_square(p))
+std::pair<int, int> ProcessGrid::default_shape(int p) {
+    int r = static_cast<int>(std::lround(std::sqrt(static_cast<double>(p))));
+    while (r > 1 && p % r != 0) --r;
+    return {r, p / r};
+}
+
+ProcessGrid::ProcessGrid(par::Comm world)
+    : ProcessGrid(world, default_shape(world.size()).first,
+                  default_shape(world.size()).second) {}
+
+ProcessGrid::ProcessGrid(par::Comm world, int rows, int cols)
+    : world_(std::move(world)), rows_(rows), cols_(cols) {
+    if (rows_ <= 0 || cols_ <= 0 || rows_ * cols_ != world_.size())
         throw std::invalid_argument(
-            "ProcessGrid requires a square number of ranks");
-    q_ = static_cast<int>(std::lround(std::sqrt(static_cast<double>(p))));
-    row_ = world_.rank() / q_;
-    col_ = world_.rank() % q_;
+            "ProcessGrid: rows * cols must equal the world size");
+    row_ = world_.rank() / cols_;
+    col_ = world_.rank() % cols_;
     row_comm_ = world_.split(/*color=*/row_, /*key=*/col_);
     col_comm_ = world_.split(/*color=*/col_, /*key=*/row_);
 }

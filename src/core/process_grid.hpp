@@ -1,10 +1,14 @@
-// The sqrt(p) x sqrt(p) process grid and the 2D block distribution
-// (Section IV): rank r owns grid position (r / q, r % q); dimension n is cut
-// into q contiguous blocks of ceil(n/q) indices. Row and column communicators
-// carry the broadcasts/reductions of SUMMA and of Algorithms 1 and 2.
+// The r x c process grid and the 2D block distribution (Section IV): rank r
+// owns grid position (r / cols, r % cols); the row dimension is cut into
+// `rows` contiguous blocks, the column dimension into `cols` blocks. Row and
+// column communicators carry the broadcasts/reductions of SUMMA and of
+// Algorithms 1 and 2. The paper assumes a square sqrt(p) x sqrt(p) grid; the
+// generalization here factors any p into the most-square r x c shape (r <= c)
+// so every rank count forms a grid, and keeps the square case bit-identical.
 #pragma once
 
 #include <memory>
+#include <utility>
 
 #include "par/comm.hpp"
 #include "sparse/types.hpp"
@@ -51,41 +55,50 @@ private:
     index_t block_ = 0;
 };
 
-/// Square process grid over a communicator whose size must be a perfect
-/// square. Constructing one is a collective operation (it splits the world
-/// into row and column communicators).
+/// Rectangular rows x cols process grid over a communicator. Constructing one
+/// is a collective operation (it splits the world into row and column
+/// communicators). The one-argument constructor factors the world size into
+/// the most-square shape with rows <= cols; the explicit-shape constructor
+/// accepts any factorization of the world size.
 class ProcessGrid {
 public:
     explicit ProcessGrid(par::Comm world);
+    ProcessGrid(par::Comm world, int rows, int cols);
 
-    [[nodiscard]] int q() const { return q_; }          ///< grid side length
+    [[nodiscard]] int rows() const { return rows_; }    ///< grid row count
+    [[nodiscard]] int cols() const { return cols_; }    ///< grid column count
     [[nodiscard]] int grid_row() const { return row_; } ///< this rank's i
     [[nodiscard]] int grid_col() const { return col_; } ///< this rank's j
 
     /// World rank of grid position (i, j).
-    [[nodiscard]] int rank_of(int i, int j) const { return i * q_ + j; }
-    /// World rank of the transposed position (j, i) — the peer of the initial
-    /// send/receive round of Algorithms 1 and 2.
-    [[nodiscard]] int transposed_rank() const { return rank_of(col_, row_); }
+    [[nodiscard]] int rank_of(int i, int j) const { return i * cols_ + j; }
 
     [[nodiscard]] par::Comm& world() { return world_; }
-    /// Communicator over the q ranks of this grid row; rank within it is the
-    /// grid column.
+    /// Communicator over the `cols` ranks of this grid row; rank within it is
+    /// the grid column.
     [[nodiscard]] par::Comm& row_comm() { return row_comm_; }
-    /// Communicator over the q ranks of this grid column; rank within it is
-    /// the grid row.
+    /// Communicator over the `rows` ranks of this grid column; rank within it
+    /// is the grid row.
     [[nodiscard]] par::Comm& col_comm() { return col_comm_; }
 
-    /// Partition of a global dimension across the grid side.
-    [[nodiscard]] BlockPartition partition(index_t n) const {
-        return BlockPartition(n, q_);
+    /// Partition of a global row dimension across the grid's rows.
+    [[nodiscard]] BlockPartition row_partition(index_t n) const {
+        return BlockPartition(n, rows_);
+    }
+    /// Partition of a global column dimension across the grid's columns.
+    [[nodiscard]] BlockPartition col_partition(index_t n) const {
+        return BlockPartition(n, cols_);
     }
 
     static bool is_square(int p);
+    /// Most-square factorization of p: the pair (r, c) with r * c == p,
+    /// r <= c, and r as large as possible.
+    static std::pair<int, int> default_shape(int p);
 
 private:
     par::Comm world_;
-    int q_;
+    int rows_;
+    int cols_;
     int row_;
     int col_;
     par::Comm row_comm_;

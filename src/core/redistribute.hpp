@@ -2,10 +2,11 @@
 //
 // Ranks generate updates independently, with no knowledge of the data
 // distribution. The paper's two-phase routine moves each tuple first to the
-// correct grid *row* (an alltoallv within the tuple's process column), then
-// to the correct grid *column* (an alltoallv within the process row). Each
-// phase groups tuples with a counting sort over only sqrt(p) buckets, and
-// each alltoallv involves only sqrt(p) peers.
+// correct grid *row* (an alltoallv within the tuple's process column, over
+// `rows` buckets), then to the correct grid *column* (an alltoallv within the
+// process row, over `cols` buckets). Each phase groups tuples with a counting
+// sort over only one grid dimension's worth of buckets, and each alltoallv
+// involves only that many peers (sqrt(p) on a square grid).
 //
 // RedistMode::DirectSort is the competitor strategy the paper measures
 // against (CombBLAS-style): one comparison sort by destination rank followed
@@ -44,6 +45,17 @@ void unpack_triples(const par::Buffer& buf, std::vector<Triple<T>>& out) {
     out.insert(out.end(), part.begin(), part.end());
 }
 
+/// alltoallv through either the blocking or the post/wait path. Redistribution
+/// has no local work to overlap, so async mode here exists to exercise the
+/// same code path the overlapped algorithms use — byte-identical either way.
+inline std::vector<par::Buffer> exchange(par::Comm& comm,
+                                         std::vector<par::Buffer> send,
+                                         par::CommMode mode) {
+    if (mode == par::CommMode::Async)
+        return comm.ialltoallv(std::move(send)).wait();
+    return comm.alltoallv(std::move(send));
+}
+
 }  // namespace detail
 
 /// Routes tuples (global coordinates) to the rank owning their block; returns
@@ -52,10 +64,12 @@ template <typename T>
 std::vector<Triple<T>> redistribute_tuples(ProcessGrid& grid,
                                            const DistShape& shape,
                                            std::vector<Triple<T>> tuples,
-                                           RedistMode mode = RedistMode::TwoPhase) {
+                                           RedistMode mode = RedistMode::TwoPhase,
+                                           par::CommMode comm_mode = par::CommMode::Sync) {
     using par::Phase;
     using par::Profiler;
-    const int q = grid.q();
+    const int rows = grid.rows();
+    const int cols = grid.cols();
     const auto& rp = shape.row_partition();
     const auto& cp = shape.col_partition();
 
@@ -90,7 +104,7 @@ std::vector<Triple<T>> redistribute_tuples(ProcessGrid& grid,
         std::vector<par::Buffer> recv;
         {
             Profiler::Scope scope(Phase::RedistComm);
-            recv = grid.world().alltoallv(std::move(send));
+            recv = detail::exchange(grid.world(), std::move(send), comm_mode);
         }
         std::vector<Triple<T>> out;
         {
@@ -101,17 +115,17 @@ std::vector<Triple<T>> redistribute_tuples(ProcessGrid& grid,
     }
 
     // Phase 1: to the correct grid row, exchanging within this process
-    // column. col_comm ranks are ordered by grid row.
+    // column. col_comm ranks are ordered by grid row (`rows` buckets).
     std::vector<std::size_t> offsets;
     {
         Profiler::Scope scope(Phase::RedistSort);
         offsets = sparse::counting_sort(
-            tuples, static_cast<std::size_t>(q),
+            tuples, static_cast<std::size_t>(rows),
             [&](const Triple<T>& t) { return rp.owner(t.row); });
     }
     {
-        std::vector<par::Buffer> send(static_cast<std::size_t>(q));
-        for (int dest = 0; dest < q; ++dest)
+        std::vector<par::Buffer> send(static_cast<std::size_t>(rows));
+        for (int dest = 0; dest < rows; ++dest)
             send[static_cast<std::size_t>(dest)] = detail::pack_triples(
                 tuples.data() + offsets[static_cast<std::size_t>(dest)],
                 offsets[static_cast<std::size_t>(dest) + 1] -
@@ -119,7 +133,7 @@ std::vector<Triple<T>> redistribute_tuples(ProcessGrid& grid,
         std::vector<par::Buffer> recv;
         {
             Profiler::Scope scope(Phase::RedistComm);
-            recv = grid.col_comm().alltoallv(std::move(send));
+            recv = detail::exchange(grid.col_comm(), std::move(send), comm_mode);
         }
         tuples.clear();
         {
@@ -129,16 +143,16 @@ std::vector<Triple<T>> redistribute_tuples(ProcessGrid& grid,
     }
 
     // Phase 2: to the correct grid column, exchanging within this process
-    // row. row_comm ranks are ordered by grid column.
+    // row. row_comm ranks are ordered by grid column (`cols` buckets).
     {
         Profiler::Scope scope(Phase::RedistSort);
         offsets = sparse::counting_sort(
-            tuples, static_cast<std::size_t>(q),
+            tuples, static_cast<std::size_t>(cols),
             [&](const Triple<T>& t) { return cp.owner(t.col); });
     }
     {
-        std::vector<par::Buffer> send(static_cast<std::size_t>(q));
-        for (int dest = 0; dest < q; ++dest)
+        std::vector<par::Buffer> send(static_cast<std::size_t>(cols));
+        for (int dest = 0; dest < cols; ++dest)
             send[static_cast<std::size_t>(dest)] = detail::pack_triples(
                 tuples.data() + offsets[static_cast<std::size_t>(dest)],
                 offsets[static_cast<std::size_t>(dest) + 1] -
@@ -146,7 +160,7 @@ std::vector<Triple<T>> redistribute_tuples(ProcessGrid& grid,
         std::vector<par::Buffer> recv;
         {
             Profiler::Scope scope(Phase::RedistComm);
-            recv = grid.row_comm().alltoallv(std::move(send));
+            recv = detail::exchange(grid.row_comm(), std::move(send), comm_mode);
         }
         tuples.clear();
         {

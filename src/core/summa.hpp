@@ -8,11 +8,26 @@
 //  3. a masked variant used by the algebraic graph algorithms (e.g. triangle
 //     counting computes A·A masked at A).
 //
-// In round k, block A_{i,k} is broadcast along grid row i and block B_{k,j}
-// along grid column j; every rank multiplies locally and aggregates into its
-// own output block — aggregation is entirely local, but *all* non-zeros of A
-// and B travel, which is exactly the cost the dynamic algorithms avoid.
+// On a rows x cols grid the inner dimension K is partitioned two ways: into
+// `cols` blocks by A's column distribution and into `rows` blocks by B's row
+// distribution. A stage is one segment of the common refinement of the two
+// partitions (at most rows + cols - 1 segments; exactly q of them on a
+// square q x q grid, where the refinement IS the classic round structure).
+// In each stage the grid column owning the A-columns of the segment
+// broadcasts its slice along the grid row, the grid row owning the matching
+// B-rows broadcasts along the grid column, and every rank multiplies
+// locally; aggregation is entirely local, but *all* non-zeros of A and B
+// travel, which is exactly the cost the dynamic algorithms avoid.
+//
+// With SummaOptions::comm_mode == Async the two broadcasts of stage k+1 are
+// posted before stage k's local multiply starts (DistEmbed-style pipelining),
+// so communication overlaps compute. The bytes and the reduction order are
+// identical to sync mode — results are bit-identical.
 #pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "core/dist_matrix.hpp"
 #include "par/profiler.hpp"
@@ -29,7 +44,41 @@ struct SummaOptions {
     /// When set, only entries present in the mask's local blocks are
     /// produced (masked SpGEMM).
     const sparse::PairSet* local_mask = nullptr;
+    /// Sync: broadcast-then-multiply per stage. Async: stage k+1's
+    /// broadcasts are posted before stage k's multiply (overlap).
+    par::CommMode comm_mode = par::CommMode::Sync;
 };
+
+namespace detail {
+
+/// One stage of the rectangular-grid SUMMA: the inner-index range [lo, hi)
+/// lies inside a single block of A's column partition (owned by grid column
+/// a_root) and a single block of B's row partition (owned by grid row
+/// b_root).
+struct SummaStage {
+    index_t lo, hi;
+    int a_root, b_root;
+};
+
+/// Common refinement of A's column partition (over grid cols) and B's row
+/// partition (over grid rows) of the inner dimension [0, K).
+inline std::vector<SummaStage> summa_stages(const BlockPartition& kc,
+                                            const BlockPartition& kr) {
+    std::vector<index_t> cuts;
+    for (int b = 0; b <= kc.blocks(); ++b) cuts.push_back(kc.offset(b));
+    for (int b = 0; b <= kr.blocks(); ++b) cuts.push_back(kr.offset(b));
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+    std::vector<SummaStage> stages;
+    for (std::size_t s = 0; s + 1 < cuts.size(); ++s) {
+        if (cuts[s + 1] == cuts[s]) continue;
+        stages.push_back(
+            {cuts[s], cuts[s + 1], kc.owner(cuts[s]), kr.owner(cuts[s])});
+    }
+    return stages;
+}
+
+}  // namespace detail
 
 /// C <- C (+) A · B over SR (C is usually empty on entry). Requires
 /// A.ncols == B.nrows and matching grids. Collective.
@@ -39,31 +88,73 @@ void summa(DistDynamicMatrix<T>& C, const DistDynamicMatrix<T>& A,
     using par::Phase;
     using par::Profiler;
     ProcessGrid& grid = C.shape().grid();
-    const int q = grid.q();
     const int i = grid.grid_row();
     const int j = grid.grid_col();
-    const BlockPartition ip = grid.partition(A.shape().ncols());
+    const BlockPartition kc = grid.col_partition(A.shape().ncols());
+    const BlockPartition kr = grid.row_partition(B.shape().nrows());
+    const auto stages = detail::summa_stages(kc, kr);
 
-    for (int k = 0; k < q; ++k) {
-        par::Buffer abuf;
-        par::Buffer bbuf;
-        {
-            Profiler::Scope scope(Phase::LocalConstruct);
-            if (j == k) abuf = A.local().to_dcsr().serialize();
-            if (i == k) bbuf = B.local().to_dcsr().serialize();
-        }
+    // Freeze the local blocks once; stages then slice out of the frozen
+    // copies (on a square grid each rank's block is sliced exactly once).
+    const Dcsr<T> a_loc = A.local().to_dcsr();
+    const Dcsr<T> b_loc = B.local().to_dcsr();
+
+    // Serializes this rank's slices for one stage (empty buffers on
+    // non-roots, which the broadcasts ignore).
+    auto slices = [&](const detail::SummaStage& st) {
+        Profiler::Scope scope(Phase::LocalConstruct);
+        std::pair<par::Buffer, par::Buffer> out;
+        if (j == st.a_root)
+            out.first = sparse::dcsr_col_block(a_loc,
+                                               st.lo - kc.offset(st.a_root),
+                                               st.hi - kc.offset(st.a_root))
+                            .serialize();
+        if (i == st.b_root)
+            out.second = sparse::dcsr_row_block(b_loc,
+                                                st.lo - kr.offset(st.b_root),
+                                                st.hi - kr.offset(st.b_root))
+                             .serialize();
+        return out;
+    };
+
+    const bool async = opts.comm_mode == par::CommMode::Async;
+    using Posted =
+        std::pair<par::Comm::PendingBcast, par::Comm::PendingBcast>;
+    auto post = [&](const detail::SummaStage& st) {
+        auto [abuf, bbuf] = slices(st);
+        Profiler::Scope scope(Phase::Bcast);
+        return Posted{grid.row_comm().ibcast(st.a_root, std::move(abuf)),
+                      grid.col_comm().ibcast(st.b_root, std::move(bbuf))};
+    };
+    std::vector<Posted> inflight;  // at most one outstanding stage
+    if (async && !stages.empty()) inflight.push_back(post(stages[0]));
+
+    for (std::size_t k = 0; k < stages.size(); ++k) {
+        const auto& st = stages[k];
         Dcsr<T> a_ik;
         Dcsr<T> b_kj;
-        {
+        if (async) {
+            {
+                Profiler::Scope scope(Phase::Bcast);
+                a_ik = Dcsr<T>::deserialize(inflight.back().first.wait());
+                b_kj = Dcsr<T>::deserialize(inflight.back().second.wait());
+                inflight.pop_back();
+            }
+            // Overlap: next stage's broadcasts ride under this multiply.
+            if (k + 1 < stages.size()) inflight.push_back(post(stages[k + 1]));
+        } else {
+            auto [abuf, bbuf] = slices(st);
             Profiler::Scope scope(Phase::Bcast);
-            a_ik = Dcsr<T>::deserialize(grid.row_comm().bcast(k, std::move(abuf)));
-            b_kj = Dcsr<T>::deserialize(grid.col_comm().bcast(k, std::move(bbuf)));
+            a_ik = Dcsr<T>::deserialize(
+                grid.row_comm().bcast(st.a_root, std::move(abuf)));
+            b_kj = Dcsr<T>::deserialize(
+                grid.col_comm().bcast(st.b_root, std::move(bbuf)));
         }
 
         sparse::SpgemmOptions sopts;
         sopts.pool = opts.pool;
         sopts.mask = opts.local_mask;
-        sopts.inner_offset = ip.offset(k);
+        sopts.inner_offset = st.lo;
         if (opts.bloom_out != nullptr) {
             Dcsr<sparse::ValueBits<T>> part;
             {

@@ -27,11 +27,13 @@ namespace dsg::core {
 template <typename T>
 DistDcsr<T> build_update_matrix(ProcessGrid& grid, index_t nrows, index_t ncols,
                                 std::vector<Triple<T>> tuples,
-                                RedistMode mode = RedistMode::TwoPhase) {
+                                RedistMode mode = RedistMode::TwoPhase,
+                                par::CommMode comm_mode = par::CommMode::Sync) {
     using par::Phase;
     using par::Profiler;
     DistDcsr<T> out(grid, nrows, ncols);
-    auto mine = redistribute_tuples(grid, out.shape(), std::move(tuples), mode);
+    auto mine = redistribute_tuples(grid, out.shape(), std::move(tuples), mode,
+                                    comm_mode);
 
     Profiler::Scope scope(Phase::LocalConstruct);
     // Map to block-local coordinates.
@@ -125,9 +127,11 @@ DistDynamicMatrix<T> build_dynamic_matrix(ProcessGrid& grid, index_t nrows,
                                           index_t ncols,
                                           std::vector<Triple<T>> tuples,
                                           RedistMode mode = RedistMode::TwoPhase,
-                                          par::ThreadPool* pool = nullptr) {
+                                          par::ThreadPool* pool = nullptr,
+                                          par::CommMode comm_mode = par::CommMode::Sync) {
     DistDynamicMatrix<T> out(grid, nrows, ncols);
-    auto mine = redistribute_tuples(grid, out.shape(), std::move(tuples), mode);
+    auto mine = redistribute_tuples(grid, out.shape(), std::move(tuples), mode,
+                                    comm_mode);
     par::Profiler::Scope scope(par::Phase::LocalAddition);
     const int threads = pool != nullptr ? pool->thread_count() : 1;
     auto insert_one = [&](const Triple<T>& t) {

@@ -47,6 +47,12 @@ public:
 /// Larger tags are reserved for internal collective traffic.
 inline constexpr int kUserTagLimit = 1 << 20;
 
+/// Whether a communication stage runs its collectives synchronously or as
+/// post/wait halves that overlap the next local compute phase. Async mode
+/// moves bit-identical bytes over the same reduction trees — only the
+/// schedule changes, never the result.
+enum class CommMode { Sync, Async };
+
 /// Communication-volume counters shared by a world and all communicators
 /// split from it. Byte counts only include data that crosses rank boundaries
 /// (rank-local copies are free on a real machine as well, via shared memory).
@@ -59,11 +65,14 @@ struct CommStats {
     std::atomic<std::uint64_t> gather_bytes{0};
     std::atomic<std::uint64_t> barriers{0};
     std::atomic<std::uint64_t> collectives{0};
+    std::atomic<std::uint64_t> async_posted{0};     ///< ibcast/ialltoallv posts
+    std::atomic<std::uint64_t> async_completed{0};  ///< matching wait()s
 
     /// Plain-value copy of the counters, for reporting.
     struct Snapshot {
         std::uint64_t p2p_messages, p2p_bytes, bcast_bytes, alltoall_bytes,
-            reduce_bytes, gather_bytes, barriers, collectives;
+            reduce_bytes, gather_bytes, barriers, collectives, async_posted,
+            async_completed;
         /// Total bytes moved across rank boundaries.
         [[nodiscard]] std::uint64_t total_bytes() const {
             return p2p_bytes + bcast_bytes + alltoall_bytes + reduce_bytes +
@@ -98,6 +107,59 @@ public:
     /// Paired exchange with a peer rank (send our buffer, receive theirs).
     /// Safe regardless of ordering; peer == rank() returns msg unchanged.
     Buffer sendrecv(int peer, int tag, Buffer msg);
+
+    // -- non-blocking collectives -------------------------------------------
+    //
+    // Post/wait halves of bcast and alltoallv (the DistEmbed-style sync/async
+    // switch). A post enqueues the payload into peers' mailboxes immediately
+    // and returns a handle; the matching wait() blocks until the peer
+    // payloads have arrived. Posts count as collectives and must be issued by
+    // every rank in the same order (like the blocking forms), but any number
+    // may be outstanding, and ranks may interleave local compute between post
+    // and wait — that is the overlap. wait() must be called exactly once.
+
+    /// In-flight ibcast; wait() yields what bcast(root, msg) would return.
+    class PendingBcast {
+    public:
+        PendingBcast(PendingBcast&&) = default;
+        PendingBcast& operator=(PendingBcast&&) = default;
+        Buffer wait();
+
+    private:
+        friend class Comm;
+        PendingBcast(std::shared_ptr<detail::CommGroup> group, int rank,
+                     int root, int tag, Buffer own)
+            : group_(std::move(group)), rank_(rank), root_(root), tag_(tag),
+              own_(std::move(own)) {}
+        std::shared_ptr<detail::CommGroup> group_;
+        int rank_, root_, tag_;
+        Buffer own_;
+    };
+
+    /// In-flight ialltoallv; wait() yields what alltoallv(send) would return.
+    class PendingAlltoallv {
+    public:
+        PendingAlltoallv(PendingAlltoallv&&) = default;
+        PendingAlltoallv& operator=(PendingAlltoallv&&) = default;
+        std::vector<Buffer> wait();
+
+    private:
+        friend class Comm;
+        PendingAlltoallv(std::shared_ptr<detail::CommGroup> group, int rank,
+                         int tag, Buffer own)
+            : group_(std::move(group)), rank_(rank), tag_(tag),
+              own_(std::move(own)) {}
+        std::shared_ptr<detail::CommGroup> group_;
+        int rank_, tag_;
+        Buffer own_;
+    };
+
+    /// Posts a broadcast from root. The root's msg is copied out to every
+    /// peer mailbox before this returns; non-roots pass (and get back) their
+    /// own irrelevant msg only at the root.
+    PendingBcast ibcast(int root, Buffer msg);
+    /// Posts an all-to-all exchange; send[i] is enqueued for rank i.
+    PendingAlltoallv ialltoallv(std::vector<Buffer> send);
 
     // -- collectives (must be called by every rank, in the same order) -------
 

@@ -126,7 +126,8 @@ void write_manifest(const std::filesystem::path& dir, const Manifest& m) {
     par::Buffer payload;
     par::BufferWriter w(payload);
     w.write<std::uint64_t>(m.version);
-    w.write<std::int32_t>(m.grid_q);
+    w.write<std::int32_t>(m.grid_rows);
+    w.write<std::int32_t>(m.grid_cols);
     w.write<sparse::index_t>(m.nrows);
     w.write<sparse::index_t>(m.ncols);
     w.write_vector(m.log);
@@ -140,15 +141,16 @@ std::optional<Manifest> read_manifest(const std::filesystem::path& dir) {
         par::BufferReader r(*payload);
         Manifest m;
         m.version = r.read<std::uint64_t>();
-        m.grid_q = r.read<std::int32_t>();
+        m.grid_rows = r.read<std::int32_t>();
+        m.grid_cols = r.read<std::int32_t>();
         m.nrows = r.read<sparse::index_t>();
         m.ncols = r.read<sparse::index_t>();
         m.log = r.read_vector<LogPosition>();
         if (!r.exhausted())
             throw PersistError("manifest carries trailing bytes");
-        if (m.grid_q <= 0 ||
-            m.log.size() != static_cast<std::size_t>(m.grid_q) *
-                                static_cast<std::size_t>(m.grid_q))
+        if (m.grid_rows <= 0 || m.grid_cols <= 0 ||
+            m.log.size() != static_cast<std::size_t>(m.grid_rows) *
+                                static_cast<std::size_t>(m.grid_cols))
             throw PersistError("manifest log positions disagree with grid");
         return m;
     } catch (const par::TruncatedBufferError&) {

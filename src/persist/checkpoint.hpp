@@ -40,11 +40,12 @@ struct LogPosition {
 
 /// The commit record of the latest durable checkpoint.
 struct Manifest {
-    std::uint64_t version = 0;  ///< engine version the checkpoint captured
-    std::int32_t grid_q = 0;    ///< grid side length (p = q²)
+    std::uint64_t version = 0;     ///< engine version the checkpoint captured
+    std::int32_t grid_rows = 0;    ///< process grid shape (p = rows * cols)
+    std::int32_t grid_cols = 0;
     sparse::index_t nrows = 0;
     sparse::index_t ncols = 0;
-    std::vector<LogPosition> log;  ///< per world rank, size q²
+    std::vector<LogPosition> log;  ///< per world rank, size rows * cols
 };
 
 [[nodiscard]] std::filesystem::path manifest_path(
@@ -79,15 +80,17 @@ std::size_t delete_checkpoints_below(const std::filesystem::path& dir,
 template <typename T>
     requires std::is_trivially_copyable_v<T>
 void write_checkpoint_file(const std::filesystem::path& dir,
-                           std::uint64_t version, int rank, int grid_q,
-                           sparse::index_t nrows, sparse::index_t ncols,
+                           std::uint64_t version, int rank, int grid_rows,
+                           int grid_cols, sparse::index_t nrows,
+                           sparse::index_t ncols,
                            const sparse::DynamicMatrix<T>& tile,
                            const par::Buffer& extra_state) {
     par::Buffer payload;
     par::BufferWriter w(payload);
     w.write<std::uint64_t>(version);
     w.write<std::int32_t>(rank);
-    w.write<std::int32_t>(grid_q);
+    w.write<std::int32_t>(grid_rows);
+    w.write<std::int32_t>(grid_cols);
     w.write<sparse::index_t>(nrows);
     w.write<sparse::index_t>(ncols);
     tile.serialize(payload);
@@ -107,7 +110,8 @@ template <typename T>
     requires std::is_trivially_copyable_v<T>
 [[nodiscard]] CheckpointTile<T> read_checkpoint_file(
     const std::filesystem::path& dir, std::uint64_t version, int rank,
-    int grid_q, sparse::index_t nrows, sparse::index_t ncols) {
+    int grid_rows, int grid_cols, sparse::index_t nrows,
+    sparse::index_t ncols) {
     const auto path = checkpoint_path(dir, version, rank);
     auto payload = read_framed_file(path, kCheckpointMagic);
     if (!payload)
@@ -117,11 +121,12 @@ template <typename T>
     par::BufferReader r(*payload);
     const auto got_version = r.read<std::uint64_t>();
     const auto got_rank = r.read<std::int32_t>();
-    const auto got_q = r.read<std::int32_t>();
+    const auto got_rows = r.read<std::int32_t>();
+    const auto got_cols = r.read<std::int32_t>();
     const auto got_nrows = r.read<sparse::index_t>();
     const auto got_ncols = r.read<sparse::index_t>();
-    if (got_version != version || got_rank != rank || got_q != grid_q ||
-        got_nrows != nrows || got_ncols != ncols)
+    if (got_version != version || got_rank != rank || got_rows != grid_rows ||
+        got_cols != grid_cols || got_nrows != nrows || got_ncols != ncols)
         throw PersistError("checkpoint " + path.string() +
                            " disagrees with the manifest (version/rank/grid "
                            "shape mismatch)");

@@ -184,8 +184,9 @@ private:
         par::Buffer extra;
         if (hub_ != nullptr && cfg_.include_analytics) hub_->save_state(extra);
         write_checkpoint_file<T>(cfg_.dir, version, rank_,
-                                 shape.grid().q(), shape.nrows(),
-                                 shape.ncols(), A_->local(), extra);
+                                 shape.grid().rows(), shape.grid().cols(),
+                                 shape.nrows(), shape.ncols(), A_->local(),
+                                 extra);
         stats_.checkpoint_bytes += std::filesystem::file_size(
             checkpoint_path(cfg_.dir, version, rank_));
 
@@ -211,7 +212,8 @@ private:
         if (rank_ == 0) {
             Manifest m;
             m.version = version;
-            m.grid_q = shape.grid().q();
+            m.grid_rows = shape.grid().rows();
+            m.grid_cols = shape.grid().cols();
             m.nrows = shape.nrows();
             m.ncols = shape.ncols();
             m.log.resize(all.size());

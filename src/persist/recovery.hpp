@@ -79,17 +79,20 @@ RecoveryResult recover(core::DistDynamicMatrix<T>& A,
     std::uint64_t start_segment = 0;
     std::uint64_t start_offset = kLogHeaderBytes;
     if (manifest) {
-        if (manifest->grid_q != grid.q())
+        if (manifest->grid_rows != grid.rows() ||
+            manifest->grid_cols != grid.cols())
             throw PersistError(
                 "durable state was written on a " +
-                std::to_string(manifest->grid_q) + "x" +
-                std::to_string(manifest->grid_q) + " grid, recovering on " +
-                std::to_string(grid.q()) + "x" + std::to_string(grid.q()));
+                std::to_string(manifest->grid_rows) + "x" +
+                std::to_string(manifest->grid_cols) + " grid, recovering on " +
+                std::to_string(grid.rows()) + "x" +
+                std::to_string(grid.cols()));
         if (manifest->nrows != A.shape().nrows() ||
             manifest->ncols != A.shape().ncols())
             throw PersistError("durable matrix shape disagrees with A");
         auto ckpt = read_checkpoint_file<T>(opts.dir, manifest->version, rank,
-                                            grid.q(), A.shape().nrows(),
+                                            grid.rows(), grid.cols(),
+                                            A.shape().nrows(),
                                             A.shape().ncols());
         if (ckpt.tile.nrows() != A.shape().local_rows() ||
             ckpt.tile.ncols() != A.shape().local_cols())

@@ -67,7 +67,8 @@ public:
     struct Geometry {
         sparse::index_t nrows = 0;
         sparse::index_t ncols = 0;
-        int q = 1;  ///< grid side length; tiles are indexed rank = i*q + j
+        int rows = 1;  ///< grid shape; tiles are indexed rank = i*cols + j
+        int cols = 1;
         core::BlockPartition row_partition;
         core::BlockPartition col_partition;
     };
@@ -81,8 +82,8 @@ public:
           tiles_(std::move(tiles)),
           readouts_(std::move(readouts)),
           live_(std::move(live)) {
-        assert(tiles_.size() ==
-               static_cast<std::size_t>(geom_.q) * static_cast<std::size_t>(geom_.q));
+        assert(tiles_.size() == static_cast<std::size_t>(geom_.rows) *
+                                    static_cast<std::size_t>(geom_.cols));
         lookups_.reserve(tiles_.size());
         for (const auto& tile : tiles_) {
             lookups_.emplace_back(tile);
@@ -142,10 +143,10 @@ public:
         const int ib = geom_.row_partition.owner(i);
         const sparse::index_t li = geom_.row_partition.to_local(i);
         std::size_t deg = 0;
-        for (int jb = 0; jb < geom_.q; ++jb) {
-            const std::size_t t =
-                static_cast<std::size_t>(ib) * static_cast<std::size_t>(geom_.q) +
-                static_cast<std::size_t>(jb);
+        for (int jb = 0; jb < geom_.cols; ++jb) {
+            const std::size_t t = static_cast<std::size_t>(ib) *
+                                      static_cast<std::size_t>(geom_.cols) +
+                                  static_cast<std::size_t>(jb);
             const std::size_t pos = lookups_[t].position(li);
             if (pos != sparse::DcsrRowLookup<T>::npos)
                 deg += tiles_[t].row_cols(pos).size();
@@ -159,10 +160,10 @@ public:
         if (i < 0 || i >= geom_.nrows) return;
         const int ib = geom_.row_partition.owner(i);
         const sparse::index_t li = geom_.row_partition.to_local(i);
-        for (int jb = 0; jb < geom_.q; ++jb) {
-            const std::size_t t =
-                static_cast<std::size_t>(ib) * static_cast<std::size_t>(geom_.q) +
-                static_cast<std::size_t>(jb);
+        for (int jb = 0; jb < geom_.cols; ++jb) {
+            const std::size_t t = static_cast<std::size_t>(ib) *
+                                      static_cast<std::size_t>(geom_.cols) +
+                                  static_cast<std::size_t>(jb);
             const std::size_t pos = lookups_[t].position(li);
             if (pos == sparse::DcsrRowLookup<T>::npos) continue;
             const auto cols = tiles_[t].row_cols(pos);
@@ -223,7 +224,7 @@ private:
     [[nodiscard]] std::size_t tile_of(sparse::index_t i,
                                       sparse::index_t j) const {
         return static_cast<std::size_t>(geom_.row_partition.owner(i)) *
-                   static_cast<std::size_t>(geom_.q) +
+                   static_cast<std::size_t>(geom_.cols) +
                static_cast<std::size_t>(geom_.col_partition.owner(j));
     }
 
@@ -285,12 +286,11 @@ public:
         {
             std::lock_guard lock(reg_mx_);
             if (staging_.empty()) {
-                const std::size_t p = static_cast<std::size_t>(grid.q()) *
-                                      static_cast<std::size_t>(grid.q());
-                staging_.resize(p);
+                staging_.resize(static_cast<std::size_t>(grid.world().size()));
                 geom_.nrows = A.shape().nrows();
                 geom_.ncols = A.shape().ncols();
-                geom_.q = grid.q();
+                geom_.rows = grid.rows();
+                geom_.cols = grid.cols();
                 geom_.row_partition = A.shape().row_partition();
                 geom_.col_partition = A.shape().col_partition();
             }
@@ -384,8 +384,8 @@ private:
     }
 
     [[nodiscard]] std::size_t tile_count() const {
-        return static_cast<std::size_t>(geom_.q) *
-               static_cast<std::size_t>(geom_.q);
+        return static_cast<std::size_t>(geom_.rows) *
+               static_cast<std::size_t>(geom_.cols);
     }
 
     Config cfg_;

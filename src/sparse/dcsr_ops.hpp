@@ -1,8 +1,11 @@
 // Element-wise and structural operations on DCSR matrices: the merge step of
-// the sparse tree reduction (Section VI-A), transposition (Section V-C), and
-// the value/bits splitting helpers of the Bloom machinery.
+// the sparse tree reduction (Section VI-A), transposition (Section V-C), the
+// row/column block slices that feed the rectangular-grid SUMMA and slab
+// exchanges, and the value/bits splitting helpers of the Bloom machinery.
 #pragma once
 
+#include <algorithm>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -74,6 +77,54 @@ Dcsr<V> dcsr_transpose(const Dcsr<V>& m) {
         flipped[counts[static_cast<std::size_t>(j)]++] = {j, i, v};
     });
     return Dcsr<V>::from_row_grouped(m.ncols(), m.nrows(), flipped);
+}
+
+/// The rows of m with ids in [lo, hi), reindexed to start at zero; the
+/// result has dimensions (hi - lo, m.ncols()).
+template <typename V>
+Dcsr<V> dcsr_row_block(const Dcsr<V>& m, index_t lo, index_t hi) {
+    Dcsr<V> out(hi - lo, m.ncols());
+    for (std::size_t r = 0; r < m.row_count(); ++r) {
+        const index_t row = m.row_id(r);
+        if (row < lo) continue;
+        if (row >= hi) break;
+        out.begin_row(row - lo);
+        auto cols = m.row_cols(r);
+        auto vals = m.row_values(r);
+        for (std::size_t x = 0; x < cols.size(); ++x)
+            out.push_entry(cols[x], vals[x]);
+    }
+    return out;
+}
+
+/// The columns of m with ids in [lo, hi), reindexed to start at zero; rows
+/// emptied by the slice are dropped (double compression preserved). The
+/// result has dimensions (m.nrows(), hi - lo).
+template <typename V>
+Dcsr<V> dcsr_col_block(const Dcsr<V>& m, index_t lo, index_t hi) {
+    Dcsr<V> out(m.nrows(), hi - lo);
+    for (std::size_t r = 0; r < m.row_count(); ++r) {
+        out.begin_row(m.row_id(r));
+        auto cols = m.row_cols(r);
+        auto vals = m.row_values(r);
+        for (std::size_t x = 0; x < cols.size(); ++x)
+            if (cols[x] >= lo && cols[x] < hi)
+                out.push_entry(cols[x] - lo, vals[x]);
+        out.end_row();
+    }
+    return out;
+}
+
+/// Assembles triples with pairwise-distinct coordinates — e.g. blocks whose
+/// row or column ranges are disjoint — into a DCSR. Sorts by (row, col);
+/// O(nnz log nnz).
+template <typename V>
+Dcsr<V> dcsr_from_unique_triples(index_t nrows, index_t ncols,
+                                 std::vector<Triple<V>> triples) {
+    std::sort(triples.begin(), triples.end(), [](const auto& a, const auto& b) {
+        return std::tie(a.row, a.col) < std::tie(b.row, b.col);
+    });
+    return Dcsr<V>::from_row_grouped(nrows, ncols, triples);
 }
 
 /// Splits a ValueBits matrix into its value part and its Bloom-bits part

@@ -45,8 +45,10 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -64,6 +66,18 @@ struct EngineConfig {
     /// ...or time elapsed since the previous epoch, whichever comes first.
     std::chrono::milliseconds epoch_deadline{20};
     core::RedistMode redist = core::RedistMode::TwoPhase;
+    /// Comm mode for the epoch's A* builds (sync collectives or the
+    /// post/wait path). Results are bit-identical either way.
+    par::CommMode comm_mode = par::CommMode::Sync;
+    /// When true the WAL hook runs on a background thread that is joined
+    /// before the NEXT epoch's write-ahead point, so the log write of epoch
+    /// N overlaps N's apply and N+1's drain. This trades the strict
+    /// WAL-before-apply ordering for throughput: a crash may lose the redo
+    /// record of the single in-flight epoch (recovery still restores a
+    /// consistent prefix). Requires a rank-local WAL hook (no collectives);
+    /// default off preserves the kill -9 redo guarantee bench_recovery and
+    /// the recovery tests assert.
+    bool overlap_persist = false;
     par::ThreadPool* pool = nullptr;  ///< intra-rank threads for apply
     /// Per-epoch log entries kept (the aggregate totals are always exact).
     std::size_t max_epoch_log = std::size_t{1} << 16;
@@ -137,6 +151,10 @@ public:
           cfg_(cfg),
           queue_(cfg.queue_capacity),
           version_(cfg.initial_version) {}
+
+    EpochEngine(const EpochEngine&) = delete;
+    EpochEngine& operator=(const EpochEngine&) = delete;
+    ~EpochEngine() { join_wal_worker(); }
 
     [[nodiscard]] UpdateQueue<T>& queue() { return queue_; }
     [[nodiscard]] const EngineConfig& config() const { return cfg_; }
@@ -243,7 +261,10 @@ public:
             // delta and moved back out by the applies — zero copies, which
             // keeps the durable-ingest overhead bench_recovery gates low.
             EpochDelta<T> delta;
-            const bool wal_only = wal_hook_ && !hook_;
+            // The move-through-the-delta fast path needs the lists dead
+            // after apply; the overlapped WAL worker instead keeps its own
+            // copy of the delta alive past this pump call.
+            const bool wal_only = wal_hook_ && !hook_ && !cfg_.overlap_persist;
             if (hook_ || wal_hook_) {
                 delta.version = version_ + 1;
                 delta.global_ops = e.global_ops;
@@ -261,12 +282,26 @@ public:
             auto& apply_merges = wal_only ? delta.merges : merges_;
             auto& apply_masks = wal_only ? delta.masks : masks_;
             if (wal_hook_) {
-                // Write-ahead: the epoch is logged (buffered; durability
-                // follows the subscriber's fsync cadence) before any of its
-                // ops become visible, so replay can redo exactly what
-                // readers may have observed minus a clean suffix.
                 const auto tw = Clock::now();
-                wal_hook_(delta);
+                // Any WAL write still in flight from the previous epoch must
+                // land before this epoch's write-ahead point (keeps the log
+                // in epoch order and bounds the loss window to one epoch).
+                join_wal_worker();
+                if (cfg_.overlap_persist) {
+                    // The write itself proceeds under this epoch's apply and
+                    // the next epoch's drain; on crash the in-flight record
+                    // may be missing, hence the default-off documentation in
+                    // EngineConfig.
+                    auto d = std::make_shared<EpochDelta<T>>(delta);
+                    wal_worker_ = std::thread(
+                        [hook = &wal_hook_, d] { (*hook)(*d); });
+                } else {
+                    // Write-ahead: the epoch is logged (buffered; durability
+                    // follows the subscriber's fsync cadence) before any of
+                    // its ops become visible, so replay can redo exactly
+                    // what readers may have observed minus a clean suffix.
+                    wal_hook_(delta);
+                }
                 e.persist_ms += ms_since(tw);
                 t1 = Clock::now();  // keep WAL time out of apply_ms
             }
@@ -277,17 +312,20 @@ public:
                 const index_t nc = A_->shape().ncols();
                 if (g.adds > 0) {
                     auto ua = core::build_update_matrix(
-                        grid, nr, nc, std::move(apply_adds), cfg_.redist);
+                        grid, nr, nc, std::move(apply_adds), cfg_.redist,
+                        cfg_.comm_mode);
                     core::add_update<SR>(*A_, ua, cfg_.pool);
                 }
                 if (g.merges > 0) {
                     auto um = core::build_update_matrix(
-                        grid, nr, nc, std::move(apply_merges), cfg_.redist);
+                        grid, nr, nc, std::move(apply_merges), cfg_.redist,
+                        cfg_.comm_mode);
                     core::merge_update(*A_, um, cfg_.pool);
                 }
                 if (g.masks > 0) {
                     auto ud = core::build_update_matrix(
-                        grid, nr, nc, std::move(apply_masks), cfg_.redist);
+                        grid, nr, nc, std::move(apply_masks), cfg_.redist,
+                        cfg_.comm_mode);
                     core::mask_delete(*A_, ud, cfg_.pool);
                 }
                 ++version_;
@@ -308,6 +346,9 @@ public:
             }
             if (checkpoint_hook_) {
                 const auto t3 = Clock::now();
+                // A checkpoint reads/truncates the op log, so the epoch's
+                // own WAL record must have landed first.
+                join_wal_worker();
                 checkpoint_hook_(version_);
                 e.persist_ms += ms_since(t3);
             }
@@ -316,6 +357,9 @@ public:
         e.backlog_after = queue_.size();
         stats_.record(e);
         if (epoch_log_.size() < cfg_.max_epoch_log) epoch_log_.push_back(e);
+        // Quiesce the overlapped WAL write before reporting exhaustion, so
+        // a caller that stops pumping observes a complete log.
+        if (g.done != 0) join_wal_worker();
         return g.done == 0;
     }
 
@@ -350,11 +394,16 @@ private:
             .count();
     }
 
+    void join_wal_worker() {
+        if (wal_worker_.joinable()) wal_worker_.join();
+    }
+
     core::DistDynamicMatrix<T>* A_;
     EngineConfig cfg_;
     UpdateQueue<T> queue_;
     EpochHook hook_;
     EpochHook wal_hook_;
+    std::thread wal_worker_;  // in-flight overlapped WAL write, if any
     CheckpointHook checkpoint_hook_;
     PublishHook publish_hook_;
 

@@ -1,0 +1,89 @@
+// The grid-shape test matrix: one parameterized sweep shared by the core,
+// stream, persist, and serve suites.
+//
+// Each GridCase names a process-grid shape (square AND rectangular) plus a
+// comm mode (blocking collectives vs the post/wait path). Suites adopt the
+// sweep with
+//
+//   class MySuiteG : public ::testing::TestWithParam<dsg::test::GridCase> {};
+//   INSTANTIATE_TEST_SUITE_P(GridShapes, MySuiteG,
+//                            ::testing::ValuesIn(dsg::test::grid_shape_cases()),
+//                            dsg::test::grid_case_name);
+//
+// and construct the grid inside run_world with make_grid(comm, GetParam()).
+// The default sweep covers p in {1, 2, 3, 4, 6} — shapes 1x1, 1x2, 1x3,
+// 2x2, 2x3 — in both comm modes; configuring with -DDSG_GRID_SHAPES=extended
+// adds larger shapes (3x3, 2x4, 1x6, 3x4) for the dedicated CI job.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/process_grid.hpp"
+#include "par/comm.hpp"
+
+namespace dsg::test {
+
+struct GridCase {
+    int rows = 1;
+    int cols = 1;
+    par::CommMode comm_mode = par::CommMode::Sync;
+
+    [[nodiscard]] int p() const { return rows * cols; }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const GridCase& c) {
+    return os << c.rows << "x" << c.cols
+              << (c.comm_mode == par::CommMode::Async ? " async" : " sync");
+}
+
+/// gtest parameter-name generator: "2x3_async" etc.
+inline std::string grid_case_name(
+    const ::testing::TestParamInfo<GridCase>& info) {
+    const GridCase& c = info.param;
+    return std::to_string(c.rows) + "x" + std::to_string(c.cols) +
+           (c.comm_mode == par::CommMode::Async ? "_async" : "_sync");
+}
+
+/// The shapes of the sweep, without comm modes (for suites where the comm
+/// mode is exercised separately or not at all).
+inline std::vector<std::pair<int, int>> grid_shapes() {
+    return {
+        {1, 1}, {1, 2}, {1, 3}, {2, 2}, {2, 3},
+#ifdef DSG_GRID_SHAPES_EXTENDED
+        {3, 3}, {2, 4}, {1, 6}, {3, 4},
+#endif
+    };
+}
+
+/// The full sweep: every shape in both comm modes.
+inline std::vector<GridCase> grid_shape_cases() {
+    std::vector<GridCase> out;
+    for (const auto& [r, c] : grid_shapes())
+        for (const par::CommMode m :
+             {par::CommMode::Sync, par::CommMode::Async})
+            out.push_back({r, c, m});
+    return out;
+}
+
+/// One case per shape, sync mode only (for suites that assert sync/async
+/// equivalence themselves and only need the shape axis).
+inline std::vector<GridCase> grid_shape_cases_sync_only() {
+    std::vector<GridCase> out;
+    for (const auto& [r, c] : grid_shapes())
+        out.push_back({r, c, par::CommMode::Sync});
+    return out;
+}
+
+/// Constructs the case's grid (explicit shape override, so rectangular
+/// worlds like p = 6 get the exact rows x cols the case names, not the
+/// auto-factored default).
+inline core::ProcessGrid make_grid(par::Comm& comm, const GridCase& c) {
+    return core::ProcessGrid(comm, c.rows, c.cols);
+}
+
+}  // namespace dsg::test

@@ -7,6 +7,7 @@
 
 #include <random>
 
+#include "common/grid_shapes.hpp"
 #include "core/dynamic_spgemm.hpp"
 #include "core/summa.hpp"
 #include "core/update_ops.hpp"
@@ -34,11 +35,16 @@ using test::random_triples;
 using test::reference_add;
 using test::reference_multiply;
 
-class DynSpgemmP : public ::testing::TestWithParam<int> {};
+using dsg::test::GridCase;
+
+class DynSpgemmP : public ::testing::TestWithParam<GridCase> {};
 
 TEST_P(DynSpgemmP, InsertionsIntoAMatchRecompute) {
-    run_world(GetParam(), [&](Comm& c) {
-        ProcessGrid grid(c);
+    const GridCase gc = GetParam();
+    run_world(gc.p(), [&](Comm& c) {
+        ProcessGrid grid = dsg::test::make_grid(c, gc);
+        core::DynamicSpgemmOptions dopts;
+        dopts.comm_mode = gc.comm_mode;
         std::mt19937_64 rng(100);
         const index_t n = 26, kk = 22, m = 24;
         auto ta = random_triples(rng, n, kk, 140);
@@ -63,7 +69,7 @@ TEST_P(DynSpgemmP, InsertionsIntoAMatchRecompute) {
             auto Astar = build_update_matrix(grid, n, kk, empty_unless0(upd));
             core::DistDcsr<double> Bstar(grid, kk, m);  // empty
             // Dynamic update of C, then of A itself.
-            dynamic_spgemm_algebraic<PlusTimes<double>>(C, A, Astar, B, Bstar);
+            dynamic_spgemm_algebraic<PlusTimes<double>>(C, A, Astar, B, Bstar, dopts);
             core::add_update<PlusTimes<double>>(A, Astar);
             am = reference_add<PlusTimes<double>>(am, upd);
             test::expect_matches(
@@ -73,8 +79,11 @@ TEST_P(DynSpgemmP, InsertionsIntoAMatchRecompute) {
 }
 
 TEST_P(DynSpgemmP, SimultaneousUpdatesOfBothOperands) {
-    run_world(GetParam(), [&](Comm& c) {
-        ProcessGrid grid(c);
+    const GridCase gc = GetParam();
+    run_world(gc.p(), [&](Comm& c) {
+        ProcessGrid grid = dsg::test::make_grid(c, gc);
+        core::DynamicSpgemmOptions dopts;
+        dopts.comm_mode = gc.comm_mode;
         std::mt19937_64 rng(200);
         const index_t n = 20;
         auto ta = random_triples(rng, n, n, 120);
@@ -99,7 +108,7 @@ TEST_P(DynSpgemmP, SimultaneousUpdatesOfBothOperands) {
             // C' = C + A* B' + A B': apply B's update *first* so Bprime is
             // available, keep A pre-update for the A B* term.
             core::add_update<PlusTimes<double>>(B, Bstar);
-            dynamic_spgemm_algebraic<PlusTimes<double>>(C, A, Astar, B, Bstar);
+            dynamic_spgemm_algebraic<PlusTimes<double>>(C, A, Astar, B, Bstar, dopts);
             core::add_update<PlusTimes<double>>(A, Astar);
             am = reference_add<PlusTimes<double>>(am, ua);
             bm = reference_add<PlusTimes<double>>(bm, ub);
@@ -111,8 +120,11 @@ TEST_P(DynSpgemmP, SimultaneousUpdatesOfBothOperands) {
 
 TEST_P(DynSpgemmP, RingDeletionsViaNegativeUpdates) {
     // In a ring, deleting a_{ij} is the algebraic update a* = -a_{ij}.
-    run_world(GetParam(), [&](Comm& c) {
-        ProcessGrid grid(c);
+    const GridCase gc = GetParam();
+    run_world(gc.p(), [&](Comm& c) {
+        ProcessGrid grid = dsg::test::make_grid(c, gc);
+        core::DynamicSpgemmOptions dopts;
+        dopts.comm_mode = gc.comm_mode;
         std::mt19937_64 rng(300);
         const index_t n = 18;
         auto ta = random_triples(rng, n, n, 100);
@@ -135,7 +147,7 @@ TEST_P(DynSpgemmP, RingDeletionsViaNegativeUpdates) {
         }
         auto Astar = build_update_matrix(grid, n, n, feed(negs));
         core::DistDcsr<double> Bstar(grid, n, n);
-        dynamic_spgemm_algebraic<PlusTimes<double>>(C, A, Astar, B, Bstar);
+        dynamic_spgemm_algebraic<PlusTimes<double>>(C, A, Astar, B, Bstar, dopts);
         core::add_update<PlusTimes<double>>(A, Astar);
         test::expect_matches(C,
                              reference_multiply<PlusTimes<double>>(am, as_map(tb)));
@@ -145,8 +157,11 @@ TEST_P(DynSpgemmP, RingDeletionsViaNegativeUpdates) {
 TEST_P(DynSpgemmP, MinPlusDecreasingUpdatesAreAlgebraic) {
     // (min,+): inserting new entries or decreasing existing ones is algebraic
     // because add = min can only keep or lower values.
-    run_world(GetParam(), [&](Comm& c) {
-        ProcessGrid grid(c);
+    const GridCase gc = GetParam();
+    run_world(gc.p(), [&](Comm& c) {
+        ProcessGrid grid = dsg::test::make_grid(c, gc);
+        core::DynamicSpgemmOptions dopts;
+        dopts.comm_mode = gc.comm_mode;
         std::mt19937_64 rng(400);
         const index_t n = 16;
         auto ta = random_triples(rng, n, n, 80, 5.0, 9.0);
@@ -165,7 +180,7 @@ TEST_P(DynSpgemmP, MinPlusDecreasingUpdatesAreAlgebraic) {
             sparse::combine_duplicates<MinPlus<double>>(upd);
             auto Astar = build_update_matrix(grid, n, n, feed(upd));
             core::DistDcsr<double> Bstar(grid, n, n);
-            dynamic_spgemm_algebraic<MinPlus<double>>(C, A, Astar, B, Bstar);
+            dynamic_spgemm_algebraic<MinPlus<double>>(C, A, Astar, B, Bstar, dopts);
             core::add_update<MinPlus<double>>(A, Astar);
             am = reference_add<MinPlus<double>>(am, upd);
             // MinPlus result entries equal the recomputation exactly (no
@@ -189,8 +204,11 @@ TEST_P(DynSpgemmP, MinPlusDecreasingUpdatesAreAlgebraic) {
 }
 
 TEST_P(DynSpgemmP, PatternIsSupersetWithCorrectBloomBits) {
-    run_world(GetParam(), [&](Comm& c) {
-        ProcessGrid grid(c);
+    const GridCase gc = GetParam();
+    run_world(gc.p(), [&](Comm& c) {
+        ProcessGrid grid = dsg::test::make_grid(c, gc);
+        core::DynamicSpgemmOptions dopts;
+        dopts.comm_mode = gc.comm_mode;
         std::mt19937_64 rng(500);
         const index_t n = 22;
         auto ta = random_triples(rng, n, n, 90);
@@ -207,7 +225,7 @@ TEST_P(DynSpgemmP, PatternIsSupersetWithCorrectBloomBits) {
         auto Astar = build_update_matrix(grid, n, n, feed(upd));
         core::DistDcsr<double> Bstar(grid, n, n);
 
-        auto Cstar = compute_pattern(A, Astar, B, Bstar);
+        auto Cstar = compute_pattern(A, Astar, B, Bstar, dopts);
         std::map<std::pair<index_t, index_t>, std::uint64_t> pat;
         for (const auto& t : Cstar.gather_global()) pat[{t.row, t.col}] = t.value;
 
@@ -232,9 +250,12 @@ TEST_P(DynSpgemmP, PatternIsSupersetWithCorrectBloomBits) {
 TEST_P(DynSpgemmP, DynamicBeatsSummaOnCommunicationVolume) {
     // The paper's central claim, checked on the accounting layer: updating
     // C with a small A* moves far fewer bytes than a static SUMMA of A'B.
-    run_world(GetParam(), [&](Comm& c) {
+    const GridCase gc = GetParam();
+    run_world(gc.p(), [&](Comm& c) {
         if (c.size() == 1) GTEST_SKIP();  // no communication either way
-        ProcessGrid grid(c);
+        ProcessGrid grid = dsg::test::make_grid(c, gc);
+        core::DynamicSpgemmOptions dopts;
+        dopts.comm_mode = gc.comm_mode;
         std::mt19937_64 rng(600);
         const index_t n = 64;
         auto ta = random_triples(rng, n, n, 2000);
@@ -256,7 +277,7 @@ TEST_P(DynSpgemmP, DynamicBeatsSummaOnCommunicationVolume) {
         c.barrier();
         if (c.rank() == 0) c.stats().reset();
         c.barrier();
-        dynamic_spgemm_algebraic<PlusTimes<double>>(C, A, Astar, B, Bstar);
+        dynamic_spgemm_algebraic<PlusTimes<double>>(C, A, Astar, B, Bstar, dopts);
         c.barrier();
         const auto dyn = c.stats().snapshot().total_bytes();
 
@@ -272,6 +293,44 @@ TEST_P(DynSpgemmP, DynamicBeatsSummaOnCommunicationVolume) {
     });
 }
 
-INSTANTIATE_TEST_SUITE_P(Worlds, DynSpgemmP, ::testing::Values(1, 4, 9));
+TEST_P(DynSpgemmP, AsyncIsBitIdenticalToSync) {
+    const GridCase gc = GetParam();
+    run_world(gc.p(), [&](Comm& c) {
+        ProcessGrid grid = dsg::test::make_grid(c, gc);
+        std::mt19937_64 rng(700);
+        const index_t n = 30;
+        auto ta = random_triples(rng, n, n, 150);
+        auto tb = random_triples(rng, n, n, 150);
+        sparse::combine_duplicates<PlusTimes<double>>(ta);
+        sparse::combine_duplicates<PlusTimes<double>>(tb);
+        auto feed = [&](const std::vector<Triple<double>>& ts) {
+            return c.rank() == 0 ? ts : std::vector<Triple<double>>{};
+        };
+        auto A = build_dynamic_matrix<PlusTimes<double>>(grid, n, n, feed(ta));
+        auto B = build_dynamic_matrix<PlusTimes<double>>(grid, n, n, feed(tb));
+        auto ua = random_triples(rng, n, n, 30, -4.0, 4.0);
+        auto ub = random_triples(rng, n, n, 30, -4.0, 4.0);
+        sparse::combine_duplicates<PlusTimes<double>>(ua);
+        sparse::combine_duplicates<PlusTimes<double>>(ub);
+        auto Astar = build_update_matrix(grid, n, n, feed(ua));
+        auto Bstar = build_update_matrix(grid, n, n, feed(ub));
+
+        auto run_one = [&](par::CommMode mode) {
+            auto C = summa_multiply<PlusTimes<double>>(A, B);
+            core::DynamicSpgemmOptions o;
+            o.comm_mode = mode;
+            dynamic_spgemm_algebraic<PlusTimes<double>>(C, A, Astar, B, Bstar,
+                                                        o);
+            return as_map(C.gather_global());
+        };
+        // The async schedule posts the same slab exchange and reduces in the
+        // same round order, so the maintained product matches bit for bit.
+        EXPECT_EQ(run_one(par::CommMode::Sync), run_one(par::CommMode::Async));
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(GridShapes, DynSpgemmP,
+                         ::testing::ValuesIn(dsg::test::grid_shape_cases()),
+                         dsg::test::grid_case_name);
 
 }  // namespace

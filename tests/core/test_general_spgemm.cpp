@@ -6,6 +6,7 @@
 
 #include <random>
 
+#include "common/grid_shapes.hpp"
 #include "core/general_spgemm.hpp"
 #include "core/summa.hpp"
 #include "core/update_ops.hpp"
@@ -33,15 +34,18 @@ using test::as_map;
 using test::CoordMap;
 using test::random_triples;
 using test::reference_multiply;
+using dsg::test::GridCase;
 
 /// One general-update round: updates A via MERGE (new values) and MASK
 /// (deletions), maintains C and F with Algorithm 2, checks against the
 /// reference model. B stays static (as in the paper's Fig. 10 experiment),
 /// but the machinery exercises the full pattern computation.
 template <typename SR>
-void run_general_rounds(Comm& c, std::uint64_t seed, int rounds,
-                        bool use_bloom) {
-    ProcessGrid grid(c);
+void run_general_rounds(Comm& c, const GridCase& gc, std::uint64_t seed,
+                        int rounds, bool use_bloom) {
+    ProcessGrid grid = dsg::test::make_grid(c, gc);
+    core::DynamicSpgemmOptions dopts;
+    dopts.comm_mode = gc.comm_mode;
     std::mt19937_64 rng(seed);
     const index_t n = 20;
     auto ta = random_triples(rng, n, n, 110, 1.0, 9.0);
@@ -80,7 +84,7 @@ void run_general_rounds(Comm& c, std::uint64_t seed, int rounds,
         DistDcsr<double> Bstar(grid, n, n);
 
         // Pattern first (uses pre-update A), then apply the updates to A.
-        auto Cstar = compute_pattern(A, Astar, B, Bstar);
+        auto Cstar = compute_pattern(A, Astar, B, Bstar, dopts);
         auto Umerge = build_update_matrix(grid, n, n, feed(merges));
         auto Udel = build_update_matrix(grid, n, n, feed(deletes));
         core::merge_update(A, Umerge);
@@ -90,6 +94,7 @@ void run_general_rounds(Comm& c, std::uint64_t seed, int rounds,
 
         GeneralSpgemmOptions gopts;
         gopts.use_bloom_filter = use_bloom;
+        gopts.comm_mode = gc.comm_mode;
         auto stats = general_dynamic_spgemm<SR>(C, F, A, B, Cstar, gopts);
         EXPECT_LE(stats.ar_nnz_global, stats.aprime_nnz_global);
 
@@ -110,28 +115,37 @@ void run_general_rounds(Comm& c, std::uint64_t seed, int rounds,
     }
 }
 
-class GeneralP : public ::testing::TestWithParam<int> {};
+class GeneralP : public ::testing::TestWithParam<GridCase> {};
 
 TEST_P(GeneralP, MinPlusGeneralUpdatesMatchRecompute) {
-    run_world(GetParam(),
-              [&](Comm& c) { run_general_rounds<MinPlus<double>>(c, 900, 3, true); });
+    const GridCase gc = GetParam();
+    run_world(gc.p(), [&](Comm& c) {
+        run_general_rounds<MinPlus<double>>(c, gc, 900, 3, true);
+    });
 }
 
 TEST_P(GeneralP, MinPlusWithoutBloomColumnFilter) {
-    run_world(GetParam(), [&](Comm& c) {
-        run_general_rounds<MinPlus<double>>(c, 901, 2, false);
+    const GridCase gc = GetParam();
+    run_world(gc.p(), [&](Comm& c) {
+        run_general_rounds<MinPlus<double>>(c, gc, 901, 2, false);
     });
 }
 
 TEST_P(GeneralP, PlusTimesGeneralUpdatesMatchRecompute) {
-    run_world(GetParam(), [&](Comm& c) {
-        run_general_rounds<PlusTimes<double>>(c, 902, 2, true);
+    const GridCase gc = GetParam();
+    run_world(gc.p(), [&](Comm& c) {
+        run_general_rounds<PlusTimes<double>>(c, gc, 902, 2, true);
     });
 }
 
 TEST_P(GeneralP, DeleteEverythingEmptiesTheProduct) {
-    run_world(GetParam(), [&](Comm& c) {
-        ProcessGrid grid(c);
+    const GridCase gc = GetParam();
+    run_world(gc.p(), [&](Comm& c) {
+        ProcessGrid grid = dsg::test::make_grid(c, gc);
+        GeneralSpgemmOptions gopts;
+        gopts.comm_mode = gc.comm_mode;
+        core::DynamicSpgemmOptions dopts;
+        dopts.comm_mode = gc.comm_mode;
         std::mt19937_64 rng(903);
         const index_t n = 12;
         auto ta = random_triples(rng, n, n, 40);
@@ -149,10 +163,10 @@ TEST_P(GeneralP, DeleteEverythingEmptiesTheProduct) {
 
         auto Astar = build_update_matrix(grid, n, n, feed(ta));
         DistDcsr<double> Bstar(grid, n, n);
-        auto Cstar = compute_pattern(A, Astar, B, Bstar);
+        auto Cstar = compute_pattern(A, Astar, B, Bstar, dopts);
         core::mask_delete(A, Astar);
         EXPECT_EQ(A.global_nnz(), 0u);
-        general_dynamic_spgemm<MinPlus<double>>(C, F, A, B, Cstar);
+        general_dynamic_spgemm<MinPlus<double>>(C, F, A, B, Cstar, gopts);
         EXPECT_EQ(C.global_nnz(), 0u);
         EXPECT_EQ(F.global_nnz(), 0u);
     });
@@ -161,8 +175,13 @@ TEST_P(GeneralP, DeleteEverythingEmptiesTheProduct) {
 TEST_P(GeneralP, BloomFilterNeverLosesContributions) {
     // With and without the column filter the result is identical; the filter
     // only reduces nnz(A^R).
-    run_world(GetParam(), [&](Comm& c) {
-        ProcessGrid grid(c);
+    const GridCase gc = GetParam();
+    run_world(gc.p(), [&](Comm& c) {
+        ProcessGrid grid = dsg::test::make_grid(c, gc);
+        GeneralSpgemmOptions gopts;
+        gopts.comm_mode = gc.comm_mode;
+        core::DynamicSpgemmOptions dopts;
+        dopts.comm_mode = gc.comm_mode;
         std::mt19937_64 rng(904);
         const index_t n = 18;
         auto ta = random_triples(rng, n, n, 90);
@@ -185,13 +204,13 @@ TEST_P(GeneralP, BloomFilterNeverLosesContributions) {
                                                   {ta[1].row, ta[1].col, 60.0}};
             auto Astar = build_update_matrix(grid, n, n, feed(overwrite));
             DistDcsr<double> Bstar(grid, n, n);
-            auto Cstar = compute_pattern(A, Astar, B, Bstar);
+            auto Cstar = compute_pattern(A, Astar, B, Bstar, dopts);
             auto U = build_update_matrix(grid, n, n, feed(overwrite));
             core::merge_update(A, U);
-            GeneralSpgemmOptions gopts;
-            gopts.use_bloom_filter = use_bloom;
+            GeneralSpgemmOptions bopts = gopts;
+            bopts.use_bloom_filter = use_bloom;
             auto st = general_dynamic_spgemm<MinPlus<double>>(C, F, A, B, Cstar,
-                                                              gopts);
+                                                              bopts);
             return std::pair(as_map(C.gather_global()), st.ar_nnz_global);
         };
         auto [with_bloom, ar_with] = run_one(true);
@@ -204,8 +223,13 @@ TEST_P(GeneralP, BloomFilterNeverLosesContributions) {
 TEST_P(GeneralP, UpdatesOfRightOperandMatchRecompute) {
     // Exercises the A B* term of the pattern and the recomputation with a
     // changed B' — the flow the Fig. 10 experiment does not touch.
-    run_world(GetParam(), [&](Comm& c) {
-        ProcessGrid grid(c);
+    const GridCase gc = GetParam();
+    run_world(gc.p(), [&](Comm& c) {
+        ProcessGrid grid = dsg::test::make_grid(c, gc);
+        GeneralSpgemmOptions gopts;
+        gopts.comm_mode = gc.comm_mode;
+        core::DynamicSpgemmOptions dopts;
+        dopts.comm_mode = gc.comm_mode;
         std::mt19937_64 rng(905);
         const index_t n = 18;
         auto ta = random_triples(rng, n, n, 90);
@@ -243,17 +267,19 @@ TEST_P(GeneralP, UpdatesOfRightOperandMatchRecompute) {
             // *post-update* B' per Eq. (1) — so apply B's updates first.
             core::merge_update(B, build_update_matrix(grid, n, n, feed(bumps)));
             core::mask_delete(B, build_update_matrix(grid, n, n, feed(deletes)));
-            auto Cstar = compute_pattern(A, Astar, B, Bstar);
+            auto Cstar = compute_pattern(A, Astar, B, Bstar, dopts);
             for (const auto& t : bumps) bm[{t.row, t.col}] = t.value;
             for (const auto& t : deletes) bm.erase({t.row, t.col});
 
-            general_dynamic_spgemm<MinPlus<double>>(C, F, A, B, Cstar);
+            general_dynamic_spgemm<MinPlus<double>>(C, F, A, B, Cstar, gopts);
             test::expect_matches_exactly(
                 C, reference_multiply<MinPlus<double>>(as_map(ta), bm));
         }
     });
 }
 
-INSTANTIATE_TEST_SUITE_P(Worlds, GeneralP, ::testing::Values(1, 4, 9));
+INSTANTIATE_TEST_SUITE_P(GridShapes, GeneralP,
+                         ::testing::ValuesIn(dsg::test::grid_shape_cases()),
+                         dsg::test::grid_case_name);
 
 }  // namespace

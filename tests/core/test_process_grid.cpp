@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
+#include "common/grid_shapes.hpp"
 #include "core/process_grid.hpp"
 
 namespace {
@@ -11,6 +13,7 @@ using dsg::core::ProcessGrid;
 using dsg::par::Comm;
 using dsg::par::run_world;
 using dsg::sparse::index_t;
+using dsg::test::GridCase;
 
 TEST(BlockPartition, EvenSplit) {
     BlockPartition p(12, 4);
@@ -69,24 +72,59 @@ TEST(ProcessGrid, IsSquare) {
     EXPECT_FALSE(ProcessGrid::is_square(12));
 }
 
-TEST(ProcessGrid, RejectsNonSquareWorld) {
-    EXPECT_THROW(run_world(2, [](Comm& c) { ProcessGrid grid(c); }),
+TEST(ProcessGrid, DefaultShapeIsMostSquareFactoring) {
+    using Shape = std::pair<int, int>;
+    EXPECT_EQ(ProcessGrid::default_shape(1), (Shape{1, 1}));
+    EXPECT_EQ(ProcessGrid::default_shape(2), (Shape{1, 2}));
+    EXPECT_EQ(ProcessGrid::default_shape(3), (Shape{1, 3}));
+    EXPECT_EQ(ProcessGrid::default_shape(4), (Shape{2, 2}));
+    EXPECT_EQ(ProcessGrid::default_shape(5), (Shape{1, 5}));
+    EXPECT_EQ(ProcessGrid::default_shape(6), (Shape{2, 3}));
+    EXPECT_EQ(ProcessGrid::default_shape(8), (Shape{2, 4}));
+    EXPECT_EQ(ProcessGrid::default_shape(9), (Shape{3, 3}));
+    EXPECT_EQ(ProcessGrid::default_shape(12), (Shape{3, 4}));
+    EXPECT_EQ(ProcessGrid::default_shape(16), (Shape{4, 4}));
+}
+
+TEST(ProcessGrid, AutoFactorsRectangularWorld) {
+    run_world(6, [](Comm& c) {
+        ProcessGrid grid(c);
+        EXPECT_EQ(grid.rows(), 2);
+        EXPECT_EQ(grid.cols(), 3);
+    });
+}
+
+TEST(ProcessGrid, ExplicitShapeOverride) {
+    run_world(6, [](Comm& c) {
+        ProcessGrid grid(c, 1, 6);
+        EXPECT_EQ(grid.rows(), 1);
+        EXPECT_EQ(grid.cols(), 6);
+        EXPECT_EQ(grid.grid_row(), 0);
+        EXPECT_EQ(grid.grid_col(), c.rank());
+    });
+}
+
+TEST(ProcessGrid, RejectsShapeNotMatchingWorld) {
+    EXPECT_THROW(run_world(6, [](Comm& c) { ProcessGrid grid(c, 2, 2); }),
+                 std::invalid_argument);
+    EXPECT_THROW(run_world(2, [](Comm& c) { ProcessGrid grid(c, 0, 2); }),
                  std::invalid_argument);
 }
 
-class GridP : public ::testing::TestWithParam<int> {};
+class GridP : public ::testing::TestWithParam<GridCase> {};
 
 TEST_P(GridP, CoordinatesAndCommunicators) {
-    const int p = GetParam();
-    const int q = static_cast<int>(std::lround(std::sqrt(double(p))));
-    run_world(p, [&](Comm& c) {
-        ProcessGrid grid(c);
-        EXPECT_EQ(grid.q(), q);
-        EXPECT_EQ(grid.grid_row(), c.rank() / q);
-        EXPECT_EQ(grid.grid_col(), c.rank() % q);
+    const GridCase gc = GetParam();
+    run_world(gc.p(), [&](Comm& c) {
+        ProcessGrid grid = dsg::test::make_grid(c, gc);
+        EXPECT_EQ(grid.rows(), gc.rows);
+        EXPECT_EQ(grid.cols(), gc.cols);
+        EXPECT_EQ(grid.grid_row(), c.rank() / gc.cols);
+        EXPECT_EQ(grid.grid_col(), c.rank() % gc.cols);
         EXPECT_EQ(grid.rank_of(grid.grid_row(), grid.grid_col()), c.rank());
-        EXPECT_EQ(grid.row_comm().size(), q);
-        EXPECT_EQ(grid.col_comm().size(), q);
+        // A row spans the grid's columns and vice versa.
+        EXPECT_EQ(grid.row_comm().size(), gc.cols);
+        EXPECT_EQ(grid.col_comm().size(), gc.rows);
         // row_comm rank is the grid column; col_comm rank is the grid row.
         EXPECT_EQ(grid.row_comm().rank(), grid.grid_col());
         EXPECT_EQ(grid.col_comm().rank(), grid.grid_row());
@@ -94,26 +132,34 @@ TEST_P(GridP, CoordinatesAndCommunicators) {
         const int rowsum = grid.row_comm().allreduce<int>(
             c.rank(), [](int a, int b) { return a + b; });
         int expect = 0;
-        for (int j = 0; j < q; ++j) expect += grid.rank_of(grid.grid_row(), j);
+        for (int j = 0; j < gc.cols; ++j)
+            expect += grid.rank_of(grid.grid_row(), j);
         EXPECT_EQ(rowsum, expect);
         const int colsum = grid.col_comm().allreduce<int>(
             c.rank(), [](int a, int b) { return a + b; });
         expect = 0;
-        for (int i = 0; i < q; ++i) expect += grid.rank_of(i, grid.grid_col());
+        for (int i = 0; i < gc.rows; ++i)
+            expect += grid.rank_of(i, grid.grid_col());
         EXPECT_EQ(colsum, expect);
     });
 }
 
-TEST_P(GridP, TransposedRankPairsUp) {
-    run_world(GetParam(), [&](Comm& c) {
-        ProcessGrid grid(c);
-        const int t = grid.transposed_rank();
-        // Transposing twice is the identity.
-        const int tt = (t / grid.q()) * grid.q() + (t % grid.q());
-        EXPECT_EQ(grid.rank_of(tt % grid.q(), tt / grid.q()), c.rank());
+TEST_P(GridP, PartitionsCoverBothAxes) {
+    const GridCase gc = GetParam();
+    run_world(gc.p(), [&](Comm& c) {
+        ProcessGrid grid = dsg::test::make_grid(c, gc);
+        const BlockPartition rp = grid.row_partition(17);
+        const BlockPartition cp = grid.col_partition(17);
+        EXPECT_EQ(rp.blocks(), gc.rows);
+        EXPECT_EQ(cp.blocks(), gc.cols);
+        EXPECT_EQ(rp.offset(rp.blocks()), 17);
+        EXPECT_EQ(cp.offset(cp.blocks()), 17);
     });
 }
 
-INSTANTIATE_TEST_SUITE_P(Worlds, GridP, ::testing::Values(1, 4, 9, 16));
+INSTANTIATE_TEST_SUITE_P(
+    GridShapes, GridP,
+    ::testing::ValuesIn(dsg::test::grid_shape_cases_sync_only()),
+    dsg::test::grid_case_name);
 
 }  // namespace

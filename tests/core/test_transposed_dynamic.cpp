@@ -5,6 +5,7 @@
 
 #include <random>
 
+#include "common/grid_shapes.hpp"
 #include "core/dynamic_spgemm.hpp"
 #include "core/summa.hpp"
 #include "core/update_ops.hpp"
@@ -29,6 +30,7 @@ using test::as_map;
 using test::CoordMap;
 using test::random_triples;
 using test::reference_add;
+using dsg::test::GridCase;
 
 /// Reference C = A^T B from coordinate maps.
 CoordMap reference_transposed(const CoordMap& a, const CoordMap& b) {
@@ -41,11 +43,14 @@ CoordMap reference_transposed(const CoordMap& a, const CoordMap& b) {
     return out;
 }
 
-class TransAP : public ::testing::TestWithParam<int> {};
+class TransAP : public ::testing::TestWithParam<GridCase> {};
 
 TEST_P(TransAP, UpdatesOfLeftOperandMatchRecompute) {
-    run_world(GetParam(), [&](Comm& c) {
-        ProcessGrid grid(c);
+    const GridCase gc = GetParam();
+    run_world(gc.p(), [&](Comm& c) {
+        ProcessGrid grid = dsg::test::make_grid(c, gc);
+        core::DynamicSpgemmOptions dopts;
+        dopts.comm_mode = gc.comm_mode;
         std::mt19937_64 rng(700);
         const index_t inner = 24, n = 20, m = 22;
         auto ta = random_triples(rng, inner, n, 120);
@@ -67,7 +72,7 @@ TEST_P(TransAP, UpdatesOfLeftOperandMatchRecompute) {
             DistDynamicMatrix<double> A0(grid, inner, n);
             DistDcsr<double> b_empty(grid, inner, m);
             dynamic_spgemm_algebraic_transA<PlusTimes<double>>(
-                C, A0, Astar_full, B, b_empty);
+                C, A0, Astar_full, B, b_empty, dopts);
         }
         CoordMap am = as_map(ta);
         const CoordMap bm = as_map(tb);
@@ -79,7 +84,7 @@ TEST_P(TransAP, UpdatesOfLeftOperandMatchRecompute) {
             auto Astar = build_update_matrix(grid, inner, n, feed(upd));
             DistDcsr<double> Bstar(grid, inner, m);
             dynamic_spgemm_algebraic_transA<PlusTimes<double>>(C, A, Astar, B,
-                                                               Bstar);
+                                                               Bstar, dopts);
             core::add_update<PlusTimes<double>>(A, Astar);
             am = reference_add<PlusTimes<double>>(am, upd);
             test::expect_matches(C, reference_transposed(am, bm));
@@ -88,8 +93,11 @@ TEST_P(TransAP, UpdatesOfLeftOperandMatchRecompute) {
 }
 
 TEST_P(TransAP, UpdatesOfRightOperandMatchRecompute) {
-    run_world(GetParam(), [&](Comm& c) {
-        ProcessGrid grid(c);
+    const GridCase gc = GetParam();
+    run_world(gc.p(), [&](Comm& c) {
+        ProcessGrid grid = dsg::test::make_grid(c, gc);
+        core::DynamicSpgemmOptions dopts;
+        dopts.comm_mode = gc.comm_mode;
         std::mt19937_64 rng(800);
         const index_t inner = 20, n = 16, m = 18;
         auto ta = random_triples(rng, inner, n, 100);
@@ -110,7 +118,7 @@ TEST_P(TransAP, UpdatesOfRightOperandMatchRecompute) {
             auto Astar_full = build_update_matrix(grid, inner, n, feed(ta));
             DistDcsr<double> b_empty(grid, inner, m);
             dynamic_spgemm_algebraic_transA<PlusTimes<double>>(
-                C, A0, Astar_full, B, b_empty);
+                C, A0, Astar_full, B, b_empty, dopts);
         }
 
         for (int batch = 0; batch < 3; ++batch) {
@@ -122,7 +130,7 @@ TEST_P(TransAP, UpdatesOfRightOperandMatchRecompute) {
             // must reflect the post-update state per the algorithm contract.
             core::add_update<PlusTimes<double>>(B, Bstar);
             dynamic_spgemm_algebraic_transA<PlusTimes<double>>(C, A, Astar, B,
-                                                               Bstar);
+                                                               Bstar, dopts);
             bm = reference_add<PlusTimes<double>>(bm, upd);
             test::expect_matches(C, reference_transposed(am, bm));
         }
@@ -130,8 +138,11 @@ TEST_P(TransAP, UpdatesOfRightOperandMatchRecompute) {
 }
 
 TEST_P(TransAP, SimultaneousUpdatesOfBothOperands) {
-    run_world(GetParam(), [&](Comm& c) {
-        ProcessGrid grid(c);
+    const GridCase gc = GetParam();
+    run_world(gc.p(), [&](Comm& c) {
+        ProcessGrid grid = dsg::test::make_grid(c, gc);
+        core::DynamicSpgemmOptions dopts;
+        dopts.comm_mode = gc.comm_mode;
         std::mt19937_64 rng(900);
         const index_t inner = 18, n = 18, m = 18;
         auto ta = random_triples(rng, inner, n, 90);
@@ -149,7 +160,7 @@ TEST_P(TransAP, SimultaneousUpdatesOfBothOperands) {
             auto Astar_full = build_update_matrix(grid, inner, n, feed(ta));
             DistDcsr<double> b_empty(grid, inner, m);
             dynamic_spgemm_algebraic_transA<PlusTimes<double>>(
-                C, A0, Astar_full, B, b_empty);
+                C, A0, Astar_full, B, b_empty, dopts);
         }
         CoordMap am = as_map(ta), bm = as_map(tb);
         for (int batch = 0; batch < 2; ++batch) {
@@ -162,7 +173,7 @@ TEST_P(TransAP, SimultaneousUpdatesOfBothOperands) {
             // C* = A*^T B' + A^T B*: B updated first, A afterwards.
             core::add_update<PlusTimes<double>>(B, Bstar);
             dynamic_spgemm_algebraic_transA<PlusTimes<double>>(C, A, Astar, B,
-                                                               Bstar);
+                                                               Bstar, dopts);
             core::add_update<PlusTimes<double>>(A, Astar);
             am = reference_add<PlusTimes<double>>(am, ua);
             bm = reference_add<PlusTimes<double>>(bm, ub);
@@ -172,8 +183,11 @@ TEST_P(TransAP, SimultaneousUpdatesOfBothOperands) {
 }
 
 TEST_P(TransAP, CstarOutCollectsExactlyTheDelta) {
-    run_world(GetParam(), [&](Comm& c) {
-        ProcessGrid grid(c);
+    const GridCase gc = GetParam();
+    run_world(gc.p(), [&](Comm& c) {
+        ProcessGrid grid = dsg::test::make_grid(c, gc);
+        core::DynamicSpgemmOptions dopts;
+        dopts.comm_mode = gc.comm_mode;
         std::mt19937_64 rng(950);
         const index_t n = 20;
         auto ta = random_triples(rng, n, n, 80);
@@ -192,7 +206,7 @@ TEST_P(TransAP, CstarOutCollectsExactlyTheDelta) {
         DistDcsr<double> Bstar(grid, n, n);
         DistDynamicMatrix<double> cstar(grid, n, n);
         core::dynamic_spgemm_algebraic<PlusTimes<double>>(
-            C, A, Astar, B, Bstar, {}, &cstar);
+            C, A, Astar, B, Bstar, dopts, &cstar);
         // cstar == A* B exactly.
         auto expect = test::reference_multiply<PlusTimes<double>>(
             as_map(upd), as_map(tb));
@@ -200,7 +214,9 @@ TEST_P(TransAP, CstarOutCollectsExactlyTheDelta) {
     });
 }
 
-INSTANTIATE_TEST_SUITE_P(Worlds, TransAP, ::testing::Values(1, 4, 9));
+INSTANTIATE_TEST_SUITE_P(GridShapes, TransAP,
+                         ::testing::ValuesIn(dsg::test::grid_shape_cases()),
+                         dsg::test::grid_case_name);
 
 /// Reference C = A B^T from coordinate maps.
 CoordMap reference_transposed_b(const CoordMap& a, const CoordMap& b) {
@@ -213,11 +229,14 @@ CoordMap reference_transposed_b(const CoordMap& a, const CoordMap& b) {
     return out;
 }
 
-class TransBP : public ::testing::TestWithParam<int> {};
+class TransBP : public ::testing::TestWithParam<GridCase> {};
 
 TEST_P(TransBP, UpdatesOfBothOperandsMatchRecompute) {
-    run_world(GetParam(), [&](Comm& c) {
-        ProcessGrid grid(c);
+    const GridCase gc = GetParam();
+    run_world(gc.p(), [&](Comm& c) {
+        ProcessGrid grid = dsg::test::make_grid(c, gc);
+        core::DynamicSpgemmOptions dopts;
+        dopts.comm_mode = gc.comm_mode;
         std::mt19937_64 rng(1000);
         const index_t n = 18, m = 20, inner = 22;
         auto ta = random_triples(rng, n, inner, 100);
@@ -238,7 +257,7 @@ TEST_P(TransBP, UpdatesOfBothOperandsMatchRecompute) {
             auto Astar_full = build_update_matrix(grid, n, inner, feed(ta));
             DistDcsr<double> b_empty(grid, m, inner);
             core::dynamic_spgemm_algebraic_transB<PlusTimes<double>>(
-                C, A0, Astar_full, B, b_empty);
+                C, A0, Astar_full, B, b_empty, dopts);
         }
         test::expect_matches(C, reference_transposed_b(am, bm));
 
@@ -252,7 +271,7 @@ TEST_P(TransBP, UpdatesOfBothOperandsMatchRecompute) {
             // C* = A* B'^T + A B*^T: update B first, A afterwards.
             core::add_update<PlusTimes<double>>(B, Bstar);
             core::dynamic_spgemm_algebraic_transB<PlusTimes<double>>(
-                C, A, Astar, B, Bstar);
+                C, A, Astar, B, Bstar, dopts);
             core::add_update<PlusTimes<double>>(A, Astar);
             am = reference_add<PlusTimes<double>>(am, ua);
             bm = reference_add<PlusTimes<double>>(bm, ub);
@@ -264,8 +283,11 @@ TEST_P(TransBP, UpdatesOfBothOperandsMatchRecompute) {
 TEST_P(TransBP, RightOnlyUpdateIsTheOuterProductCase) {
     // C = A B^T with B gaining rows is the similarity-join pattern:
     // new columns of B^T join against all of A.
-    run_world(GetParam(), [&](Comm& c) {
-        ProcessGrid grid(c);
+    const GridCase gc = GetParam();
+    run_world(gc.p(), [&](Comm& c) {
+        ProcessGrid grid = dsg::test::make_grid(c, gc);
+        core::DynamicSpgemmOptions dopts;
+        dopts.comm_mode = gc.comm_mode;
         std::mt19937_64 rng(1100);
         const index_t n = 16, m = 16, inner = 16;
         auto ta = random_triples(rng, n, inner, 80);
@@ -286,13 +308,15 @@ TEST_P(TransBP, RightOnlyUpdateIsTheOuterProductCase) {
             DistDcsr<double> Astar(grid, n, inner);
             core::add_update<PlusTimes<double>>(B, Bstar);
             core::dynamic_spgemm_algebraic_transB<PlusTimes<double>>(
-                C, A, Astar, B, Bstar);
+                C, A, Astar, B, Bstar, dopts);
             bm = reference_add<PlusTimes<double>>(bm, ub);
             test::expect_matches(C, reference_transposed_b(am, bm));
         }
     });
 }
 
-INSTANTIATE_TEST_SUITE_P(Worlds, TransBP, ::testing::Values(1, 4, 9));
+INSTANTIATE_TEST_SUITE_P(GridShapes, TransBP,
+                         ::testing::ValuesIn(dsg::test::grid_shape_cases()),
+                         dsg::test::grid_case_name);
 
 }  // namespace

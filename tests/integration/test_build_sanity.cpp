@@ -13,7 +13,8 @@ using Semiring = dsg::sparse::PlusTimes<double>;
 TEST(BuildSanity, TwoByTwoGridComesUp) {
     dsg::par::run_world(4, [](dsg::par::Comm& c) {
         dsg::core::ProcessGrid grid(c);
-        EXPECT_EQ(grid.q(), 2);
+        EXPECT_EQ(grid.rows(), 2);
+        EXPECT_EQ(grid.cols(), 2);
         EXPECT_EQ(grid.rank_of(grid.grid_row(), grid.grid_col()), c.rank());
     });
 }

@@ -36,10 +36,10 @@ TEST(Checkpoint, TileAndExtraStateRoundTrip) {
     dsg::par::BufferWriter w(extra);
     w.write<std::uint64_t>(0xfeedbeefu);
 
-    persist::write_checkpoint_file<double>(dir.path(), 40, 1, 2, 24, 18, tile,
-                                           extra);
+    persist::write_checkpoint_file<double>(dir.path(), 40, 1, 2, 1, 24, 18,
+                                           tile, extra);
     auto loaded = persist::read_checkpoint_file<double>(dir.path(), 40, 1, 2,
-                                                        24, 18);
+                                                        1, 24, 18);
     EXPECT_EQ(loaded.tile.nnz(), tile.nnz());
     EXPECT_EQ(loaded.tile.to_triples(), tile.to_triples())
         << "entry order must survive bit-identically";
@@ -48,17 +48,21 @@ TEST(Checkpoint, TileAndExtraStateRoundTrip) {
 
     // Any disagreement with the manifest-provided expectations throws.
     EXPECT_THROW((persist::read_checkpoint_file<double>(dir.path(), 40, 1, 3,
-                                                        24, 18)),
+                                                        1, 24, 18)),
                  persist::PersistError);
+    EXPECT_THROW((persist::read_checkpoint_file<double>(dir.path(), 40, 1, 2,
+                                                        2, 24, 18)),
+                 persist::PersistError)
+        << "grid column count disagreement must throw";
     EXPECT_THROW((persist::read_checkpoint_file<double>(dir.path(), 41, 1, 2,
-                                                        24, 18)),
+                                                        1, 24, 18)),
                  persist::PersistError)
         << "missing version must not silently fall back";
 }
 
 TEST(Checkpoint, CorruptFileIsRejected) {
     ScratchDir dir;
-    persist::write_checkpoint_file<double>(dir.path(), 8, 0, 1, 6, 6,
+    persist::write_checkpoint_file<double>(dir.path(), 8, 0, 1, 1, 6, 6,
                                            sample_tile(6, 6, 1), {});
     const auto path = persist::checkpoint_path(dir.path(), 8, 0);
     {
@@ -67,7 +71,7 @@ TEST(Checkpoint, CorruptFileIsRejected) {
         f.put('\x7f');
     }
     EXPECT_THROW(
-        (persist::read_checkpoint_file<double>(dir.path(), 8, 0, 1, 6, 6)),
+        (persist::read_checkpoint_file<double>(dir.path(), 8, 0, 1, 1, 6, 6)),
         persist::PersistError);
 }
 
@@ -77,7 +81,8 @@ TEST(Checkpoint, ManifestCommitAndReRead) {
 
     persist::Manifest m;
     m.version = 128;
-    m.grid_q = 2;
+    m.grid_rows = 2;
+    m.grid_cols = 2;
     m.nrows = 1024;
     m.ncols = 512;
     m.log = {{3, 100}, {3, 80}, {2, 999}, {3, persist::kLogHeaderBytes}};
@@ -86,7 +91,8 @@ TEST(Checkpoint, ManifestCommitAndReRead) {
     auto got = persist::read_manifest(dir.path());
     ASSERT_TRUE(got.has_value());
     EXPECT_EQ(got->version, 128u);
-    EXPECT_EQ(got->grid_q, 2);
+    EXPECT_EQ(got->grid_rows, 2);
+    EXPECT_EQ(got->grid_cols, 2);
     EXPECT_EQ(got->nrows, 1024);
     EXPECT_EQ(got->ncols, 512);
     EXPECT_EQ(got->log, m.log);
@@ -104,11 +110,29 @@ TEST(Checkpoint, ManifestCommitAndReRead) {
                  persist::PersistError);
 }
 
+TEST(Checkpoint, RectangularManifestRoundTrips) {
+    ScratchDir dir;
+    persist::Manifest m;
+    m.version = 9;
+    m.grid_rows = 2;
+    m.grid_cols = 3;
+    m.nrows = 100;
+    m.ncols = 90;
+    m.log = {{0, 20}, {0, 20}, {0, 20}, {0, 20}, {0, 20}, {0, 20}};
+    persist::write_manifest(dir.path(), m);
+    auto got = persist::read_manifest(dir.path());
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->grid_rows, 2);
+    EXPECT_EQ(got->grid_cols, 3);
+    EXPECT_EQ(got->log.size(), 6u);
+}
+
 TEST(Checkpoint, ManifestGridLogMismatchRejected) {
     ScratchDir dir;
     persist::Manifest m;
     m.version = 1;
-    m.grid_q = 2;
+    m.grid_rows = 2;
+    m.grid_cols = 2;
     m.nrows = m.ncols = 64;
     m.log = {{0, 20}};  // 1 position for a 4-rank grid: corrupt
     persist::write_manifest(dir.path(), m);
@@ -120,8 +144,8 @@ TEST(Checkpoint, RetentionDeletesOnlyOlderFilesOfTheRank) {
     ScratchDir dir;
     for (std::uint64_t v : {8u, 16u, 24u})
         for (int rank : {0, 1})
-            persist::write_checkpoint_file<double>(dir.path(), v, rank, 2, 6,
-                                                   6, sample_tile(3, 3, 1),
+            persist::write_checkpoint_file<double>(dir.path(), v, rank, 1, 2,
+                                                   6, 6, sample_tile(3, 3, 1),
                                                    {});
     EXPECT_EQ(persist::delete_checkpoints_below(dir.path(), 0, 24), 2u);
     EXPECT_FALSE(fs::exists(persist::checkpoint_path(dir.path(), 8, 0)));
@@ -133,10 +157,10 @@ TEST(Checkpoint, RetentionDeletesOnlyOlderFilesOfTheRank) {
 TEST(Checkpoint, EmptyTileRoundTrips) {
     ScratchDir dir;
     DynamicMatrix<double> empty(5, 7);
-    persist::write_checkpoint_file<double>(dir.path(), 1, 0, 1, 5, 7, empty,
+    persist::write_checkpoint_file<double>(dir.path(), 1, 0, 1, 1, 5, 7, empty,
                                            {});
     auto loaded =
-        persist::read_checkpoint_file<double>(dir.path(), 1, 0, 1, 5, 7);
+        persist::read_checkpoint_file<double>(dir.path(), 1, 0, 1, 1, 5, 7);
     EXPECT_EQ(loaded.tile.nnz(), 0u);
     EXPECT_EQ(loaded.tile.nrows(), 5);
     EXPECT_EQ(loaded.tile.ncols(), 7);

@@ -1,9 +1,9 @@
 // Crash-recovery property tests: checkpoint → kill → recover → replay must
 // reproduce the uninterrupted run bit-identically — matrix structure, entry
 // order, values, engine version, and (when subscribed) every maintained
-// analytics value — across all workload scenarios and all supported grids.
-// (The process grid requires a square rank count, so the sweep covers the
-// 1x1 and 2x2 grids; a 2-rank world cannot form a grid by construction.)
+// analytics value — across all workload scenarios and all supported grids,
+// square and rectangular (the shared grid-shape sweep: 1x1, 1x2, 1x3, 2x2,
+// 2x3, plus the extended shapes under -DDSG_GRID_SHAPES=extended).
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "analytics/graph_maintainers.hpp"
+#include "common/grid_shapes.hpp"
 #include "analytics/maintainer.hpp"
 #include "core/update_ops.hpp"
 #include "par/comm.hpp"
@@ -31,6 +32,7 @@ using Engine = stream::EpochEngine<SR>;
 using Manager = persist::DurabilityManager<SR>;
 using sparse::index_t;
 using sparse::Triple;
+using dsg::test::GridCase;
 
 /// Streams `writes` ops per producer (2 producers/rank) of `scenario` into
 /// A under a durability manager, returning after the queues are exhausted.
@@ -58,20 +60,23 @@ void stream_with_durability(par::Comm& comm, Engine& engine,
     for (auto& t : producers) t.join();
 }
 
-/// The core property, one (ranks, scenario) cell: a full durable run, then
-/// recovery in a fresh world must reproduce its final state exactly.
-void check_recovery_equivalence(int ranks, stream::Scenario scenario) {
+/// The core property, one (grid shape, scenario) cell: a full durable run,
+/// then recovery in a fresh world must reproduce its final state exactly.
+void check_recovery_equivalence(const GridCase& gc,
+                                stream::Scenario scenario) {
     SCOPED_TRACE(std::string("scenario ") + stream::scenario_name(scenario) +
-                 ", ranks " + std::to_string(ranks));
+                 ", grid " + std::to_string(gc.rows) + "x" +
+                 std::to_string(gc.cols));
     ScratchDir dir;
     const index_t n = 256;
     std::vector<Triple<double>> live;
     std::uint64_t live_version = 0;
 
-    par::run_world(ranks, [&](par::Comm& comm) {
-        core::ProcessGrid grid(comm);
+    par::run_world(gc.p(), [&](par::Comm& comm) {
+        core::ProcessGrid grid = dsg::test::make_grid(comm, gc);
         core::DistDynamicMatrix<double> A(grid, n, n);
         stream::EngineConfig cfg;
+        cfg.comm_mode = gc.comm_mode;
         cfg.epoch_batch = 256;
         cfg.epoch_deadline = std::chrono::milliseconds(2);
         Engine engine(A, cfg);
@@ -96,8 +101,8 @@ void check_recovery_equivalence(int ranks, stream::Scenario scenario) {
     });
     ASSERT_FALSE(live.empty());
 
-    par::run_world(ranks, [&](par::Comm& comm) {
-        core::ProcessGrid grid(comm);
+    par::run_world(gc.p(), [&](par::Comm& comm) {
+        core::ProcessGrid grid = dsg::test::make_grid(comm, gc);
         core::DistDynamicMatrix<double> A(grid, n, n);
         persist::RecoveryOptions opts;
         opts.dir = dir.path();
@@ -111,14 +116,11 @@ void check_recovery_equivalence(int ranks, stream::Scenario scenario) {
     });
 }
 
-TEST(Recovery, BitIdenticalAcrossAllScenariosOn1RankGrid) {
-    for (auto scenario : stream::all_scenarios())
-        check_recovery_equivalence(1, scenario);
-}
+class RecoveryG : public ::testing::TestWithParam<GridCase> {};
 
-TEST(Recovery, BitIdenticalAcrossAllScenariosOn4RankGrid) {
+TEST_P(RecoveryG, BitIdenticalAcrossAllScenarios) {
     for (auto scenario : stream::all_scenarios())
-        check_recovery_equivalence(4, scenario);
+        check_recovery_equivalence(GetParam(), scenario);
 }
 
 // With maintainers subscribed, the checkpoint carries the hub's state and
@@ -205,13 +207,13 @@ TEST(Recovery, AnalyticsMaintainersRestoredBitIdentically) {
 // on EVERY rank, and the recovered matrix must equal an independent direct
 // replay of the surviving log — the engine path and the raw apply path
 // cross-check each other.
-TEST(Recovery, KillMidRunRecoversTheDurablePrefix) {
-    constexpr int kRanks = 4;
+TEST_P(RecoveryG, KillMidRunRecoversTheDurablePrefix) {
+    const GridCase gc = GetParam();
     const index_t n = 192;
     ScratchDir dir;
 
-    par::run_world(kRanks, [&](par::Comm& comm) {
-        core::ProcessGrid grid(comm);
+    par::run_world(gc.p(), [&](par::Comm& comm) {
+        core::ProcessGrid grid = dsg::test::make_grid(comm, gc);
         core::DistDynamicMatrix<double> A(grid, n, n);
         stream::EngineConfig cfg;
         cfg.epoch_batch = 128;
@@ -242,19 +244,21 @@ TEST(Recovery, KillMidRunRecoversTheDurablePrefix) {
         producer.join();
     });
 
-    // Tear the last durable frame of rank 2 mid-payload: ranks now disagree
-    // about the last durable epoch, and recovery must settle on the minimum.
+    // Tear the last durable frame of the highest rank mid-payload: ranks now
+    // disagree about the last durable epoch, and recovery must settle on the
+    // minimum.
     {
-        const auto seg = persist::latest_segment(dir.path(), 2);
+        const int victim = gc.p() - 1;
+        const auto seg = persist::latest_segment(dir.path(), victim);
         ASSERT_TRUE(seg.has_value());
-        const auto path = persist::log_path(dir.path(), 2, *seg);
+        const auto path = persist::log_path(dir.path(), victim, *seg);
         const auto size = std::filesystem::file_size(path);
         if (size > persist::kLogHeaderBytes + 8)
             persist::truncate_file(path, size - 5);
     }
 
-    par::run_world(kRanks, [&](par::Comm& comm) {
-        core::ProcessGrid grid(comm);
+    par::run_world(gc.p(), [&](par::Comm& comm) {
+        core::ProcessGrid grid = dsg::test::make_grid(comm, gc);
         core::DistDynamicMatrix<double> A(grid, n, n);
         persist::RecoveryOptions opts;
         opts.dir = dir.path();
@@ -271,7 +275,8 @@ TEST(Recovery, KillMidRunRecoversTheDurablePrefix) {
         if (manifest) {
             // Restore the checkpoint tile as the replay base.
             auto ckpt = persist::read_checkpoint_file<double>(
-                dir.path(), manifest->version, comm.rank(), grid.q(), n, n);
+                dir.path(), manifest->version, comm.rank(), grid.rows(),
+                grid.cols(), n, n);
             B.local() = ckpt.tile;
             applied = manifest->version;
             seg = manifest->log[static_cast<std::size_t>(comm.rank())].segment;
@@ -388,6 +393,11 @@ TEST(Recovery, ResumeContinuesDurablyAcrossRestarts) {
                                        "second recovery after resume");
     });
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    GridShapes, RecoveryG,
+    ::testing::ValuesIn(dsg::test::grid_shape_cases_sync_only()),
+    dsg::test::grid_case_name);
 
 TEST(Recovery, ColdDirectoryRecoversToEmptyVersionZero) {
     ScratchDir dir;

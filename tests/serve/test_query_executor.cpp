@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "analytics/graph_maintainers.hpp"
+#include "common/grid_shapes.hpp"
 #include "analytics/maintainer.hpp"
 #include "par/comm.hpp"
 #include "serve/query_executor.hpp"
@@ -29,6 +30,7 @@ using serve::QueryKind;
 using serve::QueryResult;
 using serve::QueryStatus;
 using stream::OpKind;
+using dsg::test::GridCase;
 
 constexpr int kRanks = 4;  // 2x2 grid
 constexpr index_t kN = 64;
@@ -36,9 +38,10 @@ constexpr index_t kN = 64;
 /// Publishes one snapshot of a known graph into `store`: a directed path
 /// 0->1->...->15, a star 0->{32..39} with value j at (0, j), and the extra
 /// edge 1->3 closing the triangle {1,2,3} for the analytics maintainer.
-void populate(serve::SnapshotStore<double>& store, bool with_hub) {
-    par::run_world(kRanks, [&](par::Comm& comm) {
-        core::ProcessGrid grid(comm);
+void populate(serve::SnapshotStore<double>& store, bool with_hub,
+              const GridCase& gc = {2, 2}) {
+    par::run_world(gc.p(), [&](par::Comm& comm) {
+        core::ProcessGrid grid = dsg::test::make_grid(comm, gc);
         core::DistDynamicMatrix<double> A(grid, kN, kN);
 
         analytics::AnalyticsHub<double> hub;
@@ -46,6 +49,7 @@ void populate(serve::SnapshotStore<double>& store, bool with_hub) {
             hub.emplace<analytics::LiveTriangleMaintainer>(grid, kN);
 
         stream::EngineConfig cfg;
+        cfg.comm_mode = gc.comm_mode;
         cfg.epoch_batch = 1 << 12;
         Engine engine(A, cfg);
         if (with_hub) hub.attach(engine);
@@ -64,11 +68,13 @@ void populate(serve::SnapshotStore<double>& store, bool with_hub) {
     });
 }
 
-TEST(QueryExecutor, AnswersEachQueryKind) {
+class QueryExecutorG : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(QueryExecutorG, AnswersEachQueryKind) {
     serve::StoreConfig scfg;
     scfg.publish_every = 1;
     serve::SnapshotStore<double> store(scfg);
-    populate(store, /*with_hub=*/true);
+    populate(store, /*with_hub=*/true, GetParam());
 
     serve::ExecutorConfig ecfg;
     ecfg.background = false;
@@ -286,5 +292,9 @@ TEST(QueryExecutor, FingerprintIsStableAndFieldSensitive) {
     EXPECT_NE(serve::fingerprint({QueryKind::AnalyticsRead, 0, 0, 1, "a"}),
               serve::fingerprint({QueryKind::AnalyticsRead, 0, 0, 1, "b"}));
 }
+
+INSTANTIATE_TEST_SUITE_P(GridShapes, QueryExecutorG,
+                         ::testing::ValuesIn(dsg::test::grid_shape_cases()),
+                         dsg::test::grid_case_name);
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "analytics/graph_maintainers.hpp"
+#include "common/grid_shapes.hpp"
 #include "analytics/maintainer.hpp"
 #include "par/comm.hpp"
 #include "serve/snapshot_store.hpp"
@@ -27,8 +28,11 @@ using Engine = stream::EpochEngine<SR>;
 using sparse::index_t;
 using sparse::Triple;
 using stream::OpKind;
+using dsg::test::GridCase;
 
 constexpr int kRanks = 4;  // 2x2 grid
+
+class SnapshotStoreG : public ::testing::TestWithParam<GridCase> {};
 
 TEST(SnapshotStore, PublishCadenceAndRetention) {
     serve::StoreConfig scfg;
@@ -66,17 +70,19 @@ TEST(SnapshotStore, PublishCadenceAndRetention) {
     EXPECT_EQ(store.live_snapshots(), 2);
 }
 
-TEST(SnapshotStore, PublishedVersionsAreImmutablePerEpochImages) {
+TEST_P(SnapshotStoreG, PublishedVersionsAreImmutablePerEpochImages) {
+    const GridCase gc = GetParam();
     serve::StoreConfig scfg;
     scfg.publish_every = 1;
     scfg.retain = 8;
     serve::SnapshotStore<double> store(scfg);
 
-    par::run_world(kRanks, [&](par::Comm& comm) {
-        core::ProcessGrid grid(comm);
+    par::run_world(gc.p(), [&](par::Comm& comm) {
+        core::ProcessGrid grid = dsg::test::make_grid(comm, gc);
         const index_t n = 32;
         core::DistDynamicMatrix<double> A(grid, n, n);
         stream::EngineConfig cfg;
+        cfg.comm_mode = gc.comm_mode;
         cfg.epoch_batch = 1;
         Engine engine(A, cfg);
         store.attach(engine, A);
@@ -96,8 +102,8 @@ TEST(SnapshotStore, PublishedVersionsAreImmutablePerEpochImages) {
         const auto snap = store.get(v);
         ASSERT_NE(snap, nullptr);
         EXPECT_EQ(snap->version(), v);
-        EXPECT_EQ(snap->nnz(), static_cast<std::size_t>(kRanks) * v);
-        for (index_t rank = 0; rank < kRanks; ++rank)
+        EXPECT_EQ(snap->nnz(), static_cast<std::size_t>(gc.p()) * v);
+        for (index_t rank = 0; rank < gc.p(); ++rank)
             for (index_t e = 1; e <= 3; ++e)
                 EXPECT_EQ(snap->edge_exists(rank, 10 + e),
                           static_cast<std::uint64_t>(e) <= v)
@@ -237,17 +243,19 @@ TEST(SnapshotStore, FrozenAnalyticsReadoutsMatchTheHubAtPublishTime) {
     EXPECT_FALSE(snap->analytics("no-such-metric").has_value());
 }
 
-TEST(SnapshotStore, QueriesMatchBruteForceReference) {
+TEST_P(SnapshotStoreG, QueriesMatchBruteForceReference) {
+    const GridCase gc = GetParam();
     serve::StoreConfig scfg;
     scfg.publish_every = 1;
     serve::SnapshotStore<double> store(scfg);
     std::vector<Triple<double>> reference;
 
-    par::run_world(kRanks, [&](par::Comm& comm) {
-        core::ProcessGrid grid(comm);
+    par::run_world(gc.p(), [&](par::Comm& comm) {
+        core::ProcessGrid grid = dsg::test::make_grid(comm, gc);
         const index_t n = 48;
         core::DistDynamicMatrix<double> A(grid, n, n);
         stream::EngineConfig cfg;
+        cfg.comm_mode = gc.comm_mode;
         cfg.epoch_batch = 256;
         Engine engine(A, cfg);
         store.attach(engine, A);
@@ -317,5 +325,9 @@ TEST(SnapshotStore, QueriesMatchBruteForceReference) {
         }
     }
 }
+
+INSTANTIATE_TEST_SUITE_P(GridShapes, SnapshotStoreG,
+                         ::testing::ValuesIn(dsg::test::grid_shape_cases()),
+                         dsg::test::grid_case_name);
 
 }  // namespace

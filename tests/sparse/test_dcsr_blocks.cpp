@@ -1,0 +1,147 @@
+// Unit tests of the DCSR block-slicing helpers (dcsr_row_block,
+// dcsr_col_block) and the disjoint-triples assembler
+// (dcsr_from_unique_triples). These carry the rectangular-grid SUMMA slab
+// slicing and the refinement-segment partitioning, so they are pinned down
+// here against brute-force reference slices.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <vector>
+
+#include "sparse/dcsr.hpp"
+#include "sparse/dcsr_ops.hpp"
+
+namespace {
+
+using dsg::sparse::Dcsr;
+using dsg::sparse::dcsr_col_block;
+using dsg::sparse::dcsr_from_unique_triples;
+using dsg::sparse::dcsr_row_block;
+using dsg::sparse::index_t;
+using dsg::sparse::Triple;
+
+template <typename T>
+std::map<std::pair<index_t, index_t>, T> as_map(
+    const std::vector<Triple<T>>& ts) {
+    std::map<std::pair<index_t, index_t>, T> m;
+    for (const auto& t : ts) m[{t.row, t.col}] = t.value;
+    return m;
+}
+
+std::vector<Triple<double>> random_unique_triples(std::uint64_t seed,
+                                                  index_t nrows, index_t ncols,
+                                                  int count) {
+    std::mt19937_64 rng(seed);
+    std::map<std::pair<index_t, index_t>, double> seen;
+    while (static_cast<int>(seen.size()) < count) {
+        const auto i = static_cast<index_t>(
+            rng() % static_cast<std::uint64_t>(nrows));
+        const auto j = static_cast<index_t>(
+            rng() % static_cast<std::uint64_t>(ncols));
+        seen[{i, j}] = static_cast<double>(rng() % 1000) + 0.5;
+    }
+    std::vector<Triple<double>> out;
+    out.reserve(seen.size());
+    for (const auto& [key, v] : seen) out.push_back({key.first, key.second, v});
+    return out;
+}
+
+Dcsr<double> random_dcsr(std::uint64_t seed, index_t nrows, index_t ncols,
+                         int count) {
+    return dcsr_from_unique_triples(nrows, ncols,
+                                    random_unique_triples(seed, nrows, ncols,
+                                                          count));
+}
+
+TEST(DcsrBlocks, RowBlockMatchesBruteForceSlice) {
+    const auto m = random_dcsr(1, 23, 17, 120);
+    for (const auto& [lo, hi] : std::vector<std::pair<index_t, index_t>>{
+             {0, 23}, {0, 7}, {7, 15}, {15, 23}, {4, 4}, {22, 23}}) {
+        const auto block = dcsr_row_block(m, lo, hi);
+        EXPECT_EQ(block.nrows(), hi - lo);
+        EXPECT_EQ(block.ncols(), m.ncols());
+        std::map<std::pair<index_t, index_t>, double> expect;
+        for (const auto& t : m.to_triples())
+            if (t.row >= lo && t.row < hi)
+                expect[{t.row - lo, t.col}] = t.value;
+        EXPECT_EQ(as_map(block.to_triples()), expect)
+            << "rows [" << lo << ", " << hi << ")";
+    }
+}
+
+TEST(DcsrBlocks, ColBlockMatchesBruteForceSlice) {
+    const auto m = random_dcsr(2, 17, 29, 130);
+    for (const auto& [lo, hi] : std::vector<std::pair<index_t, index_t>>{
+             {0, 29}, {0, 10}, {10, 20}, {20, 29}, {5, 5}, {28, 29}}) {
+        const auto block = dcsr_col_block(m, lo, hi);
+        EXPECT_EQ(block.nrows(), m.nrows());
+        EXPECT_EQ(block.ncols(), hi - lo);
+        std::map<std::pair<index_t, index_t>, double> expect;
+        for (const auto& t : m.to_triples())
+            if (t.col >= lo && t.col < hi)
+                expect[{t.row, t.col - lo}] = t.value;
+        EXPECT_EQ(as_map(block.to_triples()), expect)
+            << "cols [" << lo << ", " << hi << ")";
+    }
+}
+
+TEST(DcsrBlocks, ColBlockDropsEmptiedRows) {
+    // Rows whose every entry falls outside the slice must not appear in the
+    // compressed row list (double compression preserved).
+    const Dcsr<double> m = dcsr_from_unique_triples<double>(
+        4, 10, {{0, 1, 1.0}, {1, 8, 2.0}, {2, 2, 3.0}, {2, 9, 4.0}});
+    const auto block = dcsr_col_block(m, 0, 5);
+    EXPECT_EQ(block.row_count(), 2u);  // rows 0 and 2 survive, row 1 dropped
+    EXPECT_EQ(block.nnz(), 2u);
+    EXPECT_EQ(block.row_id(0), 0);
+    EXPECT_EQ(block.row_id(1), 2);
+}
+
+TEST(DcsrBlocks, RowBlocksPartitionTheMatrix) {
+    // An uneven partition (the shape a rectangular grid produces) must cover
+    // every entry exactly once.
+    const auto m = random_dcsr(3, 19, 13, 90);
+    const std::vector<index_t> cuts{0, 7, 13, 19};  // blocks of 7, 6, 6 rows
+    std::map<std::pair<index_t, index_t>, double> reassembled;
+    for (std::size_t b = 0; b + 1 < cuts.size(); ++b) {
+        const auto block = dcsr_row_block(m, cuts[b], cuts[b + 1]);
+        for (const auto& t : block.to_triples())
+            reassembled[{t.row + cuts[b], t.col}] = t.value;
+    }
+    EXPECT_EQ(reassembled, as_map(m.to_triples()));
+}
+
+TEST(DcsrBlocks, FromUniqueTriplesSortsAnyInputOrder) {
+    auto triples = random_unique_triples(4, 21, 11, 70);
+    const auto expect = as_map(triples);
+    std::mt19937_64 rng(5);
+    std::shuffle(triples.begin(), triples.end(), rng);
+    const auto m = dcsr_from_unique_triples(21, 11, std::move(triples));
+    EXPECT_EQ(m.nrows(), 21);
+    EXPECT_EQ(m.ncols(), 11);
+    EXPECT_EQ(m.nnz(), 70u);
+    EXPECT_EQ(as_map(m.to_triples()), expect);
+    // Row ids ascending, columns sorted within each row.
+    for (std::size_t r = 0; r < m.row_count(); ++r) {
+        if (r > 0) {
+            EXPECT_LT(m.row_id(r - 1), m.row_id(r));
+        }
+        auto cols = m.row_cols(r);
+        EXPECT_TRUE(std::is_sorted(cols.begin(), cols.end()));
+    }
+}
+
+TEST(DcsrBlocks, EmptyInputsAndEmptySlices) {
+    const auto empty = dcsr_from_unique_triples<double>(6, 6, {});
+    EXPECT_EQ(empty.nnz(), 0u);
+    EXPECT_EQ(dcsr_row_block(empty, 2, 5).nnz(), 0u);
+    EXPECT_EQ(dcsr_col_block(empty, 0, 6).nnz(), 0u);
+
+    const auto m = random_dcsr(6, 8, 8, 20);
+    EXPECT_EQ(dcsr_row_block(m, 3, 3).nnz(), 0u);
+    EXPECT_EQ(dcsr_col_block(m, 3, 3).nnz(), 0u);
+}
+
+}  // namespace

@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <random>
 #include <thread>
 #include <vector>
 
+#include "common/grid_shapes.hpp"
 #include "core/dist_test_utils.hpp"
 #include "core/update_ops.hpp"
 #include "par/comm.hpp"
@@ -24,12 +26,16 @@ using sparse::index_t;
 using sparse::Triple;
 using stream::OpKind;
 using stream::StreamOp;
+using dsg::test::GridCase;
 
 constexpr int kRanks = 4;  // 2x2 grid
 
-TEST(EpochEngine, AppliesAllThreeKindsInOneEpoch) {
-    par::run_world(kRanks, [&](par::Comm& comm) {
-        core::ProcessGrid grid(comm);
+class EpochEngineG : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(EpochEngineG, AppliesAllThreeKindsInOneEpoch) {
+    const GridCase gc = GetParam();
+    par::run_world(gc.p(), [&](par::Comm& comm) {
+        core::ProcessGrid grid = dsg::test::make_grid(comm, gc);
         const index_t n = 64;
         core::DistDynamicMatrix<double> A(grid, n, n);
 
@@ -37,6 +43,7 @@ TEST(EpochEngine, AppliesAllThreeKindsInOneEpoch) {
         // the expected state is independent of cross-rank apply order.
         const auto r = static_cast<index_t>(comm.rank());
         stream::EngineConfig cfg;
+        cfg.comm_mode = gc.comm_mode;
         cfg.epoch_batch = 1 << 12;  // everything fits in one epoch
         Engine engine(A, cfg);
         auto& q = engine.queue();
@@ -53,7 +60,7 @@ TEST(EpochEngine, AppliesAllThreeKindsInOneEpoch) {
         EXPECT_EQ(engine.stats().applied_epochs, 1u);
         EXPECT_EQ(engine.stats().local_ops, 14u);
         CoordMap expect;
-        for (index_t rank = 0; rank < kRanks; ++rank) {
+        for (index_t rank = 0; rank < gc.p(); ++rank) {
             expect[{rank, 0}] = 3.0;  // 1 + the duplicate 2
             expect[{rank, 1}] = 9.5;  // merged
             for (index_t c = 3; c < 10; ++c) expect[{rank, c}] = 1.0;
@@ -65,10 +72,11 @@ TEST(EpochEngine, AppliesAllThreeKindsInOneEpoch) {
 // The acceptance scenario: N producer threads per rank push concurrently
 // while the engine applies epochs; ADD-only traffic commutes, so the final
 // matrix must equal one collective application of the same tuples.
-TEST(EpochEngine, ConcurrentProducersMatchSequentialReference) {
+TEST_P(EpochEngineG, ConcurrentProducersMatchSequentialReference) {
+    const GridCase gc = GetParam();
     constexpr int kProducers = 3;
-    par::run_world(kRanks, [&](par::Comm& comm) {
-        core::ProcessGrid grid(comm);
+    par::run_world(gc.p(), [&](par::Comm& comm) {
+        core::ProcessGrid grid = dsg::test::make_grid(comm, gc);
         const index_t n = 512;
 
         stream::WorkloadConfig wl;
@@ -79,6 +87,7 @@ TEST(EpochEngine, ConcurrentProducersMatchSequentialReference) {
 
         core::DistDynamicMatrix<double> A(grid, n, n);
         stream::EngineConfig cfg;
+        cfg.comm_mode = gc.comm_mode;
         cfg.queue_capacity = 1 << 10;  // force many epochs + backpressure
         cfg.epoch_batch = 512;
         cfg.epoch_deadline = std::chrono::milliseconds(2);
@@ -326,6 +335,175 @@ TEST(EpochEngine, EmptyClosedStreamTerminatesWithoutApplying) {
         EXPECT_EQ(engine.stats().local_ops, 0u);
         EXPECT_EQ(A.global_nnz(), 0u);
     });
+}
+
+// The overlapped-WAL path (write-behind on a worker thread) must deliver
+// the same delta stream and the same final matrix as the inline write-ahead
+// path; the engine joins the worker before the next WAL point, so deltas
+// arrive in version order even though they are written off-thread.
+TEST_P(EpochEngineG, OverlapPersistMatchesInlineWal) {
+    const GridCase gc = GetParam();
+    auto run_one = [&](bool overlap) {
+        std::vector<std::vector<stream::EpochDelta<double>>> wals(
+            static_cast<std::size_t>(gc.p()));
+        std::vector<CoordMap> finals(static_cast<std::size_t>(gc.p()));
+        par::run_world(gc.p(), [&](par::Comm& comm) {
+            core::ProcessGrid grid = dsg::test::make_grid(comm, gc);
+            const index_t n = 96;
+            core::DistDynamicMatrix<double> A(grid, n, n);
+            stream::EngineConfig cfg;
+            cfg.comm_mode = gc.comm_mode;
+            cfg.overlap_persist = overlap;
+            cfg.epoch_batch = 32;
+            cfg.epoch_deadline = std::chrono::milliseconds(1);
+            Engine engine(A, cfg);
+            auto& my_wal = wals[static_cast<std::size_t>(comm.rank())];
+            engine.set_wal_hook([&my_wal](const stream::EpochDelta<double>& d) {
+                my_wal.push_back(d);
+            });
+            const auto r = static_cast<index_t>(comm.rank());
+            auto& q = engine.queue();
+            std::mt19937_64 rng(7'000 + static_cast<std::uint64_t>(r));
+            // Feed in chunks with a pump between them: the queue drains
+            // whole, so several WAL points only happen across several pumps.
+            for (index_t chunk = 0; chunk < 6; ++chunk) {
+                for (index_t k = 0; k < 50; ++k) {
+                    const index_t row =
+                        r + static_cast<index_t>(gc.p()) * (k % 16);
+                    ASSERT_TRUE(q.push(
+                        {OpKind::Add,
+                         {row, static_cast<index_t>(rng() % 96),
+                          1.0 + static_cast<double>(k % 7)}}));
+                }
+                engine.pump();
+            }
+            q.close();
+            engine.run();
+            EXPECT_GE(engine.stats().applied_epochs, 2u);
+            finals[static_cast<std::size_t>(comm.rank())] =
+                test::as_map(A.gather_global());
+        });
+        return std::pair(std::move(wals), std::move(finals));
+    };
+    auto [wal_inline, final_inline] = run_one(false);
+    auto [wal_overlap, final_overlap] = run_one(true);
+    EXPECT_EQ(final_inline, final_overlap);
+    ASSERT_EQ(wal_inline.size(), wal_overlap.size());
+    for (std::size_t r = 0; r < wal_inline.size(); ++r) {
+        ASSERT_EQ(wal_inline[r].size(), wal_overlap[r].size()) << "rank " << r;
+        for (std::size_t e = 0; e < wal_inline[r].size(); ++e) {
+            const auto& a = wal_inline[r][e];
+            const auto& b = wal_overlap[r][e];
+            EXPECT_EQ(a.version, b.version);
+            auto tuples_equal = [](const std::vector<Triple<double>>& x,
+                                   const std::vector<Triple<double>>& y) {
+                if (x.size() != y.size()) return false;
+                for (std::size_t i = 0; i < x.size(); ++i)
+                    if (x[i].row != y[i].row || x[i].col != y[i].col ||
+                        x[i].value != y[i].value)
+                        return false;
+                return true;
+            };
+            EXPECT_TRUE(tuples_equal(a.adds, b.adds));
+            EXPECT_TRUE(tuples_equal(a.merges, b.merges));
+            EXPECT_TRUE(tuples_equal(a.masks, b.masks));
+        }
+    }
+}
+
+// Streaming the same ops through engines in sync and async comm mode must
+// produce bit-identical matrices: the async build path posts the same
+// exchange and applies in the same order.
+TEST_P(EpochEngineG, AsyncCommIsBitIdenticalToSync) {
+    const GridCase gc = GetParam();
+    auto run_one = [&](par::CommMode mode) {
+        CoordMap out;
+        par::run_world(gc.p(), [&](par::Comm& comm) {
+            core::ProcessGrid grid = dsg::test::make_grid(comm, gc);
+            const index_t n = 128;
+            core::DistDynamicMatrix<double> A(grid, n, n);
+            stream::EngineConfig cfg;
+            cfg.comm_mode = mode;
+            cfg.epoch_batch = 64;
+            cfg.epoch_deadline = std::chrono::milliseconds(1);
+            Engine engine(A, cfg);
+            auto& q = engine.queue();
+            std::mt19937_64 rng(8'000 + static_cast<std::uint64_t>(comm.rank()));
+            for (int k = 0; k < 400; ++k)
+                ASSERT_TRUE(q.push(
+                    {OpKind::Add,
+                     {static_cast<index_t>(rng() % 128),
+                      static_cast<index_t>(rng() % 128),
+                      static_cast<double>(rng() % 97) / 8.0}}));
+            q.close();
+            engine.run();
+            auto global = A.gather_global();  // collective: all ranks call
+            if (comm.rank() == 0) out = test::as_map(global);
+            comm.barrier();
+        });
+        return out;
+    };
+    EXPECT_EQ(run_one(par::CommMode::Sync), run_one(par::CommMode::Async));
+}
+
+INSTANTIATE_TEST_SUITE_P(GridShapes, EpochEngineG,
+                         ::testing::ValuesIn(dsg::test::grid_shape_cases()),
+                         dsg::test::grid_case_name);
+
+// Acceptance: all nine workload scenarios produce a bit-identical matrix in
+// sync and async comm mode, on a rectangular 2x3 grid. Epoch boundaries are
+// pinned (chunked pushes with a pump per chunk — the queue drains whole) so
+// both runs apply the identical epoch sequence; any divergence is then the
+// comm schedule's fault alone.
+TEST(EpochEngine, AsyncMatchesSyncOnEveryScenario) {
+    const GridCase gc{2, 3};
+    for (auto scenario : stream::all_scenarios()) {
+        auto run_one = [&](par::CommMode mode) {
+            CoordMap out;
+            par::run_world(gc.p(), [&](par::Comm& comm) {
+                core::ProcessGrid grid = dsg::test::make_grid(comm, gc);
+                const index_t n = 128;
+                core::DistDynamicMatrix<double> A(grid, n, n);
+
+                // Deterministic op stream: every scenario yields exactly
+                // wl.writes write events per producer.
+                stream::WorkloadConfig wl;
+                wl.scenario = scenario;
+                wl.n = n;
+                wl.writes = 600;
+                wl.seed = 40 + static_cast<std::uint64_t>(comm.rank());
+                std::vector<StreamOp<double>> ops;
+                stream::WorkloadProducer source(wl, 0);
+                while (auto ev = source.next())
+                    if (ev->type == stream::Event::Type::Write)
+                        ops.push_back(ev->op);
+                ASSERT_EQ(ops.size(), wl.writes);
+
+                stream::EngineConfig cfg;
+                cfg.comm_mode = mode;
+                cfg.epoch_batch = 64;
+                cfg.epoch_deadline = std::chrono::milliseconds(1);
+                Engine engine(A, cfg);
+                auto& q = engine.queue();
+                std::size_t fed = 0;
+                while (fed < ops.size()) {
+                    const std::size_t end =
+                        std::min(fed + 100, ops.size());
+                    for (; fed < end; ++fed) ASSERT_TRUE(q.push(ops[fed]));
+                    engine.pump();  // collective
+                }
+                q.close();
+                engine.run();
+
+                auto global = A.gather_global();  // collective: all ranks
+                if (comm.rank() == 0) out = test::as_map(global);
+                comm.barrier();
+            });
+            return out;
+        };
+        EXPECT_EQ(run_one(par::CommMode::Sync), run_one(par::CommMode::Async))
+            << stream::scenario_name(scenario);
+    }
 }
 
 }  // namespace
