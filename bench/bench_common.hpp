@@ -25,6 +25,8 @@
 
 #include "core/update_ops.hpp"
 #include "graph/generators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/mirrors.hpp"
 #include "par/comm.hpp"
 #include "par/profiler.hpp"
 
@@ -87,6 +89,11 @@ public:
     JsonRecord& field(const char* key, I value) {
         return raw(key, std::to_string(value));
     }
+    /// Embeds a pre-rendered JSON object (e.g. a metrics snapshot) verbatim
+    /// under `key`. The caller is responsible for its validity.
+    JsonRecord& object(const char* key, const std::string& json) {
+        return raw(key, json);
+    }
 
     [[nodiscard]] const std::string& body() const { return body_; }
 
@@ -144,16 +151,33 @@ inline JsonSink& json_sink() {
 inline bool json_enabled() { return !detail::json_sink().path.empty(); }
 
 /// Queues one record; thread-safe (benchmarks record from rank threads).
+/// Every record is extended with a "metrics" key holding the global
+/// observability-registry snapshot at record time (counters, gauges,
+/// histogram quantiles) — the schema documented in docs/BENCHMARKS.md.
 inline void json_record(const JsonRecord& rec) {
     auto& sink = detail::json_sink();
     if (sink.path.empty()) return;
+    std::string body = rec.body();
+    body += ", \"metrics\": ";
+    body += obs::registry().snapshot().to_json_object();
     std::lock_guard lock(sink.mx);
-    sink.rows.push_back(rec.body());
+    sink.rows.push_back(std::move(body));
 }
 
 /// Rewrites the output file with everything recorded so far (also done
 /// automatically at process exit).
 inline void json_flush() { detail::json_sink().flush(); }
+
+/// json_record(), but refreshing the comm_* mirror gauges from `comm`
+/// first so the embedded metrics block carries current communication
+/// volumes (the registry cannot pull CommStats itself — see
+/// obs/mirrors.hpp).
+inline void json_record_with_metrics(const JsonRecord& rec,
+                                     par::Comm* comm = nullptr) {
+    if (!json_enabled()) return;
+    if (comm != nullptr) obs::publish_comm_stats(comm->stats().snapshot());
+    json_record(rec);
+}
 
 /// A Table-I instance and its synthetic stand-in.
 struct Instance {

@@ -168,6 +168,53 @@ int main() {
             "%d cells\n(>1 means posting stage k+1's exchange while applying "
             "stage k pays off)\n",
             gain_sum / gain_count, gain_count);
+
+    // -----------------------------------------------------------------------
+    // Metrics overhead gate: one representative cell, instruments recording
+    // vs runtime-disabled (every record path reduced to a single relaxed
+    // load — the same contrast the -DDSG_OBS_NOOP compile-out build gives,
+    // without needing a second binary). Reported in the same paired style as
+    // the sync/async column above; the budget is 2%.
+    {
+        const auto scenario = stream::Scenario::SustainedUniform;
+        constexpr std::size_t kGateBatch = 4096;
+        const auto best_ops = [&](bool instruments_on) {
+            obs::set_enabled(instruments_on);
+            double best = 0;
+            for (int rep = 0; rep < 3; ++rep)
+                best = std::max(
+                    best,
+                    run_cell(scenario, kGateBatch, par::CommMode::Sync)
+                        .ops_per_s);
+            obs::set_enabled(true);
+            return best;
+        };
+        (void)run_cell(scenario, kGateBatch, par::CommMode::Sync);  // warm-up
+        const double ops_off = best_ops(false);
+        const double ops_on = best_ops(true);
+        const double ratio = ops_off > 0 ? ops_on / ops_off : 1.0;
+        const bool within = ratio >= 0.98;
+        std::printf(
+            "\nmetrics overhead gate (%s, batch %zu, sync, best of 3)%s:\n",
+            stream::scenario_name(scenario), kGateBatch,
+            obs::compiled_noop() ? " [DSG_OBS_NOOP build]" : "");
+        std::printf("%-22s %10s\n", "instruments", "ops/s");
+        std::printf("%-22s %10.0f\n", "disabled", ops_off);
+        std::printf("%-22s %10.0f\n", "recording", ops_on);
+        std::printf(
+            "recording throughput is %.3fx disabled — %s the 2%% budget\n",
+            ratio, within ? "within" : "OUTSIDE");
+        JsonRecord rec("bench_stream_throughput_obs_gate");
+        rec.field("scenario", stream::scenario_name(scenario))
+            .field("epoch_batch", kGateBatch)
+            .field("ops_per_s_disabled", ops_off)
+            .field("ops_per_s_recording", ops_on)
+            .field("ratio", ratio)
+            .field("within_gate", within ? 1 : 0)
+            .field("compiled_noop", obs::compiled_noop() ? 1 : 0);
+        json_record_with_metrics(std::move(rec));
+    }
+
     if (json_enabled()) json_flush();
     return 0;
 }

@@ -49,6 +49,10 @@
 #include "analytics/maintainer.hpp"
 #include "core/update_ops.hpp"
 #include "graph/generators.hpp"
+#include "obs/exporter.hpp"
+#include "obs/metrics.hpp"
+#include "obs/mirrors.hpp"
+#include "obs/trace.hpp"
 #include "par/comm.hpp"
 #include "par/profiler.hpp"
 #include "persist/durability.hpp"
@@ -423,6 +427,9 @@ void run_serving(par::Comm& comm, core::ProcessGrid& grid,
 
 int main(int argc, char** argv) {
     std::string checkpoint_dir;
+    std::string metrics_out;
+    std::string trace_out;
+    long metrics_interval = 1'000;  // ms
     bool restore = false;
     bool serve_queries = false;
     double query_rate = 2'000;  // queries/s per producer thread
@@ -448,10 +455,31 @@ int main(int argc, char** argv) {
         } else if (std::strncmp(arg, "--writes=", 9) == 0) {
             writes = static_cast<std::size_t>(
                 std::strtoull(arg + 9, nullptr, 10));
+        } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+            metrics_out = arg + 14;
+            if (metrics_out.empty()) {
+                std::fprintf(stderr, "--metrics-out needs a value\n");
+                return 2;
+            }
+        } else if (std::strncmp(arg, "--metrics-interval=", 19) == 0) {
+            metrics_interval = std::strtol(arg + 19, nullptr, 10);
+            if (metrics_interval <= 0) {
+                std::fprintf(stderr,
+                             "--metrics-interval needs a value > 0 (ms)\n");
+                return 2;
+            }
+        } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+            trace_out = arg + 12;
+            if (trace_out.empty()) {
+                std::fprintf(stderr, "--trace-out needs a value\n");
+                return 2;
+            }
         } else {
             std::fprintf(stderr,
                          "usage: %s [--checkpoint-dir=DIR [--restore] "
-                         "[--writes=N]] [--serve-queries [--query-rate=N]]\n",
+                         "[--writes=N]] [--serve-queries [--query-rate=N]] "
+                         "[--metrics-out=FILE [--metrics-interval=MS]] "
+                         "[--trace-out=FILE]\n",
                          argv[0]);
             return 2;
         }
@@ -460,6 +488,30 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--restore requires --checkpoint-dir=DIR\n");
         return 2;
     }
+
+    // Observability sidecars: a periodic exporter snapshotting the global
+    // registry (JSONL or Prometheus by extension — SIGKILL-survivable in
+    // JSONL, which the crash-recovery CI drill relies on) and the epoch-
+    // tagged span trace written as Chrome trace JSON on exit.
+    if (!trace_out.empty()) par::Profiler::set_trace_enabled(true);
+    std::unique_ptr<obs::MetricsExporter> exporter;
+    if (!metrics_out.empty()) {
+        obs::MetricsExporter::Config mcfg;
+        mcfg.path = metrics_out;
+        mcfg.interval_ms = metrics_interval;
+        mcfg.format = obs::format_for_path(metrics_out);
+        exporter = std::make_unique<obs::MetricsExporter>(obs::registry(),
+                                                          std::move(mcfg));
+    }
+    const auto finish_observability = [&] {
+        if (exporter) exporter->stop();
+        if (trace_out.empty()) return;
+        if (obs::write_chrome_trace(trace_out))
+            std::printf("trace written to %s\n", trace_out.c_str());
+        else
+            std::fprintf(stderr, "cannot write trace to %s\n",
+                         trace_out.c_str());
+    };
 
     if (serve_queries) {
         // The serving tier is process-wide: one store, one cache, one
@@ -481,36 +533,17 @@ int main(int argc, char** argv) {
             core::ProcessGrid grid(comm);
             run_serving(comm, grid, store, executor, checkpoint_dir, restore,
                         serve_writes, query_rate);
+            if (comm.rank() == 0)
+                obs::publish_comm_stats(comm.stats().snapshot());
         });
         executor.stop();
 
-        std::printf("  %-14s %10s %8s %8s %8s %8s %10s\n", "query class",
-                    "submitted", "ok", "hits", "shed", "expired", "mean us");
-        for (const auto kind :
-             {serve::QueryKind::EdgeExists, serve::QueryKind::Degree,
-              serve::QueryKind::KHop, serve::QueryKind::AnalyticsRead}) {
-            const auto s = executor.stats(kind);
-            std::printf("  %-14s %10llu %8llu %8llu %8llu %8llu %10.2f\n",
-                        serve::query_kind_name(kind),
-                        static_cast<unsigned long long>(s.submitted),
-                        static_cast<unsigned long long>(s.ok),
-                        static_cast<unsigned long long>(s.cache_hits),
-                        static_cast<unsigned long long>(s.shed),
-                        static_cast<unsigned long long>(s.expired),
-                        s.mean_us());
-        }
-        const auto cs = cache.stats();
-        std::printf(
-            "  cache: %llu hits / %llu lookups (%.0f%%), %llu invalidated "
-            "by version retire\n",
-            static_cast<unsigned long long>(cs.hits),
-            static_cast<unsigned long long>(cs.hits + cs.misses),
-            cs.hits + cs.misses > 0
-                ? 100.0 * static_cast<double>(cs.hits) /
-                      static_cast<double>(cs.hits + cs.misses)
-                : 0.0,
-            static_cast<unsigned long long>(cs.invalidated));
+        // The final readout IS the registry: per-class serve_query_ns
+        // quantiles (p50/p99/p999 in ms), cache counters, stream/persist
+        // instruments — one rendering instead of a hand-rolled table.
+        std::fputs(obs::registry().snapshot().to_text().c_str(), stdout);
         std::printf("serving run OK\n");
+        finish_observability();
         return 0;
     }
 
@@ -519,7 +552,10 @@ int main(int argc, char** argv) {
             core::ProcessGrid grid(comm);
             run_durable(comm, grid, checkpoint_dir, restore,
                         writes > 0 ? writes : 20'000);
+            if (comm.rank() == 0)
+                obs::publish_comm_stats(comm.stats().snapshot());
         });
+        finish_observability();
         return 0;
     }
 
@@ -564,7 +600,11 @@ int main(int argc, char** argv) {
                             std::string(par::phase_name(ph)).c_str(),
                             par::Profiler::total_seconds(ph) * 1e3);
             }
+            obs::publish_comm_stats(comm.stats().snapshot());
+            std::printf("\n%s",
+                        obs::registry().snapshot().to_text().c_str());
         }
     });
+    finish_observability();
     return 0;
 }

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Validates a --trace-out file (Chrome trace-event JSON) and, optionally,
+a --metrics-out JSONL file, as produced by the observability layer
+(src/obs/). Run in CI after a short instrumented example run:
+
+    scripts/check-trace.py trace.json [--metrics metrics.jsonl]
+                           [--min-events N] [--min-snapshots N]
+
+Checks on the trace:
+  - the file is one JSON object with a "traceEvents" list;
+  - every event is a complete event (ph "X") carrying name/ts/dur/pid/tid
+    and an args object with integer epoch and rank tags;
+  - timestamps and durations are finite and non-negative, and within each
+    (pid, tid) track the start timestamps are monotone non-decreasing
+    (the exporter sorts spans; a violation means ring corruption);
+  - pid == rank + 1 (rank -1 spans group under pid 0);
+  - otherData.dropped_spans is a non-negative integer.
+
+Checks on the metrics JSONL:
+  - every line parses as a standalone JSON object with an integer ts_ms and
+    counters/gauges/histograms objects (so a SIGKILL-interrupted file still
+    validates line by line);
+  - ts_ms is monotone non-decreasing across lines;
+  - histogram entries carry count/mean/p50/p90/p99/p999/max.
+"""
+import argparse
+import json
+import math
+import sys
+
+
+def fail(msg):
+    print(f"check-trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_number(value, what, allow_float=True):
+    if isinstance(value, bool) or not isinstance(
+            value, (int, float) if allow_float else int):
+        fail(f"{what} is not a number: {value!r}")
+    if isinstance(value, float) and not math.isfinite(value):
+        fail(f"{what} is not finite: {value!r}")
+    return value
+
+
+def check_trace(path, min_events):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"{path}: {exc}")
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level is not an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(f"{path}: no traceEvents list")
+    if len(events) < min_events:
+        fail(f"{path}: {len(events)} events, expected >= {min_events}")
+
+    last_ts = {}  # (pid, tid) -> last start ts
+    for k, ev in enumerate(events):
+        where = f"{path}: event {k}"
+        if not isinstance(ev, dict):
+            fail(f"{where} is not an object")
+        for key in ("name", "ph", "ts", "dur", "pid", "tid", "args"):
+            if key not in ev:
+                fail(f"{where} missing '{key}'")
+        if ev["ph"] != "X":
+            fail(f"{where}: ph is {ev['ph']!r}, expected 'X'")
+        if not isinstance(ev["name"], str) or not ev["name"]:
+            fail(f"{where}: empty or non-string name")
+        ts = check_number(ev["ts"], f"{where}: ts")
+        dur = check_number(ev["dur"], f"{where}: dur")
+        if ts < 0:
+            fail(f"{where}: negative ts {ts}")
+        if dur < 0:
+            fail(f"{where}: negative dur {dur}")
+        args = ev["args"]
+        if not isinstance(args, dict):
+            fail(f"{where}: args is not an object")
+        for key in ("epoch", "rank"):
+            if key not in args:
+                fail(f"{where}: args missing '{key}'")
+            check_number(args[key], f"{where}: args.{key}",
+                         allow_float=False)
+        pid = check_number(ev["pid"], f"{where}: pid", allow_float=False)
+        if pid != args["rank"] + 1:
+            fail(f"{where}: pid {pid} != rank {args['rank']} + 1")
+        track = (pid, ev["tid"])
+        if track in last_ts and ts < last_ts[track]:
+            fail(f"{where}: ts {ts} goes backwards on track {track} "
+                 f"(previous {last_ts[track]})")
+        last_ts[track] = ts
+
+    other = doc.get("otherData", {})
+    dropped = other.get("dropped_spans")
+    if not isinstance(dropped, int) or isinstance(dropped, bool) or dropped < 0:
+        fail(f"{path}: otherData.dropped_spans is {dropped!r}")
+    print(f"check-trace: {path}: {len(events)} events on "
+          f"{len(last_ts)} tracks, {dropped} dropped — OK")
+
+
+def check_metrics(path, min_snapshots):
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = [ln for ln in f.read().splitlines() if ln.strip()]
+    except OSError as exc:
+        fail(f"{path}: {exc}")
+    if len(lines) < min_snapshots:
+        fail(f"{path}: {len(lines)} snapshots, expected >= {min_snapshots}")
+    prev_ts = None
+    for k, line in enumerate(lines):
+        where = f"{path}: line {k + 1}"
+        try:
+            snap = json.loads(line)
+        except json.JSONDecodeError as exc:
+            fail(f"{where}: {exc}")
+        if not isinstance(snap, dict):
+            fail(f"{where}: not an object")
+        ts = snap.get("ts_ms")
+        if not isinstance(ts, int) or isinstance(ts, bool):
+            fail(f"{where}: ts_ms is {ts!r}")
+        if prev_ts is not None and ts < prev_ts:
+            fail(f"{where}: ts_ms {ts} goes backwards (previous {prev_ts})")
+        prev_ts = ts
+        for section in ("counters", "gauges", "histograms"):
+            if not isinstance(snap.get(section), dict):
+                fail(f"{where}: '{section}' is not an object")
+        for name, hist in snap["histograms"].items():
+            for key in ("count", "mean", "p50", "p90", "p99", "p999", "max"):
+                if key not in hist:
+                    fail(f"{where}: histogram {name!r} missing '{key}'")
+                check_number(hist[key], f"{where}: {name}.{key}")
+    print(f"check-trace: {path}: {len(lines)} metrics snapshots — OK")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="Chrome trace JSON from --trace-out")
+    ap.add_argument("--metrics", help="metrics JSONL from --metrics-out")
+    ap.add_argument("--min-events", type=int, default=1,
+                    help="minimum traceEvents required (default 1)")
+    ap.add_argument("--min-snapshots", type=int, default=1,
+                    help="minimum metrics lines required (default 1)")
+    args = ap.parse_args()
+    check_trace(args.trace, args.min_events)
+    if args.metrics:
+        check_metrics(args.metrics, args.min_snapshots)
+    print("check-trace: PASSED")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,8 +23,12 @@ dir=$(mktemp -d)
 log=$(mktemp)
 trap 'rm -rf "$dir" "$log"' EXIT
 
-# 1. A run sized to take far longer than the kill delay.
-"$bin" --checkpoint-dir="$dir" --writes=500000 >"$log" 2>&1 &
+# 1. A run sized to take far longer than the kill delay. The metrics
+#    exporter appends + flushes one JSONL snapshot per tick, so the file
+#    must survive the SIGKILL with parseable lines (asserted below).
+metrics="$dir/metrics.jsonl"
+"$bin" --checkpoint-dir="$dir" --writes=500000 \
+    --metrics-out="$metrics" --metrics-interval=200 >"$log" 2>&1 &
 pid=$!
 
 # 2. Let it stream long enough to cut at least one checkpoint + log tail,
@@ -47,6 +51,21 @@ if [[ ! -e "$dir/MANIFEST" ]]; then
 fi
 echo "killed pid $pid; durable state:"
 ls -l "$dir"
+
+# The SIGKILLed process must leave a metrics file whose final snapshot is
+# still parseable — the exporter's append-and-flush-per-tick contract.
+python3 - "$metrics" <<'EOF'
+import json, sys
+lines = [ln for ln in open(sys.argv[1]).read().splitlines() if ln.strip()]
+ok = 0
+for ln in lines:
+    snap = json.loads(ln)  # every flushed line must parse standalone
+    assert isinstance(snap.get("ts_ms"), int), "snapshot missing ts_ms"
+    assert isinstance(snap.get("counters"), dict), "snapshot missing counters"
+    ok += 1
+assert ok >= 1, "no metrics snapshot survived the SIGKILL"
+print(f"crash-recovery-test: {ok} metrics snapshots survived the kill")
+EOF
 
 # 3. Recovery + resumed run must succeed.
 out=$("$bin" --checkpoint-dir="$dir" --restore --writes=5000)

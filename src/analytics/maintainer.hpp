@@ -31,6 +31,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "par/buffer.hpp"
 #include "stream/epoch_engine.hpp"
 
@@ -93,17 +94,19 @@ public:
     /// seeding and typed reads.
     template <typename M, typename... Args>
     M& emplace(Args&&... args) {
-        auto owned = std::make_unique<M>(std::forward<Args>(args)...);
-        M& ref = *owned;
-        maintainers_.push_back(std::move(owned));
-        stats_.emplace_back();
-        return ref;
+        return static_cast<M&>(
+            add(std::make_unique<M>(std::forward<Args>(args)...)));
     }
 
     /// Registers an externally constructed maintainer.
     Maintainer<T>& add(std::unique_ptr<Maintainer<T>> m) {
         maintainers_.push_back(std::move(m));
         stats_.emplace_back();
+        // Per-maintainer epoch latency, merged across ranks (on_epoch is
+        // collective). Fetched here, once per registration.
+        obs_epoch_ns_.push_back(&obs::registry().histogram(
+            "analytics_epoch_ns",
+            {{"maintainer", std::string(maintainers_.back()->name())}}));
         return *maintainers_.back();
     }
 
@@ -133,6 +136,7 @@ public:
             ++stats_[k].epochs;
             stats_[k].total_ms += ms;
             stats_[k].max_ms = std::max(stats_[k].max_ms, ms);
+            obs_epoch_ns_[k]->record_ms(ms);
         }
     }
 
@@ -204,6 +208,8 @@ public:
 private:
     std::vector<std::unique_ptr<Maintainer<T>>> maintainers_;
     std::vector<MaintainerStats> stats_;
+    // Parallel to maintainers_: registry instruments (fetched in add()).
+    std::vector<obs::Histogram*> obs_epoch_ns_;
 };
 
 }  // namespace dsg::analytics

@@ -6,8 +6,8 @@
 // (dsg::sparse), the distributed core (dsg::core — the paper's
 // contribution), the streaming ingestion engine (dsg::stream), the live
 // analytics layer (dsg::analytics), the durability layer (dsg::persist),
-// the query serving layer (dsg::serve), the competitor baselines
-// (dsg::baseline)
+// the query serving layer (dsg::serve), the observability layer (dsg::obs),
+// the competitor baselines (dsg::baseline)
 // and the graph layer (dsg::graph). Individual headers remain includable on
 // their own;
 // see README.md for the module map and docs/ARCHITECTURE.md for the design
@@ -55,6 +55,11 @@
 #include "serve/query_executor.hpp"
 #include "serve/result_cache.hpp"
 #include "serve/snapshot_store.hpp"
+
+#include "obs/exporter.hpp"
+#include "obs/metrics.hpp"
+#include "obs/mirrors.hpp"
+#include "obs/trace.hpp"
 
 #include "baseline/static_rebuild.hpp"
 

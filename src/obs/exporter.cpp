@@ -1,0 +1,89 @@
+#include "obs/exporter.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+
+namespace dsg::obs {
+
+namespace {
+
+// Shared stop signalling: exporters are few and short-lived, so one global
+// CV (woken broadcast on any stop) keeps the class trivially movable-free.
+std::mutex g_stop_mx;
+std::condition_variable g_stop_cv;
+
+}  // namespace
+
+ExportFormat format_for_path(const std::string& path) {
+    const auto dot = path.rfind('.');
+    const std::string ext = dot == std::string::npos ? "" : path.substr(dot);
+    if (ext == ".prom" || ext == ".prometheus" || ext == ".txt")
+        return ExportFormat::Prometheus;
+    return ExportFormat::Jsonl;
+}
+
+MetricsExporter::MetricsExporter(Registry& reg, Config cfg)
+    : reg_(reg), cfg_(std::move(cfg)) {
+    if (cfg_.path.empty()) return;
+    // Truncate up front so every run's file starts fresh in both formats.
+    if (std::FILE* f = std::fopen(cfg_.path.c_str(), "w")) std::fclose(f);
+    thread_ = std::thread([this] { run(); });
+}
+
+MetricsExporter::~MetricsExporter() { stop(); }
+
+void MetricsExporter::stop() {
+    {
+        std::lock_guard lock(g_stop_mx);
+        if (stop_.exchange(true)) return;  // the first stop() owns the join
+    }
+    g_stop_cv.notify_all();
+    if (thread_.joinable()) thread_.join();
+    if (!cfg_.path.empty()) write_snapshot();  // the final record
+}
+
+void MetricsExporter::write_now() {
+    if (!cfg_.path.empty()) write_snapshot();
+}
+
+void MetricsExporter::run() {
+    const auto interval = std::chrono::milliseconds(
+        cfg_.interval_ms > 0 ? cfg_.interval_ms : 1000);
+    std::unique_lock lock(g_stop_mx);
+    while (!stop_.load(std::memory_order_relaxed)) {
+        g_stop_cv.wait_for(lock, interval, [this] {
+            return stop_.load(std::memory_order_relaxed);
+        });
+        if (stop_.load(std::memory_order_relaxed)) break;
+        lock.unlock();
+        write_snapshot();
+        lock.lock();
+    }
+}
+
+void MetricsExporter::write_snapshot() {
+    if (cfg_.on_snapshot) cfg_.on_snapshot();
+    const MetricsSnapshot snap = reg_.snapshot();
+    // Serialize concurrent writers (exporter thread vs stop()'s final write).
+    std::lock_guard lock(write_mx_);
+    if (cfg_.format == ExportFormat::Jsonl) {
+        // Append + flush per tick: a SIGKILL between ticks leaves every
+        // previously written line complete on disk.
+        if (std::FILE* f = std::fopen(cfg_.path.c_str(), "a")) {
+            const std::string line = snap.to_jsonl();
+            std::fwrite(line.data(), 1, line.size(), f);
+            std::fflush(f);
+            std::fclose(f);
+        }
+    } else {
+        if (std::FILE* f = std::fopen(cfg_.path.c_str(), "w")) {
+            const std::string text = snap.to_prometheus();
+            std::fwrite(text.data(), 1, text.size(), f);
+            std::fclose(f);
+        }
+    }
+    ticks_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace dsg::obs

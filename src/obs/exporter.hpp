@@ -1,0 +1,71 @@
+// Periodic metrics exporter: a background thread snapshotting a Registry at
+// a fixed interval and writing the rendering to a file.
+//
+// Two formats:
+//  - Jsonl: one snapshot per line, appended and flushed every tick so a
+//    SIGKILL mid-run still leaves a parseable final line on disk (the
+//    crash-recovery CI drill asserts exactly that);
+//  - Prometheus: text exposition, whole file rewritten each tick (the shape
+//    a node_exporter-style textfile collector scrapes).
+//
+// An optional on_snapshot callback runs on the exporter thread just before
+// each snapshot is taken — the hook subsystems use to push stats the
+// registry can't pull itself (see obs/mirrors.hpp for par::CommStats).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace dsg::obs {
+
+enum class ExportFormat { Jsonl, Prometheus };
+
+/// Owns the export thread; stop() (or destruction) joins it after writing
+/// one final snapshot, so short runs always produce at least one record.
+class MetricsExporter {
+public:
+    struct Config {
+        std::string path;                  ///< output file (empty = disabled)
+        std::int64_t interval_ms = 1000;   ///< tick period
+        ExportFormat format = ExportFormat::Jsonl;
+        /// Runs on the exporter thread immediately before every snapshot.
+        std::function<void()> on_snapshot;
+    };
+
+    explicit MetricsExporter(Registry& reg, Config cfg);
+    ~MetricsExporter();
+
+    MetricsExporter(const MetricsExporter&) = delete;
+    MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+    /// Writes the final snapshot and joins the thread. Idempotent.
+    void stop();
+
+    /// Snapshots and writes immediately, on the calling thread.
+    void write_now();
+
+    [[nodiscard]] std::uint64_t ticks() const {
+        return ticks_.load(std::memory_order_relaxed);
+    }
+
+private:
+    void run();
+    void write_snapshot();
+
+    Registry& reg_;
+    Config cfg_;
+    std::atomic<bool> stop_{false};
+    std::atomic<std::uint64_t> ticks_{0};
+    std::mutex write_mx_;
+    std::thread thread_;
+};
+
+/// Infers the format from the file name: .prom / .prometheus / .txt write
+/// Prometheus text exposition, everything else JSONL.
+[[nodiscard]] ExportFormat format_for_path(const std::string& path);
+
+}  // namespace dsg::obs

@@ -1,0 +1,357 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace dsg::obs {
+
+namespace {
+
+/// Round-robin shard assignment: consecutive recording threads take
+/// consecutive shards, so up to kShards threads never contend at all.
+std::atomic<std::size_t> g_next_shard{0};
+
+std::string render_key(std::string_view name, const Labels& labels) {
+    std::string key(name);
+    if (!labels.empty()) {
+        Labels sorted = labels;
+        std::sort(sorted.begin(), sorted.end());
+        key += '{';
+        for (std::size_t k = 0; k < sorted.size(); ++k) {
+            if (k > 0) key += ',';
+            key += sorted[k].first;
+            key += '=';
+            key += sorted[k].second;
+        }
+        key += '}';
+    }
+    return key;
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+    for (const char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(c));
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+}
+
+void append_number(std::string& out, double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    out += buf;
+}
+
+void append_hist_json(std::string& out, const HistogramSummary& h) {
+    out += "{\"count\": " + std::to_string(h.count) + ", \"mean\": ";
+    append_number(out, h.mean);
+    out += ", \"p50\": ";
+    append_number(out, h.p50);
+    out += ", \"p90\": ";
+    append_number(out, h.p90);
+    out += ", \"p99\": ";
+    append_number(out, h.p99);
+    out += ", \"p999\": ";
+    append_number(out, h.p999);
+    out += ", \"max\": ";
+    append_number(out, h.max);
+    out += "}";
+}
+
+/// Splits "name{k=v,k2=v2}" into the Prometheus-safe name and rendered
+/// label pairs 'k="v",k2="v2"'.
+std::pair<std::string, std::string> prom_parts(const std::string& key) {
+    const auto brace = key.find('{');
+    if (brace == std::string::npos) return {key, ""};
+    std::string name = key.substr(0, brace);
+    std::string inner = key.substr(brace + 1, key.size() - brace - 2);
+    std::string rendered;
+    std::size_t pos = 0;
+    while (pos < inner.size()) {
+        auto comma = inner.find(',', pos);
+        if (comma == std::string::npos) comma = inner.size();
+        const std::string pair = inner.substr(pos, comma - pos);
+        const auto eq = pair.find('=');
+        if (!rendered.empty()) rendered += ',';
+        if (eq == std::string::npos) {
+            rendered += pair + "=\"\"";
+        } else {
+            rendered += pair.substr(0, eq) + "=\"" + pair.substr(eq + 1) +
+                        "\"";
+        }
+        pos = comma + 1;
+    }
+    return {std::move(name), std::move(rendered)};
+}
+
+void prom_line(std::string& out, const std::string& name,
+               const std::string& labels, const char* extra_label,
+               double value) {
+    out += name;
+    if (!labels.empty() || extra_label != nullptr) {
+        out += '{';
+        out += labels;
+        if (extra_label != nullptr) {
+            if (!labels.empty()) out += ',';
+            out += extra_label;
+        }
+        out += '}';
+    }
+    out += ' ';
+    append_number(out, value);
+    out += '\n';
+}
+
+/// True when the instrument's name part carries the _ns unit suffix (its
+/// labels, if any, start at '{').
+bool is_ns(const std::string& key) {
+    const auto brace = key.find('{');
+    const std::string_view name =
+        brace == std::string::npos
+            ? std::string_view(key)
+            : std::string_view(key).substr(0, brace);
+    return name.size() > 3 && name.substr(name.size() - 3) == "_ns";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+std::size_t Histogram::shard_index() {
+    thread_local const std::size_t idx =
+        g_next_shard.fetch_add(1, std::memory_order_relaxed) % kShards;
+    return idx;
+}
+
+Histogram::Reading Histogram::read() const {
+    Reading r;
+    // Buckets first, aggregates second: both only grow, so the bucket sum
+    // can exceed the aggregate count read earlier — never undershoot it.
+    // Reading in this order and RE-deriving count from the buckets keeps
+    // count == sum(buckets) invariant for every reading.
+    for (const Shard& s : shards_) {
+        for (std::size_t b = 0; b < kBuckets; ++b)
+            r.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+        r.sum += s.sum.load(std::memory_order_relaxed);
+    }
+    for (const std::uint64_t b : r.buckets) r.count += b;
+    return r;
+}
+
+double Histogram::Reading::quantile(double q) const {
+    if (count == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto target = static_cast<std::uint64_t>(
+        std::max<double>(1.0, q * static_cast<double>(count) + 0.5));
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+        cum += buckets[b];
+        if (cum >= target) return static_cast<double>(bucket_upper(b));
+    }
+    return static_cast<double>(bucket_upper(kBuckets - 1));
+}
+
+HistogramSummary Histogram::Reading::summary() const {
+    HistogramSummary s;
+    s.count = count;
+    s.mean = mean();
+    s.p50 = quantile(0.50);
+    s.p90 = quantile(0.90);
+    s.p99 = quantile(0.99);
+    s.p999 = quantile(0.999);
+    for (std::size_t b = kBuckets; b-- > 0;) {
+        if (buckets[b] > 0) {
+            s.max = static_cast<double>(bucket_upper(b));
+            break;
+        }
+    }
+    return s;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+Counter& Registry::counter(std::string_view name, const Labels& labels) {
+    const std::string key = render_key(name, labels);
+    std::lock_guard lock(mx_);
+    auto& slot = counters_[key];
+    if (!slot) slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge& Registry::gauge(std::string_view name, const Labels& labels) {
+    const std::string key = render_key(name, labels);
+    std::lock_guard lock(mx_);
+    auto& slot = gauges_[key];
+    if (!slot) slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram& Registry::histogram(std::string_view name, const Labels& labels) {
+    const std::string key = render_key(name, labels);
+    std::lock_guard lock(mx_);
+    auto& slot = histograms_[key];
+    if (!slot) slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+void Registry::set_callback(std::string_view name, const Labels& labels,
+                            std::function<double()> fn) {
+    const std::string key = render_key(name, labels);
+    std::lock_guard lock(mx_);
+    callbacks_[key] = std::move(fn);
+}
+
+void Registry::remove_callback(std::string_view name, const Labels& labels) {
+    const std::string key = render_key(name, labels);
+    std::lock_guard lock(mx_);
+    callbacks_.erase(key);
+}
+
+MetricsSnapshot Registry::snapshot() const {
+    MetricsSnapshot snap;
+    snap.ts_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::system_clock::now().time_since_epoch())
+                     .count();
+    // Callbacks are copied out and evaluated OUTSIDE the registry lock — a
+    // callback that itself touches the registry must not deadlock.
+    std::vector<std::pair<std::string, std::function<double()>>> callbacks;
+    {
+        std::lock_guard lock(mx_);
+        snap.counters.reserve(counters_.size());
+        for (const auto& [key, c] : counters_)
+            snap.counters.emplace_back(key, c->value());
+        snap.gauges.reserve(gauges_.size() + callbacks_.size());
+        for (const auto& [key, g] : gauges_)
+            snap.gauges.emplace_back(key, static_cast<double>(g->value()));
+        snap.histograms.reserve(histograms_.size());
+        for (const auto& [key, h] : histograms_)
+            snap.histograms.emplace_back(key, h->read().summary());
+        callbacks.reserve(callbacks_.size());
+        for (const auto& [key, fn] : callbacks_)
+            callbacks.emplace_back(key, fn);
+    }
+    for (const auto& [key, fn] : callbacks)
+        snap.gauges.emplace_back(key, fn());
+    std::sort(snap.gauges.begin(), snap.gauges.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return snap;
+}
+
+Registry& Registry::global() {
+    static Registry instance;
+    return instance;
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+std::string MetricsSnapshot::to_json_object() const {
+    std::string out = "{\"counters\": {";
+    for (std::size_t k = 0; k < counters.size(); ++k) {
+        if (k > 0) out += ", ";
+        out += '"';
+        append_escaped(out, counters[k].first);
+        out += "\": " + std::to_string(counters[k].second);
+    }
+    out += "}, \"gauges\": {";
+    for (std::size_t k = 0; k < gauges.size(); ++k) {
+        if (k > 0) out += ", ";
+        out += '"';
+        append_escaped(out, gauges[k].first);
+        out += "\": ";
+        append_number(out, gauges[k].second);
+    }
+    out += "}, \"histograms\": {";
+    for (std::size_t k = 0; k < histograms.size(); ++k) {
+        if (k > 0) out += ", ";
+        out += '"';
+        append_escaped(out, histograms[k].first);
+        out += "\": ";
+        append_hist_json(out, histograms[k].second);
+    }
+    out += "}}";
+    return out;
+}
+
+std::string MetricsSnapshot::to_jsonl() const {
+    std::string out = "{\"ts_ms\": " + std::to_string(ts_ms) + ", ";
+    const std::string body = to_json_object();
+    out += body.substr(1);  // splice the timestamp into the object
+    out += '\n';
+    return out;
+}
+
+std::string MetricsSnapshot::to_prometheus() const {
+    std::string out;
+    for (const auto& [key, value] : counters) {
+        const auto [name, labels] = prom_parts(key);
+        prom_line(out, name, labels, nullptr, static_cast<double>(value));
+    }
+    for (const auto& [key, value] : gauges) {
+        const auto [name, labels] = prom_parts(key);
+        prom_line(out, name, labels, nullptr, value);
+    }
+    for (const auto& [key, h] : histograms) {
+        const auto [name, labels] = prom_parts(key);
+        prom_line(out, name, labels, "quantile=\"0.5\"", h.p50);
+        prom_line(out, name, labels, "quantile=\"0.9\"", h.p90);
+        prom_line(out, name, labels, "quantile=\"0.99\"", h.p99);
+        prom_line(out, name, labels, "quantile=\"0.999\"", h.p999);
+        prom_line(out, name + "_count", labels, nullptr,
+                  static_cast<double>(h.count));
+        prom_line(out, name + "_max", labels, nullptr, h.max);
+    }
+    return out;
+}
+
+std::string MetricsSnapshot::to_text() const {
+    char buf[256];
+    std::string out = "metrics snapshot";
+    if (compiled_noop()) out += " (instruments compiled to no-ops)";
+    out += ":\n";
+    for (const auto& [key, value] : counters) {
+        std::snprintf(buf, sizeof buf, "  %-44s %14llu\n", key.c_str(),
+                      static_cast<unsigned long long>(value));
+        out += buf;
+    }
+    for (const auto& [key, value] : gauges) {
+        std::snprintf(buf, sizeof buf, "  %-44s %14.6g\n", key.c_str(),
+                      value);
+        out += buf;
+    }
+    if (!histograms.empty()) {
+        std::snprintf(buf, sizeof buf, "  %-44s %10s %10s %10s %10s %10s %10s\n",
+                      "histogram", "count", "mean", "p50", "p99", "p999",
+                      "max");
+        out += buf;
+    }
+    for (const auto& [key, h] : histograms) {
+        // Latency instruments (_ns) render in ms; everything else raw.
+        const double f = is_ns(key) ? 1e-6 : 1.0;
+        const char* unit = is_ns(key) ? " ms" : "";
+        std::snprintf(buf, sizeof buf,
+                      "  %-44s %10llu %9.3f%s %7.3f%s %7.3f%s %7.3f%s "
+                      "%7.3f%s\n",
+                      key.c_str(), static_cast<unsigned long long>(h.count),
+                      h.mean * f, unit, h.p50 * f, unit, h.p99 * f, unit,
+                      h.p999 * f, unit, h.max * f, unit);
+        out += buf;
+    }
+    return out;
+}
+
+}  // namespace dsg::obs

@@ -1,0 +1,281 @@
+// Process-wide metrics registry: the one interface every layer of the slice
+// reports through (docs/ARCHITECTURE.md, "The observability layer").
+//
+// Three instrument kinds, all cheap enough to stay on by default:
+//
+//  - Counter: monotone relaxed-atomic u64 (ops, bytes, sheds, hits);
+//  - Gauge:   last-write-wins relaxed-atomic i64 (queue depth, snapshot lag,
+//             live-snapshot population);
+//  - Histogram: fixed-size log-bucketed latency distribution with
+//             thread-striped mergeable shards and p50/p90/p99/p999 readout.
+//             Values < 16 land in exact unit buckets; above that, buckets
+//             keep 3 mantissa bits (8 sub-buckets per octave), bounding the
+//             relative quantile error at 1/8. Recording is two or three
+//             relaxed fetch_adds on the calling thread's shard — no locks,
+//             no allocation, TSan-clean by construction.
+//
+// Discipline (same as par::Profiler): when the registry is disabled
+// (obs::set_enabled(false)) every record path returns after a single
+// relaxed load. Compiling with -DDSG_OBS_NOOP removes the record paths
+// entirely — the build the overhead gate in bench_stream_throughput
+// compares against.
+//
+// Instruments are named (snake_case, unit-suffixed: _ns, _bytes) and may
+// carry labels: registry.histogram("serve_query_ns", {{"class", "k-hop"}}).
+// Lookup happens once, at subsystem construction — call sites keep the
+// returned reference (stable for the registry's lifetime) and never touch
+// the registry mutex on the hot path.
+//
+// Snapshots are consistent-enough plain-value copies (each atomic read
+// individually; counters are monotone so a concurrent snapshot can lag but
+// never invent history) renderable as one-line JSONL, Prometheus text
+// exposition, or a human table.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dsg::obs {
+
+/// Global runtime switch (default on). Off = every instrument's record path
+/// is a single relaxed load; existing values remain readable.
+inline std::atomic<bool> g_enabled{true};
+
+inline void set_enabled(bool on) {
+    g_enabled.store(on, std::memory_order_relaxed);
+}
+[[nodiscard]] inline bool enabled() {
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+/// True when instruments were compiled to no-ops (-DDSG_OBS_NOOP).
+[[nodiscard]] constexpr bool compiled_noop() {
+#ifdef DSG_OBS_NOOP
+    return true;
+#else
+    return false;
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Instruments
+// ---------------------------------------------------------------------------
+
+/// Monotone counter.
+class Counter {
+public:
+    void add(std::uint64_t n = 1) {
+#ifndef DSG_OBS_NOOP
+        if (!enabled()) return;
+        value_.fetch_add(n, std::memory_order_relaxed);
+#else
+        (void)n;
+#endif
+    }
+    [[nodiscard]] std::uint64_t value() const {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins signed gauge (also supports add for up/down counting).
+class Gauge {
+public:
+    void set(std::int64_t v) {
+#ifndef DSG_OBS_NOOP
+        if (!enabled()) return;
+        value_.store(v, std::memory_order_relaxed);
+#else
+        (void)v;
+#endif
+    }
+    void add(std::int64_t delta) {
+#ifndef DSG_OBS_NOOP
+        if (!enabled()) return;
+        value_.fetch_add(delta, std::memory_order_relaxed);
+#else
+        (void)delta;
+#endif
+    }
+    [[nodiscard]] std::int64_t value() const {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::int64_t> value_{0};
+};
+
+/// Plain-value quantile summary of one histogram (ns-valued instruments
+/// carry the _ns suffix; renderers convert to ms for humans).
+struct HistogramSummary {
+    std::uint64_t count = 0;
+    double mean = 0;
+    double p50 = 0, p90 = 0, p99 = 0, p999 = 0;
+    double max = 0;  ///< upper bound of the highest occupied bucket
+};
+
+/// Log-bucketed histogram of non-negative integer values (latencies in ns,
+/// sizes in bytes). See the header comment for the bucket scheme and the
+/// error bound; tests/obs/test_metrics.cpp proves the bound against exact
+/// sorted references.
+class Histogram {
+public:
+    static constexpr std::size_t kPrecision = 3;  ///< mantissa bits kept
+    static constexpr std::size_t kSubBuckets = std::size_t{1} << kPrecision;
+    /// Exact buckets [0, 16) + 8 sub-buckets for each of octaves 4..63.
+    static constexpr std::size_t kBuckets = ((63 - kPrecision + 1) << kPrecision) + kSubBuckets;
+    static constexpr std::size_t kShards = 16;  ///< thread-striped shards
+
+    Histogram() : shards_(kShards) {}
+    Histogram(const Histogram&) = delete;
+    Histogram& operator=(const Histogram&) = delete;
+
+    /// Bucket index of a value (exact below 16, 3-mantissa-bit log above).
+    [[nodiscard]] static std::size_t bucket_of(std::uint64_t v) {
+        if (v < kSubBuckets * 2) return static_cast<std::size_t>(v);
+        const int msb = 63 - std::countl_zero(v);
+        const std::size_t sub =
+            (v >> (static_cast<std::size_t>(msb) - kPrecision)) &
+            (kSubBuckets - 1);
+        return ((static_cast<std::size_t>(msb) - kPrecision + 1)
+                << kPrecision) +
+               sub;
+    }
+
+    /// Largest value that maps to bucket `idx` (the quantile estimate; it
+    /// never undershoots the true quantile).
+    [[nodiscard]] static std::uint64_t bucket_upper(std::size_t idx) {
+        if (idx < kSubBuckets * 2) return idx;
+        const std::size_t g = (idx >> kPrecision) - 1;
+        const std::uint64_t sub = idx & (kSubBuckets - 1);
+        return ((kSubBuckets + sub + 1) << g) - 1;
+    }
+
+    void record(std::uint64_t value) {
+#ifndef DSG_OBS_NOOP
+        if (!enabled()) return;
+        Shard& s = shards_[shard_index()];
+        s.buckets[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+        s.count.fetch_add(1, std::memory_order_relaxed);
+        s.sum.fetch_add(value, std::memory_order_relaxed);
+#else
+        (void)value;
+#endif
+    }
+    /// Convenience for callers holding a duration in (fractional) ms.
+    void record_ms(double ms) {
+        record(ms > 0 ? static_cast<std::uint64_t>(ms * 1e6) : 0);
+    }
+
+    /// Merged plain-value copy of all shards. Safe concurrently with
+    /// recorders; the count always equals the sum of the bucket counts of
+    /// the same reading (buckets are read before the aggregate totals, and
+    /// both are monotone — see SnapshotWhileWriting in tests/obs/).
+    struct Reading {
+        std::array<std::uint64_t, kBuckets> buckets{};
+        std::uint64_t count = 0;
+        std::uint64_t sum = 0;
+
+        /// Upper bound of the bucket holding the q-th quantile (0 < q <= 1).
+        [[nodiscard]] double quantile(double q) const;
+        [[nodiscard]] double mean() const {
+            return count > 0
+                       ? static_cast<double>(sum) / static_cast<double>(count)
+                       : 0.0;
+        }
+        [[nodiscard]] HistogramSummary summary() const;
+    };
+    [[nodiscard]] Reading read() const;
+
+private:
+    struct alignas(64) Shard {
+        std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+        std::atomic<std::uint64_t> count{0};
+        std::atomic<std::uint64_t> sum{0};
+    };
+
+    static std::size_t shard_index();
+
+    std::vector<Shard> shards_;
+};
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// Instrument labels; rendered sorted by key into the instrument's identity
+/// ("name{class=k-hop}"), so label order at the call site is irrelevant.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// One consistent plain-value snapshot of a registry, renderable for
+/// machines (JSONL, Prometheus) and humans (text table).
+struct MetricsSnapshot {
+    std::int64_t ts_ms = 0;  ///< wall-clock ms since the Unix epoch
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;  ///< incl. callbacks
+    std::vector<std::pair<std::string, HistogramSummary>> histograms;
+
+    /// One newline-terminated JSON object (the JSONL exporter's line).
+    [[nodiscard]] std::string to_jsonl() const;
+    /// Prometheus text exposition (histograms as summary quantiles).
+    [[nodiscard]] std::string to_prometheus() const;
+    /// Human-readable table (_ns histograms rendered in ms).
+    [[nodiscard]] std::string to_text() const;
+    /// The snapshot as one JSON object "{...}" without the timestamp — the
+    /// form bench_common embeds under the "metrics" key of DSG_BENCH_JSON
+    /// records (docs/BENCHMARKS.md).
+    [[nodiscard]] std::string to_json_object() const;
+};
+
+/// Named instrument registry. One process-wide instance (global()) backs
+/// the whole slice; tests may construct private ones. Instrument references
+/// are stable for the registry's lifetime.
+class Registry {
+public:
+    Registry() = default;
+    Registry(const Registry&) = delete;
+    Registry& operator=(const Registry&) = delete;
+
+    [[nodiscard]] Counter& counter(std::string_view name,
+                                   const Labels& labels = {});
+    [[nodiscard]] Gauge& gauge(std::string_view name,
+                               const Labels& labels = {});
+    [[nodiscard]] Histogram& histogram(std::string_view name,
+                                       const Labels& labels = {});
+
+    /// Registers (or replaces) a gauge evaluated lazily at snapshot time —
+    /// the mirror mechanism for stats owned elsewhere (e.g. par::CommStats).
+    void set_callback(std::string_view name, const Labels& labels,
+                      std::function<double()> fn);
+    /// Drops a callback (safe to call for a name never registered).
+    void remove_callback(std::string_view name, const Labels& labels = {});
+
+    [[nodiscard]] MetricsSnapshot snapshot() const;
+
+    /// The process-wide registry every subsystem reports into.
+    [[nodiscard]] static Registry& global();
+
+private:
+    mutable std::mutex mx_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+    std::map<std::string, std::function<double()>> callbacks_;
+};
+
+/// Shorthand for Registry::global().
+[[nodiscard]] inline Registry& registry() { return Registry::global(); }
+
+}  // namespace dsg::obs

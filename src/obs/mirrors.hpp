@@ -1,0 +1,35 @@
+// Push-model mirrors for stats owned below the obs layer.
+//
+// par sits at the bottom of the dependency stack and must not depend on
+// obs, so par::CommStats can't report into the registry itself. Instead,
+// whoever holds a Comm pushes a plain-value snapshot through here — the
+// natural place is a MetricsExporter on_snapshot callback, so the gauges
+// are refreshed right before every export tick.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "par/comm.hpp"
+
+namespace dsg::obs {
+
+/// Mirrors a comm-stats snapshot into comm_* gauges of `reg`. Counter-like
+/// quantities are exposed as gauges because the source of truth (the
+/// CommStats atomics) lives in par and may be reset there.
+inline void publish_comm_stats(const par::CommStats::Snapshot& s,
+                               Registry& reg = registry()) {
+    reg.gauge("comm_p2p_messages").set(static_cast<std::int64_t>(s.p2p_messages));
+    reg.gauge("comm_p2p_bytes").set(static_cast<std::int64_t>(s.p2p_bytes));
+    reg.gauge("comm_bcast_bytes").set(static_cast<std::int64_t>(s.bcast_bytes));
+    reg.gauge("comm_alltoall_bytes")
+        .set(static_cast<std::int64_t>(s.alltoall_bytes));
+    reg.gauge("comm_reduce_bytes").set(static_cast<std::int64_t>(s.reduce_bytes));
+    reg.gauge("comm_gather_bytes").set(static_cast<std::int64_t>(s.gather_bytes));
+    reg.gauge("comm_total_bytes").set(static_cast<std::int64_t>(s.total_bytes()));
+    reg.gauge("comm_barriers").set(static_cast<std::int64_t>(s.barriers));
+    reg.gauge("comm_collectives").set(static_cast<std::int64_t>(s.collectives));
+    reg.gauge("comm_async_posted").set(static_cast<std::int64_t>(s.async_posted));
+    reg.gauge("comm_async_completed")
+        .set(static_cast<std::int64_t>(s.async_completed));
+}
+
+}  // namespace dsg::obs

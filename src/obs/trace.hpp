@@ -1,0 +1,74 @@
+// Chrome trace-event export of the par::Profiler span rings.
+//
+// Renders a Profiler::collect_trace() dump as the JSON object format
+// ({"traceEvents": [...]}) understood by Perfetto and chrome://tracing:
+// complete events (ph "X") with microsecond timestamps relative to the
+// earliest span, pid = rank + 1 (pid 0 groups the non-rank threads:
+// producers, pools, exporters), tid = the profiler's process-local thread
+// id, and the epoch tag under args. Loading a --trace-out file makes the
+// async overlap windows (stage k+1 bcast under stage k multiply,
+// WAL-overlapped drains) directly visible as parallel tracks.
+//
+// scripts/check-trace.py validates this format in CI.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "par/profiler.hpp"
+
+namespace dsg::obs {
+
+/// Renders `dump` as Chrome trace JSON. Spans are sorted by (pid, tid,
+/// start) so nested brackets of one thread stay adjacent and properly
+/// ordered for viewers.
+[[nodiscard]] inline std::string to_chrome_trace(par::TraceDump dump) {
+    std::sort(dump.spans.begin(), dump.spans.end(),
+              [](const par::TraceSpan& a, const par::TraceSpan& b) {
+                  if (a.rank != b.rank) return a.rank < b.rank;
+                  if (a.tid != b.tid) return a.tid < b.tid;
+                  return a.start_ns < b.start_ns;
+              });
+    std::uint64_t base_ns = 0;
+    for (const par::TraceSpan& s : dump.spans)
+        if (base_ns == 0 || s.start_ns < base_ns) base_ns = s.start_ns;
+
+    std::string out = "{\"traceEvents\": [";
+    char buf[256];
+    bool first = true;
+    for (const par::TraceSpan& s : dump.spans) {
+        if (!first) out += ",";
+        first = false;
+        const double ts_us =
+            static_cast<double>(s.start_ns - base_ns) / 1e3;
+        const double dur_us = static_cast<double>(s.dur_ns) / 1e3;
+        std::snprintf(buf, sizeof buf,
+                      "\n{\"name\": \"%.*s\", \"ph\": \"X\", \"ts\": %.3f, "
+                      "\"dur\": %.3f, \"pid\": %d, \"tid\": %u, "
+                      "\"args\": {\"epoch\": %lld, \"rank\": %d}}",
+                      static_cast<int>(par::phase_name(s.phase).size()),
+                      par::phase_name(s.phase).data(), ts_us, dur_us,
+                      s.rank + 1, s.tid,
+                      static_cast<long long>(s.epoch), s.rank);
+        out += buf;
+    }
+    out += "\n], \"displayTimeUnit\": \"ms\", \"otherData\": "
+           "{\"dropped_spans\": " +
+           std::to_string(dump.dropped) + "}}\n";
+    return out;
+}
+
+/// Collects the current rings and writes the Chrome trace JSON to `path`.
+/// Returns false when the file can't be opened.
+inline bool write_chrome_trace(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::string json = to_chrome_trace(par::Profiler::collect_trace());
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    return true;
+}
+
+}  // namespace dsg::obs

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <thread>
 
+#include "par/profiler.hpp"
+
 namespace dsg::par {
 
 CommStats::Snapshot CommStats::snapshot() const {
@@ -489,6 +491,9 @@ void World::run(int p, const std::function<void(Comm&)>& fn) {
     std::exception_ptr first_error;
     auto body = [&](int rank) {
         Comm comm(group, rank);
+        // Tag trace spans emitted by this thread with its rank. p == 1 runs
+        // on the caller's thread, so clear the tag again on exit.
+        Profiler::set_thread_rank(rank);
         try {
             fn(comm);
         } catch (const AbortedError&) {
@@ -500,6 +505,7 @@ void World::run(int p, const std::function<void(Comm&)>& fn) {
             }
             group->abort();
         }
+        Profiler::set_thread_rank(-1);
     };
 
     if (p == 1) {

@@ -1,10 +1,16 @@
 #include "par/profiler.hpp"
 
+#include <algorithm>
+#include <memory>
+#include <mutex>
+
 namespace dsg::par {
 
 namespace {
 
 std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_trace_enabled{false};
+std::atomic<std::size_t> g_trace_capacity{8192};
 
 // Global totals in nanoseconds. Threads add their scope durations directly;
 // contention is negligible because scopes are coarse (whole phases).
@@ -13,34 +19,56 @@ std::array<std::atomic<std::uint64_t>, kPhaseCount>& totals() {
     return t;
 }
 
-}  // namespace
+/// One thread's bounded span ring. The emitting thread holds the mutex only
+/// for the slot write; collect/clear hold it per ring. Uncontended in steady
+/// state — only an export racing the owner thread ever blocks.
+struct TraceRing {
+    explicit TraceRing(std::size_t capacity, std::uint32_t tid_)
+        : spans(capacity), tid(tid_) {}
 
-std::string_view phase_name(Phase phase) {
-    switch (phase) {
-        case Phase::RedistSort: return "Redist. sort";
-        case Phase::RedistComm: return "Redist. comm.";
-        case Phase::MemManagement: return "Mem. management";
-        case Phase::LocalConstruct: return "Local construct.";
-        case Phase::LocalAddition: return "Local addition";
-        case Phase::SendRecv: return "Send/Recv";
-        case Phase::Bcast: return "Bcast";
-        case Phase::LocalMult: return "Local Mult.";
-        case Phase::Scatter: return "Scatter";
-        case Phase::ReduceScatter: return "Reduce Scatter";
-        case Phase::StreamDrain: return "Stream drain";
-        case Phase::StreamApply: return "Stream apply";
-        case Phase::Analytics: return "Analytics maint.";
-        case Phase::PersistLog: return "Persist log";
-        case Phase::PersistCheckpoint: return "Persist ckpt.";
-        case Phase::PersistRecover: return "Persist recover";
-        case Phase::ServePublish: return "Serve publish";
-        case Phase::ServeQuery: return "Serve query";
-        case Phase::ServeCache: return "Serve cache";
-        case Phase::Other: return "Other";
-        case Phase::kCount: break;
+    std::mutex mx;
+    std::vector<TraceSpan> spans;
+    std::uint64_t total = 0;  ///< spans ever emitted (>= kept ⇒ wrapped)
+    std::uint32_t tid;
+
+    void emit(const TraceSpan& s) {
+        std::lock_guard lock(mx);
+        spans[total % spans.size()] = s;
+        ++total;
     }
-    return "?";
+};
+
+struct TraceRegistry {
+    std::mutex mx;
+    // shared_ptr keeps a ring readable after its owner thread exits (the
+    // thread_local handle below is the other owner).
+    std::vector<std::shared_ptr<TraceRing>> rings;
+    std::uint32_t next_tid = 0;
+};
+
+TraceRegistry& trace_registry() {
+    static TraceRegistry reg;
+    return reg;
 }
+
+TraceRing& thread_ring() {
+    thread_local std::shared_ptr<TraceRing> ring = [] {
+        TraceRegistry& reg = trace_registry();
+        std::lock_guard lock(reg.mx);
+        auto r = std::make_shared<TraceRing>(
+            std::max<std::size_t>(
+                1, g_trace_capacity.load(std::memory_order_relaxed)),
+            reg.next_tid++);
+        reg.rings.push_back(r);
+        return r;
+    }();
+    return *ring;
+}
+
+thread_local int t_rank = -1;
+thread_local std::int64_t t_epoch = -1;
+
+}  // namespace
 
 void Profiler::set_enabled(bool enabled) {
     g_enabled.store(enabled, std::memory_order_relaxed);
@@ -59,17 +87,82 @@ double Profiler::total_seconds(Phase phase) {
            1e-9;
 }
 
-Profiler::Scope::Scope(Phase phase) : phase_(phase), active_(enabled()) {
-    if (active_) start_ = std::chrono::steady_clock::now();
+void Profiler::set_trace_enabled(bool enabled) {
+    g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool Profiler::trace_enabled() {
+    return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void Profiler::set_trace_capacity(std::size_t spans) {
+    g_trace_capacity.store(std::max<std::size_t>(1, spans),
+                           std::memory_order_relaxed);
+}
+
+void Profiler::set_thread_rank(int rank) { t_rank = rank; }
+
+void Profiler::set_thread_epoch(std::int64_t epoch) { t_epoch = epoch; }
+
+TraceDump Profiler::collect_trace() {
+    TraceDump dump;
+    TraceRegistry& reg = trace_registry();
+    std::lock_guard reg_lock(reg.mx);
+    for (const auto& ring : reg.rings) {
+        std::lock_guard ring_lock(ring->mx);
+        const std::uint64_t kept =
+            std::min<std::uint64_t>(ring->total, ring->spans.size());
+        dump.dropped += ring->total - kept;
+        // Oldest-first: the ring wraps at total % size, so the oldest kept
+        // span sits at (total - kept) % size.
+        for (std::uint64_t k = 0; k < kept; ++k)
+            dump.spans.push_back(
+                ring->spans[(ring->total - kept + k) % ring->spans.size()]);
+    }
+    std::sort(dump.spans.begin(), dump.spans.end(),
+              [](const TraceSpan& a, const TraceSpan& b) {
+                  return a.start_ns < b.start_ns;
+              });
+    return dump;
+}
+
+void Profiler::clear_trace() {
+    TraceRegistry& reg = trace_registry();
+    std::lock_guard reg_lock(reg.mx);
+    for (const auto& ring : reg.rings) {
+        std::lock_guard ring_lock(ring->mx);
+        ring->total = 0;
+    }
+}
+
+Profiler::Scope::Scope(Phase phase)
+    : phase_(phase), timing_(enabled()), tracing_(trace_enabled()) {
+    if (timing_ || tracing_) start_ = std::chrono::steady_clock::now();
 }
 
 Profiler::Scope::~Scope() {
-    if (!active_) return;
-    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                        std::chrono::steady_clock::now() - start_)
-                        .count();
-    totals()[static_cast<std::size_t>(phase_)].fetch_add(
-        static_cast<std::uint64_t>(ns), std::memory_order_relaxed);
+    if (!timing_ && !tracing_) return;
+    const auto end = std::chrono::steady_clock::now();
+    const auto ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_)
+            .count());
+    if (timing_)
+        totals()[static_cast<std::size_t>(phase_)].fetch_add(
+            ns, std::memory_order_relaxed);
+    if (tracing_) {
+        TraceRing& ring = thread_ring();
+        TraceSpan span;
+        span.phase = phase_;
+        span.start_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                start_.time_since_epoch())
+                .count());
+        span.dur_ns = ns;
+        span.epoch = t_epoch;
+        span.rank = t_rank;
+        span.tid = ring.tid;
+        ring.emit(span);
+    }
 }
 
 }  // namespace dsg::par

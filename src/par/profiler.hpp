@@ -1,16 +1,27 @@
 // Per-phase wall-clock accounting used to regenerate the paper's breakdown
-// figures (Fig. 7: insertion phases; Fig. 12: dynamic SpGEMM phases).
+// figures (Fig. 7: insertion phases; Fig. 12: dynamic SpGEMM phases), plus
+// an opt-in epoch-tagged trace ring for timeline export.
 //
 // Library code brackets its phases with Profiler::Scope; accounting is
 // per-thread (each rank is a thread) and aggregated on demand. Disabled by
 // default so the hot paths pay a single relaxed atomic load.
+//
+// With tracing enabled (set_trace_enabled), every Scope additionally emits
+// a timestamped span (phase, rank, epoch, thread) into a bounded per-thread
+// ring buffer; the ring wraps, keeping the most recent spans and counting
+// the overwritten ones. obs/trace.hpp renders a collect_trace() dump as
+// Chrome trace-event JSON loadable in Perfetto. The rank and epoch tags are
+// plain thread-locals: World::run stamps the rank on every rank thread, the
+// stream engine stamps the epoch being applied.
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <string_view>
+#include <vector>
 
 namespace dsg::par {
 
@@ -46,8 +57,58 @@ enum class Phase : int {
 
 inline constexpr std::size_t kPhaseCount = static_cast<std::size_t>(Phase::kCount);
 
-/// Human-readable phase label (matches the legends of Fig. 7 / Fig. 12).
-std::string_view phase_name(Phase phase);
+/// Phase labels, indexed by Phase (matches the legends of Fig. 7 / Fig. 12).
+/// The array length is pinned to kPhaseCount, so adding an enumerator
+/// without a label is a compile error rather than garbage in traces —
+/// tests/par/test_profiler.cpp additionally proves every entry is distinct
+/// and non-empty.
+inline constexpr std::array<std::string_view, kPhaseCount> kPhaseNames = {
+    "Redist. sort",     // RedistSort
+    "Redist. comm.",    // RedistComm
+    "Mem. management",  // MemManagement
+    "Local construct.", // LocalConstruct
+    "Local addition",   // LocalAddition
+    "Send/Recv",        // SendRecv
+    "Bcast",            // Bcast
+    "Local Mult.",      // LocalMult
+    "Scatter",          // Scatter
+    "Reduce Scatter",   // ReduceScatter
+    "Stream drain",     // StreamDrain
+    "Stream apply",     // StreamApply
+    "Analytics maint.", // Analytics
+    "Persist log",      // PersistLog
+    "Persist ckpt.",    // PersistCheckpoint
+    "Persist recover",  // PersistRecover
+    "Serve publish",    // ServePublish
+    "Serve query",      // ServeQuery
+    "Serve cache",      // ServeCache
+    "Other",            // Other
+};
+static_assert(kPhaseNames.size() == kPhaseCount,
+              "every Phase enumerator needs a label in kPhaseNames");
+
+/// Human-readable phase label (out-of-range values render as "?").
+[[nodiscard]] constexpr std::string_view phase_name(Phase phase) {
+    const auto idx = static_cast<std::size_t>(phase);
+    return idx < kPhaseCount ? kPhaseNames[idx] : std::string_view("?");
+}
+
+/// One completed Scope bracket, as recorded in a trace ring.
+struct TraceSpan {
+    Phase phase = Phase::Other;
+    std::uint64_t start_ns = 0;  ///< steady-clock ns (same base process-wide)
+    std::uint64_t dur_ns = 0;
+    std::int64_t epoch = -1;  ///< engine version being applied, -1 = none
+    int rank = -1;            ///< -1 = non-rank thread (producers, pools)
+    std::uint32_t tid = 0;    ///< small process-local thread id
+};
+
+/// Merged result of collect_trace(): spans from every thread's ring plus
+/// the number of spans lost to ring wraparound.
+struct TraceDump {
+    std::vector<TraceSpan> spans;
+    std::uint64_t dropped = 0;
+};
 
 class Profiler {
 public:
@@ -61,8 +122,32 @@ public:
     /// Sum of the time spent in `phase` across all threads, in seconds.
     [[nodiscard]] static double total_seconds(Phase phase);
 
+    // -- tracing -------------------------------------------------------------
+
+    /// Globally enables/disables span capture (off by default, independent
+    /// of the timing switch).
+    static void set_trace_enabled(bool enabled);
+    [[nodiscard]] static bool trace_enabled();
+
+    /// Ring capacity (spans per thread) for rings created AFTER the call;
+    /// existing rings keep their size. Default 8192.
+    static void set_trace_capacity(std::size_t spans);
+
+    /// Tags every span subsequently emitted by the calling thread.
+    /// World::run stamps the rank; the epoch engine stamps the epoch.
+    static void set_thread_rank(int rank);
+    static void set_thread_epoch(std::int64_t epoch);
+
+    /// Spans from all rings (completed threads' rings included), sorted by
+    /// start time. Safe concurrently with emitters.
+    [[nodiscard]] static TraceDump collect_trace();
+
+    /// Empties every ring and the dropped count.
+    static void clear_trace();
+
     /// RAII bracket adding the scope's elapsed time to `phase` on the current
-    /// thread. No-op while the profiler is disabled.
+    /// thread, and emitting a trace span when tracing is on. No-op while
+    /// both switches are off.
     class Scope {
     public:
         explicit Scope(Phase phase);
@@ -72,7 +157,8 @@ public:
 
     private:
         Phase phase_;
-        bool active_;
+        bool timing_;
+        bool tracing_;
         std::chrono::steady_clock::time_point start_;
     };
 };

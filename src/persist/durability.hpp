@@ -28,6 +28,7 @@
 
 #include "analytics/maintainer.hpp"
 #include "core/dist_matrix.hpp"
+#include "obs/metrics.hpp"
 #include "par/profiler.hpp"
 #include "persist/checkpoint.hpp"
 #include "persist/op_log.hpp"
@@ -107,6 +108,19 @@ public:
             [this](const stream::EpochDelta<T>& delta) { on_epoch(delta); });
         engine_->set_checkpoint_hook(
             [this](std::uint64_t version) { maybe_checkpoint(version); });
+
+        // Registry instruments (fetched once; the WAL path is per-epoch
+        // hot). Append and fsync latencies are separate histograms — the
+        // fsync tail is the quantity ROADMAP item 5(c) gates on.
+        auto& reg = obs::registry();
+        obs_append_ns_ = &reg.histogram("persist_wal_append_ns");
+        obs_fsync_ns_ = &reg.histogram("persist_wal_fsync_ns");
+        obs_ckpt_ns_ = &reg.histogram("persist_checkpoint_ns");
+        obs_wal_bytes_ = &reg.counter("persist_wal_bytes");
+        obs_wal_epochs_ = &reg.counter("persist_wal_epochs");
+        obs_fsyncs_ = &reg.counter("persist_wal_fsyncs");
+        obs_ckpts_ = &reg.counter("persist_checkpoints");
+        obs_ckpt_bytes_ = &reg.counter("persist_checkpoint_bytes");
     }
 
     DurabilityManager(const DurabilityManager&) = delete;
@@ -125,10 +139,7 @@ public:
     [[nodiscard]] const PersistConfig& config() const { return cfg_; }
 
     /// Makes everything logged so far durable immediately.
-    void sync() {
-        log_->sync();
-        ++stats_.fsyncs;
-    }
+    void sync() { timed_sync(); }
 
     /// TEST ONLY — models a kill -9 at this instant: everything not yet
     /// flushed by the fsync cadence (or an explicit sync) is dropped, like
@@ -144,6 +155,21 @@ private:
         return std::chrono::duration<double, std::milli>(Clock::now() - t0)
             .count();
     }
+    static std::uint64_t ns_since(Clock::time_point t0) {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - t0)
+                .count());
+    }
+
+    /// One timed, counted fsync of the op log.
+    void timed_sync() {
+        const auto t0 = Clock::now();
+        log_->sync();
+        ++stats_.fsyncs;
+        obs_fsyncs_->add(1);
+        obs_fsync_ns_->record(ns_since(t0));
+    }
 
     void on_epoch(const stream::EpochDelta<T>& delta) {
         par::Profiler::Scope scope(par::Phase::PersistLog);
@@ -151,11 +177,14 @@ private:
         const auto before = log_->offset();
         log_->append_epoch(delta.version, delta.adds, delta.merges,
                            delta.masks);
-        stats_.bytes_logged += log_->offset() - before;
+        const auto appended = log_->offset() - before;
+        stats_.bytes_logged += appended;
         ++stats_.epochs_logged;
+        obs_append_ns_->record(ns_since(t0));
+        obs_wal_bytes_->add(appended);
+        obs_wal_epochs_->add(1);
         if (cfg_.fsync_every > 0 && ++since_sync_ >= cfg_.fsync_every) {
-            log_->sync();
-            ++stats_.fsyncs;
+            timed_sync();
             since_sync_ = 0;
         }
         stats_.log_ms += ms_since(t0);
@@ -177,8 +206,7 @@ private:
         const auto& shape = A_->shape();
 
         // 1. Every epoch the checkpoint covers must be durable first.
-        log_->sync();
-        ++stats_.fsyncs;
+        timed_sync();
 
         // 2. This rank's snapshot file (tmp + rename + fsync).
         par::Buffer extra;
@@ -187,8 +215,10 @@ private:
                                  shape.grid().rows(), shape.grid().cols(),
                                  shape.nrows(), shape.ncols(), A_->local(),
                                  extra);
-        stats_.checkpoint_bytes += std::filesystem::file_size(
+        const auto file_bytes = std::filesystem::file_size(
             checkpoint_path(cfg_.dir, version, rank_));
+        stats_.checkpoint_bytes += file_bytes;
+        obs_ckpt_bytes_->add(file_bytes);
 
         // 3. Rotate to a fresh segment; the manifest records the new
         //    segment's start as this rank's replay position. The segment's
@@ -231,6 +261,8 @@ private:
         delete_checkpoints_below(cfg_.dir, rank_, version);
 
         ++stats_.checkpoints;
+        obs_ckpts_->add(1);
+        obs_ckpt_ns_->record(ns_since(t0));
         stats_.checkpoint_ms += ms_since(t0);
     }
 
@@ -242,6 +274,16 @@ private:
     std::optional<OpLogWriter> log_;
     std::size_t since_sync_ = 0;
     PersistStats stats_;
+
+    // Registry instruments (fetched once in the ctor; see there).
+    obs::Histogram* obs_append_ns_ = nullptr;
+    obs::Histogram* obs_fsync_ns_ = nullptr;
+    obs::Histogram* obs_ckpt_ns_ = nullptr;
+    obs::Counter* obs_wal_bytes_ = nullptr;
+    obs::Counter* obs_wal_epochs_ = nullptr;
+    obs::Counter* obs_fsyncs_ = nullptr;
+    obs::Counter* obs_ckpts_ = nullptr;
+    obs::Counter* obs_ckpt_bytes_ = nullptr;
 };
 
 }  // namespace dsg::persist

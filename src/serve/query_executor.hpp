@@ -41,6 +41,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "par/profiler.hpp"
 #include "par/thread_pool.hpp"
 #include "serve/result_cache.hpp"
@@ -172,6 +173,18 @@ public:
     explicit QueryExecutor(const SnapshotStore<T>& store, Config cfg = {})
         : store_(&store), cfg_(cfg) {
         if (cfg_.batch_max == 0) cfg_.batch_max = 1;
+        // Registry instruments, one family per query class (fetched once so
+        // the completion path never touches the registry). The latency
+        // histograms give the runtime p50/p99/p999 per class that
+        // ROADMAP item 5(c) gates on.
+        auto& reg = obs::registry();
+        for (std::size_t k = 0; k < kQueryKindCount; ++k) {
+            const obs::Labels cls = {
+                {"class", query_kind_name(static_cast<QueryKind>(k))}};
+            obs_latency_[k] = &reg.histogram("serve_query_ns", cls);
+            obs_shed_[k] = &reg.counter("serve_query_shed", cls);
+            obs_expired_[k] = &reg.counter("serve_query_expired", cls);
+        }
         if (cfg_.background)
             dispatcher_ = std::thread([this] { dispatch_loop(); });
     }
@@ -226,6 +239,7 @@ public:
             }
         }
         cls.shed.fetch_add(1, std::memory_order_relaxed);
+        obs_shed_[static_cast<std::size_t>(q.kind)]->add(1);
         promise.set_value({QueryStatus::Shed, 0, 0, false, 0});
         return future;
     }
@@ -348,6 +362,7 @@ private:
                 Clock::now() - t0)
                 .count());
         r.latency_us = static_cast<double>(ns) * 1e-3;
+        const auto kind = static_cast<std::size_t>(&cls - stats_.data());
         switch (r.status) {
             case QueryStatus::Ok:
                 cls.ok.fetch_add(1, std::memory_order_relaxed);
@@ -362,11 +377,14 @@ private:
                 break;
             case QueryStatus::Expired:
                 cls.expired.fetch_add(1, std::memory_order_relaxed);
+                obs_expired_[kind]->add(1);
                 break;
             case QueryStatus::Shed:
                 cls.shed.fetch_add(1, std::memory_order_relaxed);
+                obs_shed_[kind]->add(1);
                 return;  // shed latency is admission latency; not recorded
         }
+        obs_latency_[kind]->record(ns);
         cls.total_ns.fetch_add(ns, std::memory_order_relaxed);
         std::uint64_t prev = cls.max_ns.load(std::memory_order_relaxed);
         while (prev < ns &&
@@ -439,6 +457,10 @@ private:
     bool stopping_ = false;
 
     std::array<ClassCounters, kQueryKindCount> stats_;
+    // Registry instruments per query class (fetched once in the ctor).
+    std::array<obs::Histogram*, kQueryKindCount> obs_latency_{};
+    std::array<obs::Counter*, kQueryKindCount> obs_shed_{};
+    std::array<obs::Counter*, kQueryKindCount> obs_expired_{};
     std::thread dispatcher_;
 };
 

@@ -26,6 +26,7 @@
 #include <shared_mutex>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
 #include "par/profiler.hpp"
 
 namespace dsg::serve {
@@ -52,6 +53,14 @@ public:
 
     explicit ResultCache(Config cfg = {}) : cfg_(cfg) {
         if (cfg_.capacity == 0) cfg_.capacity = 1;
+        // Registry instruments mirroring the atomics below (fetched once;
+        // lookups/inserts are the serving hot path).
+        auto& reg = obs::registry();
+        obs_hits_ = &reg.counter("serve_cache_hits");
+        obs_misses_ = &reg.counter("serve_cache_misses");
+        obs_inserts_ = &reg.counter("serve_cache_inserts");
+        obs_invalidated_ = &reg.counter("serve_cache_invalidated");
+        obs_evicted_ = &reg.counter("serve_cache_evicted");
     }
 
     ResultCache(const ResultCache&) = delete;
@@ -70,11 +79,13 @@ public:
                 if (const auto it = shard->second.find(fingerprint);
                     it != shard->second.end()) {
                     hits_.fetch_add(1, std::memory_order_relaxed);
+                    obs_hits_->add(1);
                     return it->second;
                 }
             }
         }
         misses_.fetch_add(1, std::memory_order_relaxed);
+        obs_misses_->add(1);
         return std::nullopt;
     }
 
@@ -92,11 +103,13 @@ public:
             entries_ -= oldest->second.size();
             evicted_.fetch_add(oldest->second.size(),
                                std::memory_order_relaxed);
+            obs_evicted_->add(oldest->second.size());
             shards_.erase(oldest);
         }
         if (shards_[version].insert_or_assign(fingerprint, value).second)
             ++entries_;
         inserts_.fetch_add(1, std::memory_order_relaxed);
+        obs_inserts_->add(1);
     }
 
     /// Drops every shard with version < `version` — called by the
@@ -109,6 +122,7 @@ public:
             entries_ -= shards_.begin()->second.size();
             invalidated_.fetch_add(shards_.begin()->second.size(),
                                    std::memory_order_relaxed);
+            obs_invalidated_->add(shards_.begin()->second.size());
             shards_.erase(shards_.begin());
         }
     }
@@ -147,6 +161,13 @@ private:
 
     mutable std::atomic<std::uint64_t> hits_{0}, misses_{0};
     std::atomic<std::uint64_t> inserts_{0}, invalidated_{0}, evicted_{0};
+
+    // Registry instruments (fetched once in the ctor).
+    obs::Counter* obs_hits_ = nullptr;
+    obs::Counter* obs_misses_ = nullptr;
+    obs::Counter* obs_inserts_ = nullptr;
+    obs::Counter* obs_invalidated_ = nullptr;
+    obs::Counter* obs_evicted_ = nullptr;
 };
 
 }  // namespace dsg::serve

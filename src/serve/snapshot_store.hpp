@@ -36,6 +36,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -48,6 +49,7 @@
 
 #include "analytics/maintainer.hpp"
 #include "core/dist_matrix.hpp"
+#include "obs/metrics.hpp"
 #include "par/profiler.hpp"
 #include "serve/result_cache.hpp"
 #include "sparse/dcsr.hpp"
@@ -261,6 +263,12 @@ public:
           live_(std::make_shared<std::atomic<std::int64_t>>(0)) {
         if (cfg_.publish_every == 0) cfg_.publish_every = 1;
         if (cfg_.retain == 0) cfg_.retain = 1;
+        // Registry instruments (fetched once; rank 0 updates the gauges).
+        auto& reg = obs::registry();
+        obs_publish_ns_ = &reg.histogram("serve_publish_ns");
+        obs_published_ = &reg.counter("serve_snapshots_published");
+        obs_live_ = &reg.gauge("serve_snapshots_live");
+        obs_lag_ = &reg.gauge("serve_snapshot_lag");
     }
 
     SnapshotStore(const SnapshotStore&) = delete;
@@ -297,8 +305,16 @@ public:
             if (rank == 0) hub_ = hub;
         }
         engine.set_publish_hook([this, &A, rank](std::uint64_t version) {
-            if (version % cfg_.publish_every != 0) return;
-            publish_now(A, rank, version);
+            if (version % cfg_.publish_every == 0) publish_now(A, rank, version);
+            if (rank == 0) {
+                // Version lag of the newest published snapshot behind the
+                // engine (0 right after an on-cycle publication), refreshed
+                // every applied epoch.
+                const auto cur = current_version();
+                obs_lag_->set(static_cast<std::int64_t>(
+                    cur ? version - std::min(version, *cur) : version));
+                obs_live_->set(live_snapshots());
+            }
         });
         if (cfg_.publish_on_attach)
             publish_now(A, rank, engine.config().initial_version);
@@ -311,11 +327,17 @@ public:
     void publish_now(const core::DistDynamicMatrix<T>& A, int rank,
                      std::uint64_t version) {
         par::Profiler::Scope scope(par::Phase::ServePublish);
+        const auto t0 = std::chrono::steady_clock::now();
         staging_[static_cast<std::size_t>(rank)] = A.freeze_tile();
         auto& world = A.shape().grid().world();
         world.barrier();  // all tiles staged
         if (rank == 0) seal(version);
         world.barrier();  // sealed before any rank can restage
+        if (rank == 0)
+            obs_publish_ns_->record(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count()));
     }
 
     // -- reader side (any thread, any time) ----------------------------------
@@ -378,6 +400,7 @@ private:
             versions_.pop_back();
         versions_.push_back(std::move(snap));
         ++published_;
+        obs_published_->add(1);
         while (versions_.size() > cfg_.retain) versions_.pop_front();
         if (cache_ != nullptr)
             cache_->invalidate_before(versions_.front()->version());
@@ -400,6 +423,12 @@ private:
     std::deque<std::shared_ptr<const Snapshot<T>>> versions_;
     std::uint64_t published_ = 0;
     std::shared_ptr<std::atomic<std::int64_t>> live_;
+
+    // Registry instruments (fetched once in the ctor).
+    obs::Histogram* obs_publish_ns_ = nullptr;
+    obs::Counter* obs_published_ = nullptr;
+    obs::Gauge* obs_live_ = nullptr;
+    obs::Gauge* obs_lag_ = nullptr;
 };
 
 }  // namespace dsg::serve

@@ -54,6 +54,7 @@
 
 #include "core/dist_matrix.hpp"
 #include "core/update_ops.hpp"
+#include "obs/metrics.hpp"
 #include "par/profiler.hpp"
 #include "stream/update_queue.hpp"
 
@@ -150,7 +151,30 @@ public:
         : A_(&A),
           cfg_(cfg),
           queue_(cfg.queue_capacity),
-          version_(cfg.initial_version) {}
+          version_(cfg.initial_version) {
+        // Registry instruments, fetched once here so pump() never takes the
+        // registry lock. Latency histograms and op counters merge across
+        // ranks (epochs are collective, so the distributions are symmetric);
+        // point-in-time values (queue depth, backlog, blocked time) are
+        // per-rank labeled so ranks don't overwrite each other.
+        auto& reg = obs::registry();
+        const obs::Labels rank_label = {
+            {"rank", std::to_string(A.shape().grid().world().rank())}};
+        obs_drain_ns_ = &reg.histogram("stream_epoch_drain_ns");
+        obs_apply_ns_ = &reg.histogram("stream_epoch_apply_ns");
+        obs_hook_ns_ = &reg.histogram("stream_epoch_hook_ns");
+        obs_publish_ns_ = &reg.histogram("stream_epoch_publish_ns");
+        obs_persist_ns_ = &reg.histogram("stream_epoch_persist_ns");
+        obs_adds_ = &reg.counter("stream_ops_adds");
+        obs_merges_ = &reg.counter("stream_ops_merges");
+        obs_masks_ = &reg.counter("stream_ops_masks");
+        obs_epochs_ = &reg.counter("stream_epochs_total");
+        obs_applied_ = &reg.counter("stream_epochs_applied");
+        obs_backlog_ = &reg.gauge("stream_backlog", rank_label);
+        queue_.set_instruments(
+            {&reg.gauge("stream_queue_depth", rank_label),
+             &reg.counter("stream_queue_blocked_ns", rank_label)});
+    }
 
     EpochEngine(const EpochEngine&) = delete;
     EpochEngine& operator=(const EpochEngine&) = delete;
@@ -252,6 +276,10 @@ public:
         e.global_ops = g.adds + g.merges + g.masks;
 
         if (e.global_ops > 0) {
+            // Trace spans emitted while this epoch is applied (apply, hooks,
+            // publish, checkpoint) carry the version the epoch produces.
+            par::Profiler::set_thread_epoch(
+                static_cast<std::int64_t>(version_ + 1));
             auto t1 = Clock::now();
             std::unique_lock lock(snapshot_mx_);
             // The applies below consume the partitioned streams, so the
@@ -355,6 +383,20 @@ public:
         }
 
         e.backlog_after = queue_.size();
+        obs_epochs_->add(1);
+        if (e.global_ops > 0) {
+            obs_applied_->add(1);
+            obs_adds_->add(e.adds);
+            obs_merges_->add(e.merges);
+            obs_masks_->add(e.masks);
+            obs_drain_ns_->record_ms(e.drain_ms);
+            obs_apply_ns_->record_ms(e.apply_ms);
+            if (hook_) obs_hook_ns_->record_ms(e.hook_ms);
+            if (publish_hook_) obs_publish_ns_->record_ms(e.publish_ms);
+            if (wal_hook_ || checkpoint_hook_)
+                obs_persist_ns_->record_ms(e.persist_ms);
+        }
+        obs_backlog_->set(static_cast<std::int64_t>(e.backlog_after));
         stats_.record(e);
         if (epoch_log_.size() < cfg_.max_epoch_log) epoch_log_.push_back(e);
         // Quiesce the overlapped WAL write before reporting exhaustion, so
@@ -414,6 +456,19 @@ private:
     std::vector<sparse::Triple<T>> adds_, merges_, masks_;
     StreamStats stats_;
     std::vector<EpochStats> epoch_log_;
+
+    // Registry instruments (fetched once in the ctor; see there).
+    obs::Histogram* obs_drain_ns_ = nullptr;
+    obs::Histogram* obs_apply_ns_ = nullptr;
+    obs::Histogram* obs_hook_ns_ = nullptr;
+    obs::Histogram* obs_publish_ns_ = nullptr;
+    obs::Histogram* obs_persist_ns_ = nullptr;
+    obs::Counter* obs_adds_ = nullptr;
+    obs::Counter* obs_merges_ = nullptr;
+    obs::Counter* obs_masks_ = nullptr;
+    obs::Counter* obs_epochs_ = nullptr;
+    obs::Counter* obs_applied_ = nullptr;
+    obs::Gauge* obs_backlog_ = nullptr;
 };
 
 }  // namespace dsg::stream

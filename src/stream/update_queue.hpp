@@ -27,6 +27,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sparse/types.hpp"
 
 namespace dsg::stream {
@@ -58,6 +59,20 @@ public:
 
     [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
 
+    /// Optional registry instruments (see docs/ARCHITECTURE.md, "The
+    /// observability layer"): depth tracks the buffered-op count, blocked_ns
+    /// accumulates producer time spent inside a full-ring push(). References
+    /// are fetched once by the owner (the engine or example) so the hot path
+    /// never touches the registry.
+    struct Instruments {
+        obs::Gauge* depth = nullptr;
+        obs::Counter* blocked_ns = nullptr;
+    };
+    void set_instruments(Instruments ins) {
+        std::lock_guard lock(mx_);
+        ins_ = ins;
+    }
+
     // -- producer side -------------------------------------------------------
 
     /// Announces a producer thread; pair with producer_done().
@@ -79,7 +94,18 @@ public:
     /// the queue is or becomes closed.
     bool push(const StreamOp<T>& op) {
         std::unique_lock lock(mx_);
-        not_full_.wait(lock, [&] { return count_ < buf_.size() || closed_; });
+        if (count_ == buf_.size() && !closed_) {
+            // Measure backpressure only when the push actually parks, so
+            // the uncontended fast path stays instrument-free.
+            const auto t0 = std::chrono::steady_clock::now();
+            not_full_.wait(lock,
+                           [&] { return count_ < buf_.size() || closed_; });
+            if (ins_.blocked_ns != nullptr)
+                ins_.blocked_ns->add(static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count()));
+        }
         if (closed_) return false;
         push_locked(op);
         return true;
@@ -126,6 +152,7 @@ public:
             out.push_back(buf_[(head_ + k) % buf_.size()]);
         head_ = 0;
         count_ = 0;
+        if (ins_.depth != nullptr) ins_.depth->set(0);
         not_full_.notify_all();
         return n;
     }
@@ -156,6 +183,8 @@ private:
         buf_[(head_ + count_) % buf_.size()] = op;
         ++count_;
         ++accepted_;
+        if (ins_.depth != nullptr)
+            ins_.depth->set(static_cast<std::int64_t>(count_));
         // Wake the (single) consumer only once its trigger threshold is
         // reached — below it the wakeup would fail the wait predicate and
         // go straight back to sleep, syscalling on every push for nothing.
@@ -178,6 +207,7 @@ private:
     std::uint64_t accepted_ = 0;
     int producers_ = 0;
     bool closed_ = false;
+    Instruments ins_;
 };
 
 }  // namespace dsg::stream

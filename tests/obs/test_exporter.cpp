@@ -1,0 +1,168 @@
+// The periodic metrics exporter: JSONL line-per-tick appends, the final
+// snapshot written on stop, Prometheus whole-file rewrites, the on_snapshot
+// hook, and format inference from file names.
+#include "obs/exporter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace obs = dsg::obs;
+
+namespace {
+
+std::string slurp(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (f == nullptr) return {};
+    std::string out;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+    std::fclose(f);
+    return out;
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+    std::vector<std::string> lines;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        auto nl = text.find('\n', pos);
+        if (nl == std::string::npos) nl = text.size();
+        if (nl > pos) lines.push_back(text.substr(pos, nl - pos));
+        pos = nl + 1;
+    }
+    return lines;
+}
+
+std::string temp_path(const char* name) {
+    return ::testing::TempDir() + "/" + name;
+}
+
+TEST(Exporter, StopWritesAFinalJsonlSnapshot) {
+    obs::Registry reg;
+    reg.counter("events").add(3);
+    const std::string path = temp_path("dsg_exporter_final.jsonl");
+    {
+        // Long interval: the thread never ticks on its own; the final
+        // snapshot on stop is the only write.
+        obs::MetricsExporter exporter(
+            reg, {path, /*interval_ms=*/60'000, obs::ExportFormat::Jsonl,
+                  nullptr});
+        exporter.stop();
+        EXPECT_EQ(exporter.ticks(), 1u);
+        exporter.stop();  // idempotent
+        EXPECT_EQ(exporter.ticks(), 1u);
+    }
+    const auto lines = lines_of(slurp(path));
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0].front(), '{');
+    EXPECT_EQ(lines[0].back(), '}');
+    EXPECT_NE(lines[0].find("\"ts_ms\""), std::string::npos);
+    EXPECT_NE(lines[0].find("\"events\": 3"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Exporter, JsonlAppendsOneLinePerTick) {
+    obs::Registry reg;
+    auto& counter = reg.counter("ticks_seen");
+    const std::string path = temp_path("dsg_exporter_ticks.jsonl");
+    {
+        obs::MetricsExporter exporter(
+            reg, {path, /*interval_ms=*/60'000, obs::ExportFormat::Jsonl,
+                  nullptr});
+        counter.add(1);
+        exporter.write_now();
+        counter.add(1);
+        exporter.write_now();
+        exporter.stop();  // third write: the final snapshot
+    }
+    const auto lines = lines_of(slurp(path));
+    ASSERT_EQ(lines.size(), 3u);
+    // Each line is a self-contained object; the counter grows across lines.
+    EXPECT_NE(lines[0].find("\"ticks_seen\": 1"), std::string::npos);
+    EXPECT_NE(lines[1].find("\"ticks_seen\": 2"), std::string::npos);
+    EXPECT_NE(lines[2].find("\"ticks_seen\": 2"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Exporter, PeriodicTicksHappenWithoutExplicitWrites) {
+    obs::Registry reg;
+    reg.counter("c").add(1);
+    const std::string path = temp_path("dsg_exporter_periodic.jsonl");
+    {
+        obs::MetricsExporter exporter(
+            reg,
+            {path, /*interval_ms=*/5, obs::ExportFormat::Jsonl, nullptr});
+        // Wait until the background thread has ticked at least twice.
+        for (int spin = 0; spin < 2000 && exporter.ticks() < 2; ++spin)
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        EXPECT_GE(exporter.ticks(), 2u);
+    }
+    EXPECT_GE(lines_of(slurp(path)).size(), 2u);
+    std::remove(path.c_str());
+}
+
+TEST(Exporter, PrometheusRewritesWholeFile) {
+    obs::Registry reg;
+    auto& gauge = reg.gauge("depth");
+    const std::string path = temp_path("dsg_exporter.prom");
+    {
+        obs::MetricsExporter exporter(
+            reg, {path, /*interval_ms=*/60'000,
+                  obs::ExportFormat::Prometheus, nullptr});
+        gauge.set(5);
+        exporter.write_now();
+        gauge.set(9);
+        exporter.stop();
+    }
+    const std::string text = slurp(path);
+    // Rewritten, not appended: only the final value remains.
+    EXPECT_EQ(text.find("depth 5"), std::string::npos);
+    EXPECT_NE(text.find("depth 9"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Exporter, OnSnapshotRunsBeforeEveryWrite) {
+    obs::Registry reg;
+    std::atomic<int> hook_runs{0};
+    const std::string path = temp_path("dsg_exporter_hook.jsonl");
+    {
+        obs::MetricsExporter::Config cfg;
+        cfg.path = path;
+        cfg.interval_ms = 60'000;
+        cfg.on_snapshot = [&reg, &hook_runs] {
+            reg.gauge("mirrored").set(++hook_runs);
+        };
+        obs::MetricsExporter exporter(reg, std::move(cfg));
+        exporter.write_now();
+        exporter.stop();
+    }
+    EXPECT_EQ(hook_runs.load(), 2);
+    const auto lines = lines_of(slurp(path));
+    ASSERT_EQ(lines.size(), 2u);
+    // The hook's push is visible in the very snapshot that follows it.
+    EXPECT_NE(lines[0].find("\"mirrored\": 1"), std::string::npos);
+    EXPECT_NE(lines[1].find("\"mirrored\": 2"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Exporter, FormatForPath) {
+    EXPECT_EQ(obs::format_for_path("metrics.prom"),
+              obs::ExportFormat::Prometheus);
+    EXPECT_EQ(obs::format_for_path("m.prometheus"),
+              obs::ExportFormat::Prometheus);
+    EXPECT_EQ(obs::format_for_path("metrics.txt"),
+              obs::ExportFormat::Prometheus);
+    EXPECT_EQ(obs::format_for_path("metrics.jsonl"),
+              obs::ExportFormat::Jsonl);
+    EXPECT_EQ(obs::format_for_path("metrics.json"),
+              obs::ExportFormat::Jsonl);
+    EXPECT_EQ(obs::format_for_path("noext"), obs::ExportFormat::Jsonl);
+}
+
+}  // namespace

@@ -1,0 +1,358 @@
+// The metrics registry: histogram bucket math and quantile error bounds
+// against exact sorted references, concurrent increments and shard merges
+// (run under TSan in CI), snapshot-while-writing consistency, and the
+// rendering formats.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <random>
+#include <thread>
+#include <vector>
+
+namespace obs = dsg::obs;
+
+namespace {
+
+// Recording is compiled out under -DDSG_OBS_NOOP (the overhead-gate
+// baseline build); tests that depend on recorded values skip there.
+#define DSG_SKIP_IF_NOOP()                                   \
+    if (obs::compiled_noop())                                \
+    GTEST_SKIP() << "instruments compiled to no-ops (DSG_OBS_NOOP)"
+
+// ---------------------------------------------------------------------------
+// Bucket scheme
+// ---------------------------------------------------------------------------
+
+TEST(HistogramBuckets, ExactBelowSixteen) {
+    for (std::uint64_t v = 0; v < 16; ++v) {
+        EXPECT_EQ(obs::Histogram::bucket_of(v), v);
+        EXPECT_EQ(obs::Histogram::bucket_upper(v), v);
+    }
+}
+
+TEST(HistogramBuckets, UpperBoundsAreTightAndMonotone) {
+    // Every value maps to a bucket whose upper bound is >= the value, and
+    // bucket upper bounds strictly increase with the index.
+    std::uint64_t prev_upper = 0;
+    for (std::size_t idx = 0; idx < obs::Histogram::kBuckets; ++idx) {
+        const std::uint64_t upper = obs::Histogram::bucket_upper(idx);
+        if (idx > 0) {
+            EXPECT_GT(upper, prev_upper) << "idx=" << idx;
+        }
+        prev_upper = upper;
+        // The upper bound itself must map back into the same bucket.
+        EXPECT_EQ(obs::Histogram::bucket_of(upper), idx) << "idx=" << idx;
+    }
+}
+
+TEST(HistogramBuckets, ValuesMapWithinBound) {
+    std::mt19937_64 rng(7);
+    for (int k = 0; k < 20000; ++k) {
+        const int bits = static_cast<int>(rng() % 63) + 1;
+        const std::uint64_t v = rng() >> (64 - bits);
+        const std::size_t idx = obs::Histogram::bucket_of(v);
+        ASSERT_LT(idx, obs::Histogram::kBuckets) << "v=" << v;
+        EXPECT_LE(v, obs::Histogram::bucket_upper(idx)) << "v=" << v;
+        if (idx > 0) {
+            EXPECT_GT(v, obs::Histogram::bucket_upper(idx - 1)) << "v=" << v;
+        }
+    }
+}
+
+TEST(HistogramBuckets, HugeValuesStayInRange) {
+    EXPECT_LT(obs::Histogram::bucket_of(~std::uint64_t{0}),
+              obs::Histogram::kBuckets);
+    EXPECT_LT(obs::Histogram::bucket_of(std::uint64_t{1} << 63),
+              obs::Histogram::kBuckets);
+}
+
+// ---------------------------------------------------------------------------
+// Quantile error vs exact sorted reference
+// ---------------------------------------------------------------------------
+
+double exact_quantile(std::vector<std::uint64_t>& sorted, double q) {
+    const auto rank = static_cast<std::size_t>(std::max<double>(
+        1.0, q * static_cast<double>(sorted.size()) + 0.5));
+    return static_cast<double>(sorted[std::min(rank, sorted.size()) - 1]);
+}
+
+/// The histogram keeps 3 mantissa bits, so a quantile estimate (the bucket's
+/// upper bound) exceeds the true quantile by at most a factor of 1/8 plus
+/// one representable step. Checked across three very different shapes.
+void check_quantiles(const std::vector<std::uint64_t>& values,
+                     const char* label) {
+    obs::Histogram h;
+    for (const auto v : values) h.record(v);
+    auto sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    const auto reading = h.read();
+    ASSERT_EQ(reading.count, values.size());
+    for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+        const double exact = exact_quantile(sorted, q);
+        const double est = reading.quantile(q);
+        EXPECT_GE(est, exact) << label << " q=" << q;  // never undershoots
+        EXPECT_LE(est, exact * (1.0 + 1.0 / 8.0) + 1.0)
+            << label << " q=" << q;
+    }
+    // Max: upper bound of the largest value's bucket.
+    EXPECT_GE(reading.summary().max, static_cast<double>(sorted.back()));
+    // Sum is exact (no bucketing error).
+    std::uint64_t sum = 0;
+    for (const auto v : values) sum += v;
+    EXPECT_EQ(reading.sum, sum);
+}
+
+TEST(HistogramQuantiles, UniformWithinErrorBound) {
+    DSG_SKIP_IF_NOOP();
+    std::mt19937_64 rng(11);
+    std::vector<std::uint64_t> values(20000);
+    for (auto& v : values) v = rng() % 1'000'000;
+    check_quantiles(values, "uniform");
+}
+
+TEST(HistogramQuantiles, LogNormalWithinErrorBound) {
+    DSG_SKIP_IF_NOOP();
+    std::mt19937_64 rng(13);
+    std::lognormal_distribution<double> dist(10.0, 2.0);  // latency-shaped
+    std::vector<std::uint64_t> values(20000);
+    for (auto& v : values) v = static_cast<std::uint64_t>(dist(rng));
+    check_quantiles(values, "lognormal");
+}
+
+TEST(HistogramQuantiles, SmallExactValues) {
+    DSG_SKIP_IF_NOOP();
+    // Everything below 16 is exact, so quantiles are exact too.
+    std::vector<std::uint64_t> values;
+    for (std::uint64_t v = 0; v < 16; ++v)
+        for (int k = 0; k < 100; ++k) values.push_back(v);
+    obs::Histogram h;
+    for (const auto v : values) h.record(v);
+    const auto reading = h.read();
+    EXPECT_EQ(reading.quantile(0.5), 7.0);
+    EXPECT_EQ(reading.quantile(1.0), 15.0);
+    EXPECT_EQ(reading.summary().max, 15.0);
+}
+
+TEST(HistogramQuantiles, EmptyReadsZero) {
+    obs::Histogram h;
+    const auto reading = h.read();
+    EXPECT_EQ(reading.count, 0u);
+    EXPECT_EQ(reading.quantile(0.5), 0.0);
+    EXPECT_EQ(reading.mean(), 0.0);
+    EXPECT_EQ(reading.summary().max, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency (exercised under TSan by the obs CI label)
+// ---------------------------------------------------------------------------
+
+TEST(Concurrency, CountersAndGaugesFromManyThreads) {
+    DSG_SKIP_IF_NOOP();
+    obs::Registry reg;
+    auto& counter = reg.counter("ops_total");
+    auto& gauge = reg.gauge("depth");
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 50000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&, t] {
+            for (int k = 0; k < kPerThread; ++k) {
+                counter.add(1);
+                gauge.set(t);
+            }
+        });
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(counter.value(),
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+    EXPECT_GE(gauge.value(), 0);
+    EXPECT_LT(gauge.value(), kThreads);
+}
+
+TEST(Concurrency, HistogramShardsMergeExactCounts) {
+    DSG_SKIP_IF_NOOP();
+    obs::Histogram h;
+    constexpr int kThreads = 8;  // spans multiple shards via round-robin
+    constexpr int kPerThread = 40000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&, t] {
+            std::mt19937_64 rng(static_cast<std::uint64_t>(t) + 1);
+            for (int k = 0; k < kPerThread; ++k) h.record(rng() % 100000);
+        });
+    for (auto& th : threads) th.join();
+    const auto reading = h.read();
+    EXPECT_EQ(reading.count,
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+    std::uint64_t from_buckets = 0;
+    for (const auto b : reading.buckets) from_buckets += b;
+    EXPECT_EQ(from_buckets, reading.count);
+}
+
+TEST(Concurrency, SnapshotWhileWritingIsConsistent) {
+    DSG_SKIP_IF_NOOP();
+    // Readers snapshot while writers hammer the same histogram. Every
+    // reading must satisfy count == sum(buckets) (the invariant quantile()
+    // depends on) and counts must be monotone across successive readings.
+    obs::Histogram h;
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> writers;
+    writers.reserve(4);
+    for (int t = 0; t < 4; ++t)
+        writers.emplace_back([&] {
+            std::mt19937_64 rng(99);
+            while (!stop.load(std::memory_order_relaxed))
+                h.record(rng() % 1000);
+        });
+    std::uint64_t prev_count = 0;
+    for (int k = 0; k < 200; ++k) {
+        const auto reading = h.read();
+        std::uint64_t from_buckets = 0;
+        for (const auto b : reading.buckets) from_buckets += b;
+        ASSERT_EQ(from_buckets, reading.count) << "iteration " << k;
+        ASSERT_GE(reading.count, prev_count) << "iteration " << k;
+        prev_count = reading.count;
+    }
+    stop.store(true);
+    for (auto& w : writers) w.join();
+}
+
+TEST(Concurrency, RegistryLookupsFromManyThreads) {
+    DSG_SKIP_IF_NOOP();
+    // Instrument creation races resolve to ONE instrument per name.
+    obs::Registry reg;
+    constexpr int kThreads = 8;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&] {
+            for (int k = 0; k < 1000; ++k)
+                reg.counter("shared", {{"kind", std::to_string(k % 5)}})
+                    .add(1);
+        });
+    for (auto& th : threads) th.join();
+    std::uint64_t total = 0;
+    for (int k = 0; k < 5; ++k)
+        total +=
+            reg.counter("shared", {{"kind", std::to_string(k)}}).value();
+    EXPECT_EQ(total, static_cast<std::uint64_t>(kThreads) * 1000);
+}
+
+// ---------------------------------------------------------------------------
+// Registry semantics
+// ---------------------------------------------------------------------------
+
+TEST(Registry, LabelOrderIsIrrelevant) {
+    obs::Registry reg;
+    auto& a = reg.counter("c", {{"x", "1"}, {"y", "2"}});
+    auto& b = reg.counter("c", {{"y", "2"}, {"x", "1"}});
+    EXPECT_EQ(&a, &b);
+    auto& c = reg.counter("c", {{"x", "2"}, {"y", "2"}});
+    EXPECT_NE(&a, &c);
+}
+
+TEST(Registry, ReferencesAreStable) {
+    obs::Registry reg;
+    auto& first = reg.histogram("h");
+    char name[16];
+    for (int k = 0; k < 100; ++k) {
+        std::snprintf(name, sizeof name, "h%d", k);
+        (void)reg.histogram(name);
+    }
+    EXPECT_EQ(&first, &reg.histogram("h"));
+}
+
+TEST(Registry, CallbackGaugesEvaluateAtSnapshot) {
+    obs::Registry reg;
+    double source = 1.5;
+    reg.set_callback("mirrored", {}, [&source] { return source; });
+    source = 42.0;
+    const auto snap = reg.snapshot();
+    const auto it = std::find_if(snap.gauges.begin(), snap.gauges.end(),
+                                 [](const auto& g) {
+                                     return g.first == "mirrored";
+                                 });
+    ASSERT_NE(it, snap.gauges.end());
+    EXPECT_EQ(it->second, 42.0);
+    reg.remove_callback("mirrored");
+    const auto snap2 = reg.snapshot();
+    EXPECT_EQ(std::count_if(
+                  snap2.gauges.begin(), snap2.gauges.end(),
+                  [](const auto& g) { return g.first == "mirrored"; }),
+              0);
+}
+
+TEST(Registry, DisabledRecordingIsDropped) {
+    DSG_SKIP_IF_NOOP();
+    obs::Registry reg;
+    auto& counter = reg.counter("c");
+    auto& hist = reg.histogram("h");
+    counter.add(5);
+    hist.record(100);
+    obs::set_enabled(false);
+    counter.add(5);
+    hist.record(100);
+    obs::set_enabled(true);
+    EXPECT_EQ(counter.value(), 5u);
+    EXPECT_EQ(hist.read().count, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+obs::MetricsSnapshot sample_snapshot() {
+    obs::Registry reg;
+    reg.counter("wal_bytes").add(1024);
+    reg.gauge("queue_depth", {{"rank", "0"}}).set(7);
+    auto& h = reg.histogram("query_ns", {{"class", "k-hop"}});
+    for (int k = 1; k <= 100; ++k)
+        h.record(static_cast<std::uint64_t>(k) * 1000);
+    return reg.snapshot();
+}
+
+TEST(Rendering, JsonlIsOneParseableLine) {
+    DSG_SKIP_IF_NOOP();
+    const std::string line = sample_snapshot().to_jsonl();
+    EXPECT_EQ(std::count(line.begin(), line.end(), '\n'), 1);
+    EXPECT_EQ(line.back(), '\n');
+    EXPECT_NE(line.find("\"ts_ms\""), std::string::npos);
+    EXPECT_NE(line.find("\"wal_bytes\": 1024"), std::string::npos);
+    EXPECT_NE(line.find("queue_depth{rank=0}"), std::string::npos);
+    EXPECT_NE(line.find("\"p999\""), std::string::npos);
+}
+
+TEST(Rendering, PrometheusSplitsLabelsAndEmitsQuantiles) {
+    DSG_SKIP_IF_NOOP();
+    const std::string text = sample_snapshot().to_prometheus();
+    EXPECT_NE(text.find("wal_bytes 1024"), std::string::npos);
+    EXPECT_NE(text.find("queue_depth{rank=\"0\"} 7"), std::string::npos);
+    EXPECT_NE(text.find("query_ns{class=\"k-hop\",quantile=\"0.99\"}"),
+              std::string::npos);
+    EXPECT_NE(text.find("query_ns_count{class=\"k-hop\"} 100"),
+              std::string::npos);
+}
+
+TEST(Rendering, JsonObjectHasNoTimestamp) {
+    const std::string obj = sample_snapshot().to_json_object();
+    EXPECT_EQ(obj.front(), '{');
+    EXPECT_EQ(obj.back(), '}');
+    EXPECT_EQ(obj.find("ts_ms"), std::string::npos);
+    EXPECT_NE(obj.find("\"histograms\""), std::string::npos);
+}
+
+TEST(Rendering, TextTableMentionsEveryInstrument) {
+    DSG_SKIP_IF_NOOP();
+    const std::string text = sample_snapshot().to_text();
+    EXPECT_NE(text.find("wal_bytes"), std::string::npos);
+    EXPECT_NE(text.find("queue_depth{rank=0}"), std::string::npos);
+    EXPECT_NE(text.find("query_ns{class=k-hop}"), std::string::npos);
+}
+
+}  // namespace

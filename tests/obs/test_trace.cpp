@@ -1,0 +1,198 @@
+// The profiler trace ring and its Chrome trace-event export: span capture
+// with rank/epoch tags, ring-buffer wraparound accounting, and the JSON
+// rendering scripts/check-trace.py validates in CI.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "par/profiler.hpp"
+
+namespace par = dsg::par;
+namespace obs = dsg::obs;
+
+namespace {
+
+/// Serializes trace-state tests (they share the global rings) and restores
+/// the global switches afterwards.
+class TraceTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        par::Profiler::clear_trace();
+        par::Profiler::set_trace_enabled(true);
+    }
+    void TearDown() override {
+        par::Profiler::set_trace_enabled(false);
+        par::Profiler::set_trace_capacity(8192);
+        par::Profiler::set_thread_rank(-1);
+        par::Profiler::set_thread_epoch(-1);
+        par::Profiler::clear_trace();
+    }
+};
+
+TEST_F(TraceTest, ScopesEmitTaggedSpans) {
+    par::Profiler::set_thread_rank(3);
+    par::Profiler::set_thread_epoch(42);
+    { par::Profiler::Scope scope(par::Phase::StreamApply); }
+    { par::Profiler::Scope scope(par::Phase::ServeQuery); }
+    const auto dump = par::Profiler::collect_trace();
+    ASSERT_EQ(dump.spans.size(), 2u);
+    EXPECT_EQ(dump.dropped, 0u);
+    for (const auto& s : dump.spans) {
+        EXPECT_EQ(s.rank, 3);
+        EXPECT_EQ(s.epoch, 42);
+    }
+    // collect_trace sorts by start time.
+    EXPECT_EQ(dump.spans[0].phase, par::Phase::StreamApply);
+    EXPECT_EQ(dump.spans[1].phase, par::Phase::ServeQuery);
+    EXPECT_LE(dump.spans[0].start_ns, dump.spans[1].start_ns);
+}
+
+TEST_F(TraceTest, DisabledEmitsNothing) {
+    par::Profiler::set_trace_enabled(false);
+    { par::Profiler::Scope scope(par::Phase::LocalMult); }
+    const auto dump = par::Profiler::collect_trace();
+    EXPECT_TRUE(dump.spans.empty());
+}
+
+TEST_F(TraceTest, UntaggedThreadDefaultsToMinusOne) {
+    std::thread([] {
+        par::Profiler::Scope scope(par::Phase::Other);
+    }).join();
+    const auto dump = par::Profiler::collect_trace();
+    ASSERT_EQ(dump.spans.size(), 1u);
+    EXPECT_EQ(dump.spans[0].rank, -1);
+    EXPECT_EQ(dump.spans[0].epoch, -1);
+}
+
+TEST_F(TraceTest, RingWrapsKeepingNewestAndCountsDropped) {
+    // A small ring on a fresh thread (capacity applies to rings created
+    // after the call); overfill it 4x and expect the newest spans kept and
+    // the overwritten ones counted, oldest-first order preserved.
+    par::Profiler::set_trace_capacity(16);
+    std::thread([] {
+        par::Profiler::set_thread_rank(0);
+        for (int k = 0; k < 64; ++k) {
+            par::Profiler::set_thread_epoch(k);
+            par::Profiler::Scope scope(par::Phase::StreamApply);
+        }
+    }).join();
+    const auto dump = par::Profiler::collect_trace();
+    ASSERT_EQ(dump.spans.size(), 16u);
+    EXPECT_EQ(dump.dropped, 48u);
+    // The survivors are the LAST 16 spans (epochs 48..63), sorted by start.
+    for (std::size_t k = 0; k < dump.spans.size(); ++k) {
+        EXPECT_EQ(dump.spans[k].epoch, 48 + static_cast<std::int64_t>(k));
+        if (k > 0) {
+            EXPECT_GE(dump.spans[k].start_ns, dump.spans[k - 1].start_ns);
+        }
+    }
+}
+
+TEST_F(TraceTest, ClearResetsSpansAndDropped) {
+    par::Profiler::set_trace_capacity(4);
+    std::thread([] {
+        for (int k = 0; k < 10; ++k)
+            par::Profiler::Scope scope(par::Phase::Other);
+    }).join();
+    EXPECT_GT(par::Profiler::collect_trace().dropped, 0u);
+    par::Profiler::clear_trace();
+    const auto dump = par::Profiler::collect_trace();
+    EXPECT_TRUE(dump.spans.empty());
+    EXPECT_EQ(dump.dropped, 0u);
+}
+
+TEST_F(TraceTest, RingsOfExitedThreadsSurvive) {
+    std::thread([] {
+        par::Profiler::set_thread_rank(1);
+        par::Profiler::Scope scope(par::Phase::Bcast);
+    }).join();
+    std::thread([] {
+        par::Profiler::set_thread_rank(2);
+        par::Profiler::Scope scope(par::Phase::LocalMult);
+    }).join();
+    const auto dump = par::Profiler::collect_trace();
+    ASSERT_EQ(dump.spans.size(), 2u);
+    // Distinct threads get distinct process-local tids.
+    EXPECT_NE(dump.spans[0].tid, dump.spans[1].tid);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace rendering
+// ---------------------------------------------------------------------------
+
+par::TraceDump sample_dump() {
+    par::TraceDump dump;
+    dump.spans.push_back({par::Phase::StreamApply, 2'000'000, 500'000, 7, 0, 1});
+    dump.spans.push_back({par::Phase::Bcast, 1'000'000, 250'000, 7, 1, 2});
+    dump.spans.push_back({par::Phase::Other, 3'000'000, 100, -1, -1, 3});
+    dump.dropped = 5;
+    return dump;
+}
+
+TEST(ChromeTrace, RendersCompleteEventsWithRelativeMicroseconds) {
+    const std::string json = obs::to_chrome_trace(sample_dump());
+    EXPECT_EQ(json.find("{\"traceEvents\": ["), 0u);
+    EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+    EXPECT_NE(json.find("\"dropped_spans\": 5"), std::string::npos);
+    // ph X complete events, named by phase.
+    EXPECT_NE(json.find("\"name\": \"Stream apply\", \"ph\": \"X\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"Bcast\""), std::string::npos);
+    // Timestamps are µs relative to the earliest span (1ms): the Bcast span
+    // starts at 0, the StreamApply one at 1000 µs with dur 500 µs.
+    EXPECT_NE(json.find("\"ts\": 0.000"), std::string::npos);
+    EXPECT_NE(json.find("\"ts\": 1000.000, \"dur\": 500.000"),
+              std::string::npos);
+    // pid = rank + 1 (non-rank threads group under pid 0); epoch in args.
+    EXPECT_NE(json.find("\"pid\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"pid\": 0"), std::string::npos);
+    EXPECT_NE(json.find("\"args\": {\"epoch\": 7, \"rank\": 0}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"args\": {\"epoch\": -1, \"rank\": -1}"),
+              std::string::npos);
+}
+
+TEST(ChromeTrace, EmptyDumpIsStillValid) {
+    const std::string json = obs::to_chrome_trace(par::TraceDump{});
+    EXPECT_EQ(json.find("{\"traceEvents\": ["), 0u);
+    EXPECT_NE(json.find("\"dropped_spans\": 0"), std::string::npos);
+}
+
+TEST(ChromeTrace, BalancedBracesAndQuotes) {
+    const std::string json = obs::to_chrome_trace(sample_dump());
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '"') % 2, 0);
+}
+
+TEST_F(TraceTest, WriteChromeTraceRoundTrip) {
+    { par::Profiler::Scope scope(par::Phase::ServePublish); }
+    const std::string path =
+        ::testing::TempDir() + "/dsg_test_trace_roundtrip.json";
+    ASSERT_TRUE(obs::write_chrome_trace(path));
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    std::string content;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        content.append(buf, n);
+    std::fclose(f);
+    std::remove(path.c_str());
+    EXPECT_NE(content.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(content.find("Serve publish"), std::string::npos);
+}
+
+TEST(ChromeTrace, WriteToUnwritablePathReturnsFalse) {
+    EXPECT_FALSE(obs::write_chrome_trace("/nonexistent-dir/trace.json"));
+}
+
+}  // namespace

@@ -79,4 +79,24 @@ TEST(Profiler, PhaseNamesMatchTheFigures) {
     EXPECT_EQ(phase_name(Phase::ReduceScatter), "Reduce Scatter");
 }
 
+// The drift guard: the label table is pinned to the enum at compile time
+// (static_assert on kPhaseNames.size()); here we prove the table's CONTENT
+// is sound — no enumerator maps to an empty, placeholder, or duplicated
+// label — so a new Phase added without a real name fails loudly instead of
+// rendering garbage in traces and figure legends.
+TEST(Profiler, EveryPhaseHasADistinctRealLabel) {
+    static_assert(dsg::par::kPhaseNames.size() == dsg::par::kPhaseCount);
+    for (std::size_t k = 0; k < dsg::par::kPhaseCount; ++k) {
+        const auto name = phase_name(static_cast<Phase>(k));
+        EXPECT_FALSE(name.empty()) << "Phase " << k << " has no label";
+        EXPECT_NE(name, "?") << "Phase " << k << " has a placeholder label";
+        for (std::size_t j = 0; j < k; ++j)
+            EXPECT_NE(name, phase_name(static_cast<Phase>(j)))
+                << "Phases " << j << " and " << k << " share a label";
+    }
+    // Out-of-range values degrade to "?" instead of reading past the table.
+    EXPECT_EQ(phase_name(Phase::kCount), "?");
+    EXPECT_EQ(phase_name(static_cast<Phase>(-1)), "?");
+}
+
 }  // namespace
