@@ -35,7 +35,16 @@
 // --restore recovers first and serves straight from the restored state
 // (the initial snapshot IS the recovered matrix + analytics).
 //
+// --target-qps=N adds an external paced client to the serving run: a
+// coordinated-omission-safe load generator (serve/load_gen.hpp) submits
+// queries on a fixed arrival schedule against the background executor and
+// reports on-arrival p50/p99/p999 against --slo-ms=MS. --events-out=FILE
+// arms the anomaly watchdog (obs/watchdog.hpp) over the global registry
+// and streams its structured events as JSONL alongside the metrics;
+// scripts/check-trace.py validates both.
+//
 // Run: ./build/examples/example_streaming_ingest
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -49,14 +58,18 @@
 #include "analytics/maintainer.hpp"
 #include "core/update_ops.hpp"
 #include "graph/generators.hpp"
+#include "obs/event_log.hpp"
 #include "obs/exporter.hpp"
 #include "obs/metrics.hpp"
 #include "obs/mirrors.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "par/comm.hpp"
 #include "par/profiler.hpp"
 #include "persist/durability.hpp"
 #include "persist/recovery.hpp"
+#include "serve/flight_recorder.hpp"
+#include "serve/load_gen.hpp"
 #include "serve/query_executor.hpp"
 #include "serve/result_cache.hpp"
 #include "serve/snapshot_store.hpp"
@@ -429,10 +442,13 @@ int main(int argc, char** argv) {
     std::string checkpoint_dir;
     std::string metrics_out;
     std::string trace_out;
+    std::string events_out;
     long metrics_interval = 1'000;  // ms
     bool restore = false;
     bool serve_queries = false;
     double query_rate = 2'000;  // queries/s per producer thread
+    double target_qps = 0;      // 0 = no paced external client
+    double slo_ms = 25;         // on-arrival SLO for the paced client
     std::size_t writes = 0;     // 0 = mode default
     for (int a = 1; a < argc; ++a) {
         const char* arg = argv[a];
@@ -450,6 +466,24 @@ int main(int argc, char** argv) {
             query_rate = std::strtod(arg + 13, nullptr);
             if (!(query_rate > 0)) {
                 std::fprintf(stderr, "--query-rate needs a value > 0\n");
+                return 2;
+            }
+        } else if (std::strncmp(arg, "--target-qps=", 13) == 0) {
+            target_qps = std::strtod(arg + 13, nullptr);
+            if (!(target_qps > 0)) {
+                std::fprintf(stderr, "--target-qps needs a value > 0\n");
+                return 2;
+            }
+        } else if (std::strncmp(arg, "--slo-ms=", 9) == 0) {
+            slo_ms = std::strtod(arg + 9, nullptr);
+            if (!(slo_ms > 0)) {
+                std::fprintf(stderr, "--slo-ms needs a value > 0\n");
+                return 2;
+            }
+        } else if (std::strncmp(arg, "--events-out=", 13) == 0) {
+            events_out = arg + 13;
+            if (events_out.empty()) {
+                std::fprintf(stderr, "--events-out needs a value\n");
                 return 2;
             }
         } else if (std::strncmp(arg, "--writes=", 9) == 0) {
@@ -477,9 +511,10 @@ int main(int argc, char** argv) {
         } else {
             std::fprintf(stderr,
                          "usage: %s [--checkpoint-dir=DIR [--restore] "
-                         "[--writes=N]] [--serve-queries [--query-rate=N]] "
+                         "[--writes=N]] [--serve-queries [--query-rate=N] "
+                         "[--target-qps=N [--slo-ms=MS]]] "
                          "[--metrics-out=FILE [--metrics-interval=MS]] "
-                         "[--trace-out=FILE]\n",
+                         "[--events-out=FILE] [--trace-out=FILE]\n",
                          argv[0]);
             return 2;
         }
@@ -495,15 +530,33 @@ int main(int argc, char** argv) {
     // tagged span trace written as Chrome trace JSON on exit.
     if (!trace_out.empty()) par::Profiler::set_trace_enabled(true);
     std::unique_ptr<obs::MetricsExporter> exporter;
-    if (!metrics_out.empty()) {
+    if (!metrics_out.empty() || !events_out.empty()) {
         obs::MetricsExporter::Config mcfg;
         mcfg.path = metrics_out;
         mcfg.interval_ms = metrics_interval;
         mcfg.format = obs::format_for_path(metrics_out);
+        mcfg.events_path = events_out;
         exporter = std::make_unique<obs::MetricsExporter>(obs::registry(),
                                                           std::move(mcfg));
     }
+    // The anomaly watchdog rides the same registry the exporter snapshots:
+    // its rule breaches land in the global EventLog, which the exporter
+    // drains to --events-out as JSONL. A short interval so the CI-sized
+    // runs get several evaluations.
+    std::unique_ptr<obs::Watchdog> watchdog;
+    if (!events_out.empty()) {
+        obs::Watchdog::Config wcfg;
+        wcfg.interval = std::chrono::milliseconds(100);
+        wcfg.background = true;
+        watchdog = std::make_unique<obs::Watchdog>(
+            obs::registry(), obs::EventLog::global(),
+            obs::default_rules(/*queue_capacity=*/4'096), wcfg);
+    }
     const auto finish_observability = [&] {
+        if (watchdog) {
+            watchdog->stop();
+            watchdog->evaluate_now();  // one final deterministic pass
+        }
         if (exporter) exporter->stop();
         if (trace_out.empty()) return;
         if (obs::write_chrome_trace(trace_out))
@@ -522,11 +575,62 @@ int main(int argc, char** argv) {
         serve::SnapshotStore<double> store(scfg);
         serve::ResultCache cache;
         store.set_cache(&cache);
+        serve::FlightRecorder recorder(16);
         serve::ExecutorConfig ecfg;
         ecfg.pending_capacity = 4'096;
         ecfg.deadline = std::chrono::milliseconds(250);
         ecfg.cache = &cache;
+        ecfg.recorder = &recorder;
+        // The paced client needs the admission-controlled background path;
+        // the fire-and-forget producer queries work either way.
+        ecfg.background = target_qps > 0;
         serve::QueryExecutor<double> executor(store, ecfg);
+
+        // The external paced client: fixed arrival schedule at
+        // --target-qps, on-arrival latency against --slo-ms, coordinated-
+        // omission-safe (serve/load_gen.hpp). It starts once the first
+        // snapshot is published so it measures serving, not attach.
+        std::atomic<bool> engine_done{false};
+        serve::LoadGenReport slo_rep;
+        std::thread paced_client;
+        if (target_qps > 0) {
+            paced_client = std::thread([&] {
+                while (store.published() == 0 &&
+                       !engine_done.load(std::memory_order_acquire))
+                    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                serve::LoadGenConfig lg;
+                lg.target_qps = target_qps;
+                lg.total = static_cast<std::size_t>(
+                    std::max(200.0, target_qps));  // ~1 s of traffic
+                lg.slo_ms = slo_ms;
+                const sparse::index_t n = 1024;  // run_serving's matrix
+                slo_rep = serve::run_paced(
+                    executor, lg, [&](std::uint64_t k) {
+                        std::uint64_t x = k * 6364136223846793005ull +
+                                          1442695040888963407ull;
+                        const auto row = static_cast<sparse::index_t>(
+                            (x >> 17) % static_cast<std::uint64_t>(n));
+                        const auto col = static_cast<sparse::index_t>(
+                            (x >> 41) % static_cast<std::uint64_t>(n));
+                        switch (k % 4) {
+                            case 0:
+                                return serve::Query{
+                                    serve::QueryKind::EdgeExists, row, col, 1,
+                                    ""};
+                            case 1:
+                                return serve::Query{serve::QueryKind::Degree,
+                                                    row, 0, 1, ""};
+                            case 2:
+                                return serve::Query{serve::QueryKind::KHop,
+                                                    row, 0, 2, ""};
+                            default:
+                                return serve::Query{
+                                    serve::QueryKind::AnalyticsRead, 0, 0, 1,
+                                    "triangles"};
+                        }
+                    });
+            });
+        }
 
         const std::size_t serve_writes = writes > 0 ? writes : 2'000;
         par::run_world(kRanks, [&](par::Comm& comm) {
@@ -536,7 +640,27 @@ int main(int argc, char** argv) {
             if (comm.rank() == 0)
                 obs::publish_comm_stats(comm.stats().snapshot());
         });
+        engine_done.store(true, std::memory_order_release);
+        if (paced_client.joinable())
+            paced_client.join();  // tail queries: the final snapshot
         executor.stop();
+
+        if (target_qps > 0) {
+            std::printf(
+                "paced client: %llu arrivals at %.0f qps (achieved %.0f), "
+                "on-arrival p50/p99/p999 %.2f/%.2f/%.2f ms, "
+                "%llu SLO violations (%.1f%%), max submit lateness %.2f ms\n",
+                static_cast<unsigned long long>(slo_rep.issued), target_qps,
+                slo_rep.achieved_qps, slo_rep.p50_ms, slo_rep.p99_ms,
+                slo_rep.p999_ms,
+                static_cast<unsigned long long>(slo_rep.slo_violations),
+                100.0 * slo_rep.violation_rate(),
+                slo_rep.max_submit_lateness_ms);
+            std::printf("slow-query flight recorder (%llu offered, worst "
+                        "%zu):\n%s\n",
+                        static_cast<unsigned long long>(recorder.offered()),
+                        recorder.worst().size(), recorder.to_json().c_str());
+        }
 
         // The final readout IS the registry: per-class serve_query_ns
         // quantiles (p50/p99/p999 in ms), cache counters, stream/persist

@@ -1,19 +1,32 @@
 #!/usr/bin/env python3
 """Validates a --trace-out file (Chrome trace-event JSON) and, optionally,
-a --metrics-out JSONL file, as produced by the observability layer
-(src/obs/). Run in CI after a short instrumented example run:
+a --metrics-out JSONL file and an --events-out EventLog JSONL file, as
+produced by the observability layer (src/obs/). Run in CI after a short
+instrumented example run:
 
     scripts/check-trace.py trace.json [--metrics metrics.jsonl]
+                           [--events events.jsonl]
                            [--min-events N] [--min-snapshots N]
+                           [--min-flows N] [--min-log-events N]
 
 Checks on the trace:
   - the file is one JSON object with a "traceEvents" list;
-  - every event is a complete event (ph "X") carrying name/ts/dur/pid/tid
-    and an args object with integer epoch and rank tags;
+  - every event is a complete event (ph "X") or a flow event (ph "s"/"f")
+    carrying name/ts/pid/tid; complete events carry dur and an args object
+    with integer epoch and rank tags;
   - timestamps and durations are finite and non-negative, and within each
-    (pid, tid) track the start timestamps are monotone non-decreasing
-    (the exporter sorts spans; a violation means ring corruption);
+    (pid, tid) track the complete-event start timestamps are monotone
+    non-decreasing (the exporter sorts spans; a violation means ring
+    corruption);
   - pid == rank + 1 (rank -1 spans group under pid 0);
+  - request-scoped spans: every "Serve query" span carries integer
+    args.qid >= 1, args.qclass >= 0 and args.snapshot_version >= 0, and
+    every "Serve admit" span carries args.qid >= 1;
+  - flow events: each flow id appears exactly twice — one "s" and one "f"
+    with the same name/cat — the "f" carries args.qid, both carry the same
+    args.snapshot_version, and the "s" lies inside a "Serve publish"
+    complete span of the same (pid, tid) and snapshot_version (the publish
+    span that produced the snapshot the query was answered from);
   - otherData.dropped_spans is a non-negative integer.
 
 Checks on the metrics JSONL:
@@ -22,6 +35,13 @@ Checks on the metrics JSONL:
     validates line by line);
   - ts_ms is monotone non-decreasing across lines;
   - histogram entries carry count/mean/p50/p90/p99/p999/max.
+
+Checks on the EventLog JSONL (obs::EventLog via the exporter):
+  - every line is a standalone JSON object with integer ts_ms and seq,
+    severity in {info, warning, critical}, string rule/metric/message and
+    numeric value/threshold;
+  - seq is strictly increasing across lines (the exporter drains the ring
+    by cursor; a repeat or gap backwards means double-emission).
 """
 import argparse
 import json
@@ -43,7 +63,22 @@ def check_number(value, what, allow_float=True):
     return value
 
 
-def check_trace(path, min_events):
+def check_query_args(args, where, need_version=True):
+    for key in ("qid", "qclass") + (("snapshot_version",) if need_version
+                                    else ()):
+        if key not in args:
+            fail(f"{where}: args missing '{key}'")
+        check_number(args[key], f"{where}: args.{key}", allow_float=False)
+    if args["qid"] < 1:
+        fail(f"{where}: args.qid {args['qid']} < 1")
+    if args["qclass"] < 0:
+        fail(f"{where}: args.qclass {args['qclass']} < 0")
+    if need_version and args["snapshot_version"] < 0:
+        fail(f"{where}: args.snapshot_version "
+             f"{args['snapshot_version']} < 0")
+
+
+def check_trace(path, min_events, min_flows):
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
@@ -57,22 +92,42 @@ def check_trace(path, min_events):
     if len(events) < min_events:
         fail(f"{path}: {len(events)} events, expected >= {min_events}")
 
-    last_ts = {}  # (pid, tid) -> last start ts
+    last_ts = {}      # (pid, tid) -> last complete-event start ts
+    publishes = []    # (pid, tid, ts, ts+dur, snapshot_version)
+    flows = {}        # id -> {"s": event, "f": event}
+    n_complete = 0
     for k, ev in enumerate(events):
         where = f"{path}: event {k}"
         if not isinstance(ev, dict):
             fail(f"{where} is not an object")
-        for key in ("name", "ph", "ts", "dur", "pid", "tid", "args"):
+        ph = ev.get("ph")
+        if ph not in ("X", "s", "f"):
+            fail(f"{where}: ph is {ph!r}, expected 'X', 's' or 'f'")
+        for key in ("name", "ts", "pid", "tid"):
             if key not in ev:
                 fail(f"{where} missing '{key}'")
-        if ev["ph"] != "X":
-            fail(f"{where}: ph is {ev['ph']!r}, expected 'X'")
         if not isinstance(ev["name"], str) or not ev["name"]:
             fail(f"{where}: empty or non-string name")
         ts = check_number(ev["ts"], f"{where}: ts")
-        dur = check_number(ev["dur"], f"{where}: dur")
         if ts < 0:
             fail(f"{where}: negative ts {ts}")
+        pid = check_number(ev["pid"], f"{where}: pid", allow_float=False)
+
+        if ph in ("s", "f"):
+            for key in ("id", "cat", "args"):
+                if key not in ev:
+                    fail(f"{where} missing '{key}'")
+            slot = flows.setdefault(ev["id"], {})
+            if ph in slot:
+                fail(f"{where}: duplicate '{ph}' for flow id {ev['id']!r}")
+            slot[ph] = (k, ev)
+            continue
+
+        n_complete += 1
+        for key in ("dur", "args"):
+            if key not in ev:
+                fail(f"{where} missing '{key}'")
+        dur = check_number(ev["dur"], f"{where}: dur")
         if dur < 0:
             fail(f"{where}: negative dur {dur}")
         args = ev["args"]
@@ -83,7 +138,6 @@ def check_trace(path, min_events):
                 fail(f"{where}: args missing '{key}'")
             check_number(args[key], f"{where}: args.{key}",
                          allow_float=False)
-        pid = check_number(ev["pid"], f"{where}: pid", allow_float=False)
         if pid != args["rank"] + 1:
             fail(f"{where}: pid {pid} != rank {args['rank']} + 1")
         track = (pid, ev["tid"])
@@ -91,13 +145,55 @@ def check_trace(path, min_events):
             fail(f"{where}: ts {ts} goes backwards on track {track} "
                  f"(previous {last_ts[track]})")
         last_ts[track] = ts
+        if ev["name"] == "Serve query":
+            check_query_args(args, where)
+        elif ev["name"] == "Serve admit":
+            check_query_args(args, where, need_version=False)
+        elif ev["name"] == "Serve publish":
+            if "snapshot_version" in args:
+                publishes.append((pid, ev["tid"], ts, ts + dur,
+                                  args["snapshot_version"]))
+
+    for fid, slot in flows.items():
+        if set(slot) != {"s", "f"}:
+            fail(f"{path}: flow id {fid!r} has halves {sorted(slot)}, "
+                 f"expected exactly one 's' and one 'f'")
+        (ks, s_ev), (kf, f_ev) = slot["s"], slot["f"]
+        for key in ("name", "cat"):
+            if s_ev[key] != f_ev[key]:
+                fail(f"{path}: flow id {fid!r}: '{key}' differs between "
+                     f"s ({s_ev[key]!r}) and f ({f_ev[key]!r})")
+        s_args, f_args = s_ev.get("args", {}), f_ev.get("args", {})
+        for args, which in ((s_args, f"event {ks} (s)"),
+                            (f_args, f"event {kf} (f)")):
+            if "snapshot_version" not in args:
+                fail(f"{path}: {which}: args missing 'snapshot_version'")
+        if s_args["snapshot_version"] != f_args["snapshot_version"]:
+            fail(f"{path}: flow id {fid!r}: snapshot_version differs "
+                 f"between s and f")
+        if "qid" not in f_args:
+            fail(f"{path}: event {kf} (f): args missing 'qid'")
+        check_number(f_args["qid"], f"{path}: event {kf} (f): args.qid",
+                     allow_float=False)
+        anchored = any(
+            pid == s_ev["pid"] and tid == s_ev["tid"] and
+            t0 <= s_ev["ts"] <= t1 and ver == s_args["snapshot_version"]
+            for pid, tid, t0, t1, ver in publishes)
+        if not anchored:
+            fail(f"{path}: event {ks} (s): no enclosing 'Serve publish' "
+                 f"span for snapshot_version {s_args['snapshot_version']} "
+                 f"on (pid {s_ev['pid']}, tid {s_ev['tid']})")
+
+    if len(flows) < min_flows:
+        fail(f"{path}: {len(flows)} flow pairs, expected >= {min_flows}")
 
     other = doc.get("otherData", {})
     dropped = other.get("dropped_spans")
     if not isinstance(dropped, int) or isinstance(dropped, bool) or dropped < 0:
         fail(f"{path}: otherData.dropped_spans is {dropped!r}")
-    print(f"check-trace: {path}: {len(events)} events on "
-          f"{len(last_ts)} tracks, {dropped} dropped — OK")
+    print(f"check-trace: {path}: {n_complete} spans on "
+          f"{len(last_ts)} tracks, {len(flows)} flow pairs, "
+          f"{dropped} dropped — OK")
 
 
 def check_metrics(path, min_snapshots):
@@ -134,18 +230,64 @@ def check_metrics(path, min_snapshots):
     print(f"check-trace: {path}: {len(lines)} metrics snapshots — OK")
 
 
+SEVERITIES = ("info", "warning", "critical")
+
+
+def check_events(path, min_log_events):
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = [ln for ln in f.read().splitlines() if ln.strip()]
+    except OSError as exc:
+        fail(f"{path}: {exc}")
+    if len(lines) < min_log_events:
+        fail(f"{path}: {len(lines)} events, expected >= {min_log_events}")
+    prev_seq = None
+    for k, line in enumerate(lines):
+        where = f"{path}: line {k + 1}"
+        try:
+            ev = json.loads(line)
+        except json.JSONDecodeError as exc:
+            fail(f"{where}: {exc}")
+        if not isinstance(ev, dict):
+            fail(f"{where}: not an object")
+        for key in ("ts_ms", "seq"):
+            if not isinstance(ev.get(key), int) or isinstance(ev.get(key),
+                                                              bool):
+                fail(f"{where}: {key} is {ev.get(key)!r}")
+        if ev.get("severity") not in SEVERITIES:
+            fail(f"{where}: severity is {ev.get('severity')!r}, expected "
+                 f"one of {SEVERITIES}")
+        for key in ("rule", "metric", "message"):
+            if not isinstance(ev.get(key), str) or not ev[key]:
+                fail(f"{where}: {key} is {ev.get(key)!r}")
+        for key in ("value", "threshold"):
+            check_number(ev.get(key), f"{where}: {key}")
+        if prev_seq is not None and ev["seq"] <= prev_seq:
+            fail(f"{where}: seq {ev['seq']} not increasing "
+                 f"(previous {prev_seq})")
+        prev_seq = ev["seq"]
+    print(f"check-trace: {path}: {len(lines)} watchdog events — OK")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("trace", help="Chrome trace JSON from --trace-out")
     ap.add_argument("--metrics", help="metrics JSONL from --metrics-out")
+    ap.add_argument("--events", help="EventLog JSONL from --events-out")
     ap.add_argument("--min-events", type=int, default=1,
                     help="minimum traceEvents required (default 1)")
     ap.add_argument("--min-snapshots", type=int, default=1,
                     help="minimum metrics lines required (default 1)")
+    ap.add_argument("--min-flows", type=int, default=0,
+                    help="minimum flow (s/f) pairs required (default 0)")
+    ap.add_argument("--min-log-events", type=int, default=0,
+                    help="minimum EventLog lines required (default 0)")
     args = ap.parse_args()
-    check_trace(args.trace, args.min_events)
+    check_trace(args.trace, args.min_events, args.min_flows)
     if args.metrics:
         check_metrics(args.metrics, args.min_snapshots)
+    if args.events is not None:
+        check_events(args.events, args.min_log_events)
     print("check-trace: PASSED")
 
 

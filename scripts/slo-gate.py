@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Gates CI on the DSG_BENCH_JSON records of bench_slo_serving.
+
+    scripts/slo-gate.py bench.json [--baseline BENCH_9.json]
+                        [--max-violation-rate R] [--max-p99-ms MS]
+
+Validates every record with mode == "slo" (there must be at least one):
+  - the SLO schema fields are present with the right types: target_qps,
+    slo_ms, arrivals, served, ok, shed, expired, on_arrival_p50/p99/
+    p999/max_ms, slo_violations, violation_rate, achieved_qps,
+    max_submit_lateness_ms, and at least one slo_violations_<class>
+    per-class count;
+  - accounting is exact: served + shed + expired == arrivals, and the
+    per-class violation counts sum to slo_violations;
+  - percentiles are ordered: p50 <= p99 <= p999 <= max;
+  - violation_rate <= --max-violation-rate (default 0.9: CI runners are
+    1-2 cores, so the default only catches a serving tier that answers
+    essentially nothing within the SLO — the trend lives in the
+    baseline comparison);
+  - if --max-p99-ms is given, on-arrival p99 must stay under it.
+
+With --baseline, also shells out to scripts/bench-compare.py with
+order-of-magnitude --fail-over factors on p99 and violation_rate, so a
+gross regression against the committed BENCH_9.json fails the job even
+when the absolute ceilings pass.
+"""
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+REQUIRED_NUMBERS = (
+    "target_qps", "slo_ms", "arrivals", "served", "ok", "shed", "expired",
+    "cache_hits", "on_arrival_p50_ms", "on_arrival_p99_ms",
+    "on_arrival_p999_ms", "on_arrival_max_ms", "slo_violations",
+    "violation_rate", "achieved_qps", "max_submit_lateness_ms",
+)
+
+
+def fail(msg):
+    print(f"slo-gate: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("bench", help="DSG_BENCH_JSON output to gate")
+    ap.add_argument("--baseline",
+                    help="committed bench JSON to diff against via "
+                         "bench-compare.py")
+    ap.add_argument("--max-violation-rate", type=float, default=0.9)
+    ap.add_argument("--max-p99-ms", type=float, default=None)
+    args = ap.parse_args()
+
+    try:
+        with open(args.bench, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"{args.bench}: {exc}")
+    if isinstance(doc, dict):
+        doc = [doc]
+    if not isinstance(doc, list):
+        fail(f"{args.bench}: expected a JSON array of bench records")
+
+    slo_records = [r for r in doc if isinstance(r, dict)
+                   and r.get("mode") == "slo"]
+    if not slo_records:
+        fail(f"{args.bench}: no records with mode == 'slo'")
+
+    for k, rec in enumerate(slo_records):
+        where = f"{args.bench}: slo record {k}"
+        for key in REQUIRED_NUMBERS:
+            if not is_number(rec.get(key)):
+                fail(f"{where}: field {key!r} missing or non-numeric "
+                     f"({rec.get(key)!r})")
+        per_class = {key: v for key, v in rec.items()
+                     if key.startswith("slo_violations_")}
+        if not per_class:
+            fail(f"{where}: no slo_violations_<class> fields")
+        for key, v in per_class.items():
+            if not is_number(v):
+                fail(f"{where}: field {key!r} non-numeric ({v!r})")
+        if rec["served"] + rec["shed"] + rec["expired"] != rec["arrivals"]:
+            fail(f"{where}: served {rec['served']} + shed {rec['shed']} + "
+                 f"expired {rec['expired']} != arrivals {rec['arrivals']}")
+        if sum(per_class.values()) != rec["slo_violations"]:
+            fail(f"{where}: per-class violations sum "
+                 f"{sum(per_class.values())} != slo_violations "
+                 f"{rec['slo_violations']}")
+        p50, p99 = rec["on_arrival_p50_ms"], rec["on_arrival_p99_ms"]
+        p999, pmax = rec["on_arrival_p999_ms"], rec["on_arrival_max_ms"]
+        if not p50 <= p99 <= p999 <= pmax:
+            fail(f"{where}: percentiles out of order "
+                 f"({p50} / {p99} / {p999} / max {pmax})")
+        if rec["violation_rate"] > args.max_violation_rate:
+            fail(f"{where}: violation_rate {rec['violation_rate']:.3f} > "
+                 f"ceiling {args.max_violation_rate}")
+        if args.max_p99_ms is not None and p99 > args.max_p99_ms:
+            fail(f"{where}: on-arrival p99 {p99:.2f} ms > ceiling "
+                 f"{args.max_p99_ms} ms")
+        print(f"slo-gate: record {k}: target {rec['target_qps']:.0f} qps, "
+              f"p99 {p99:.2f} ms, violation rate "
+              f"{rec['violation_rate']:.3f} — OK")
+
+    if args.baseline:
+        compare = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                               "bench-compare.py")
+        cmd = [sys.executable, compare, args.baseline, args.bench,
+               "--fail-over", "on_arrival_p99_ms:10",
+               "--fail-over", "violation_rate:10"]
+        print(f"slo-gate: running {' '.join(cmd)}")
+        if subprocess.run(cmd, check=False).returncode != 0:
+            fail(f"baseline comparison against {args.baseline} failed")
+
+    print("slo-gate: PASSED")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,158 @@
+// Structured anomaly events, ring-buffered alongside the metrics registry.
+//
+// The watchdog (obs/watchdog.hpp) appends one Event per rule transition
+// (fired / cleared); the MetricsExporter drains the ring incrementally each
+// tick and appends one JSON line per event next to the metrics JSONL, so a
+// dashboard tailing both files sees "what the numbers were" and "what the
+// watchdog concluded" on the same timeline. The ring is bounded like the
+// profiler's trace rings: wraparound keeps the newest events and counts the
+// dropped, and consumers track their position with a monotone sequence
+// number so a slow exporter never re-emits or misses a retained event.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dsg::obs {
+
+/// Severity of an anomaly event. `Info` is used for rule-clear transitions;
+/// rules declare their own firing severity.
+enum class Severity : int { Info = 0, Warning, Critical };
+
+[[nodiscard]] constexpr std::string_view severity_name(Severity s) {
+    switch (s) {
+        case Severity::Info: return "info";
+        case Severity::Warning: return "warning";
+        case Severity::Critical: return "critical";
+    }
+    return "?";
+}
+
+/// One structured anomaly event.
+struct Event {
+    std::int64_t ts_ms = 0;       ///< wall-clock ms since the Unix epoch
+    Severity severity = Severity::Info;
+    std::string rule;             ///< rule name, e.g. "snapshot-lag-ceiling"
+    std::string metric;           ///< registry key (family prefix) evaluated
+    double value = 0.0;           ///< observed value at the transition
+    double threshold = 0.0;       ///< the rule's threshold
+    std::string message;          ///< human-readable one-liner
+    std::uint64_t seq = 0;        ///< assigned by EventLog::append, from 1
+};
+
+/// Renders one event as a single JSON line (no trailing newline). Schema
+/// documented in docs/BENCHMARKS.md and validated by scripts/check-trace.py.
+[[nodiscard]] inline std::string to_jsonl(const Event& e) {
+    auto esc = [](const std::string& s) {
+        std::string out;
+        for (char c : s) {
+            if (c == '"' || c == '\\') {
+                out.push_back('\\');
+                out.push_back(c);
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+        return out;
+    };
+    char num[64];
+    std::string out = "{\"ts_ms\": " + std::to_string(e.ts_ms);
+    out += ", \"seq\": " + std::to_string(e.seq);
+    out += ", \"severity\": \"";
+    out += severity_name(e.severity);
+    out += "\", \"rule\": \"" + esc(e.rule) + "\"";
+    out += ", \"metric\": \"" + esc(e.metric) + "\"";
+    std::snprintf(num, sizeof num, "%.6g", e.value);
+    out += ", \"value\": ";
+    out += num;
+    std::snprintf(num, sizeof num, "%.6g", e.threshold);
+    out += ", \"threshold\": ";
+    out += num;
+    out += ", \"message\": \"" + esc(e.message) + "\"}";
+    return out;
+}
+
+/// Bounded, mutex-guarded event ring. Appends assign monotone sequence
+/// numbers; collect_since() lets each consumer drain incrementally.
+class EventLog {
+public:
+    explicit EventLog(std::size_t capacity = 1024)
+        : capacity_(capacity == 0 ? 1 : capacity) {}
+
+    /// Appends `e` (seq and, when zero, ts_ms are filled in) and returns the
+    /// assigned sequence number. Oldest events are evicted past capacity.
+    std::uint64_t append(Event e) {
+        if (e.ts_ms == 0)
+            e.ts_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::system_clock::now().time_since_epoch())
+                          .count();
+        std::lock_guard lock(mx_);
+        e.seq = ++last_seq_;
+        events_.push_back(std::move(e));
+        if (events_.size() > capacity_) {
+            events_.pop_front();
+            ++dropped_;
+        }
+        return last_seq_;
+    }
+
+    /// Copies every retained event with seq > cursor into `out` (in seq
+    /// order) and returns the new cursor (the highest seq seen).
+    std::uint64_t collect_since(std::uint64_t cursor,
+                                std::vector<Event>& out) const {
+        std::lock_guard lock(mx_);
+        for (const Event& e : events_)
+            if (e.seq > cursor) out.push_back(e);
+        return std::max(cursor, last_seq_);
+    }
+
+    /// All retained events, oldest first.
+    [[nodiscard]] std::vector<Event> snapshot() const {
+        std::lock_guard lock(mx_);
+        return {events_.begin(), events_.end()};
+    }
+
+    /// Events ever appended / evicted before being collected by anyone.
+    [[nodiscard]] std::uint64_t total() const {
+        std::lock_guard lock(mx_);
+        return last_seq_;
+    }
+    [[nodiscard]] std::uint64_t dropped() const {
+        std::lock_guard lock(mx_);
+        return dropped_;
+    }
+
+    /// Empties the ring (sequence numbers keep advancing).
+    void clear() {
+        std::lock_guard lock(mx_);
+        events_.clear();
+    }
+
+    /// Process-wide instance wired by default into the watchdog and the
+    /// exporter, mirroring obs::registry().
+    static EventLog& global() {
+        static EventLog log;
+        return log;
+    }
+
+private:
+    mutable std::mutex mx_;
+    std::deque<Event> events_;
+    std::size_t capacity_;
+    std::uint64_t last_seq_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+}  // namespace dsg::obs

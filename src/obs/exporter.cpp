@@ -25,9 +25,15 @@ ExportFormat format_for_path(const std::string& path) {
 
 MetricsExporter::MetricsExporter(Registry& reg, Config cfg)
     : reg_(reg), cfg_(std::move(cfg)) {
-    if (cfg_.path.empty()) return;
+    if (!cfg_.events_path.empty() && cfg_.events == nullptr)
+        cfg_.events = &EventLog::global();
+    if (cfg_.path.empty() && cfg_.events_path.empty()) return;
     // Truncate up front so every run's file starts fresh in both formats.
-    if (std::FILE* f = std::fopen(cfg_.path.c_str(), "w")) std::fclose(f);
+    if (!cfg_.path.empty())
+        if (std::FILE* f = std::fopen(cfg_.path.c_str(), "w")) std::fclose(f);
+    if (!cfg_.events_path.empty())
+        if (std::FILE* f = std::fopen(cfg_.events_path.c_str(), "w"))
+            std::fclose(f);
     thread_ = std::thread([this] { run(); });
 }
 
@@ -40,11 +46,12 @@ void MetricsExporter::stop() {
     }
     g_stop_cv.notify_all();
     if (thread_.joinable()) thread_.join();
-    if (!cfg_.path.empty()) write_snapshot();  // the final record
+    if (!cfg_.path.empty() || !cfg_.events_path.empty())
+        write_snapshot();  // the final record
 }
 
 void MetricsExporter::write_now() {
-    if (!cfg_.path.empty()) write_snapshot();
+    if (!cfg_.path.empty() || !cfg_.events_path.empty()) write_snapshot();
 }
 
 void MetricsExporter::run() {
@@ -67,6 +74,24 @@ void MetricsExporter::write_snapshot() {
     const MetricsSnapshot snap = reg_.snapshot();
     // Serialize concurrent writers (exporter thread vs stop()'s final write).
     std::lock_guard lock(write_mx_);
+    if (!cfg_.events_path.empty() && cfg_.events != nullptr) {
+        std::vector<Event> fresh;
+        events_cursor_ = cfg_.events->collect_since(events_cursor_, fresh);
+        if (!fresh.empty()) {
+            if (std::FILE* f = std::fopen(cfg_.events_path.c_str(), "a")) {
+                for (const Event& e : fresh) {
+                    const std::string line = to_jsonl(e) + "\n";
+                    std::fwrite(line.data(), 1, line.size(), f);
+                }
+                std::fflush(f);
+                std::fclose(f);
+            }
+        }
+    }
+    if (cfg_.path.empty()) {
+        ticks_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
     if (cfg_.format == ExportFormat::Jsonl) {
         // Append + flush per tick: a SIGKILL between ticks leaves every
         // previously written line complete on disk.

@@ -11,6 +11,12 @@
 // An optional on_snapshot callback runs on the exporter thread just before
 // each snapshot is taken — the hook subsystems use to push stats the
 // registry can't pull itself (see obs/mirrors.hpp for par::CommStats).
+//
+// With events_path set, every tick additionally drains the new entries of
+// an obs::EventLog (the watchdog's output) and appends them as JSON lines
+// to that file — same append+flush durability contract as the metrics
+// stream, so anomaly events and the metrics they were derived from land on
+// disk together.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +24,7 @@
 #include <string>
 #include <thread>
 
+#include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
 
 namespace dsg::obs {
@@ -34,6 +41,10 @@ public:
         ExportFormat format = ExportFormat::Jsonl;
         /// Runs on the exporter thread immediately before every snapshot.
         std::function<void()> on_snapshot;
+        /// EventLog JSONL sidecar (empty = disabled). New events of
+        /// `events` (default: EventLog::global()) are appended every tick.
+        std::string events_path;
+        EventLog* events = nullptr;
     };
 
     explicit MetricsExporter(Registry& reg, Config cfg);
@@ -58,6 +69,7 @@ private:
 
     Registry& reg_;
     Config cfg_;
+    std::uint64_t events_cursor_ = 0;  ///< guarded by write_mx_
     std::atomic<bool> stop_{false};
     std::atomic<std::uint64_t> ticks_{0};
     std::mutex write_mx_;

@@ -67,8 +67,25 @@ void append_hist_json(std::string& out, const HistogramSummary& h) {
     out += "}";
 }
 
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash, double-quote and newline must be rendered as \\, \" and \n
+/// inside the quoted value.
+std::string prom_escape(std::string_view value) {
+    std::string out;
+    out.reserve(value.size());
+    for (const char c : value) {
+        switch (c) {
+            case '\\': out += "\\\\"; break;
+            case '"': out += "\\\""; break;
+            case '\n': out += "\\n"; break;
+            default: out += c;
+        }
+    }
+    return out;
+}
+
 /// Splits "name{k=v,k2=v2}" into the Prometheus-safe name and rendered
-/// label pairs 'k="v",k2="v2"'.
+/// label pairs 'k="v",k2="v2"' (values escaped per the exposition format).
 std::pair<std::string, std::string> prom_parts(const std::string& key) {
     const auto brace = key.find('{');
     if (brace == std::string::npos) return {key, ""};
@@ -85,7 +102,8 @@ std::pair<std::string, std::string> prom_parts(const std::string& key) {
         if (eq == std::string::npos) {
             rendered += pair + "=\"\"";
         } else {
-            rendered += pair.substr(0, eq) + "=\"" + pair.substr(eq + 1) +
+            rendered += pair.substr(0, eq) + "=\"" +
+                        prom_escape(std::string_view(pair).substr(eq + 1)) +
                         "\"";
         }
         pos = comma + 1;
@@ -150,6 +168,8 @@ Histogram::Reading Histogram::read() const {
 }
 
 double Histogram::Reading::quantile(double q) const {
+    // Empty reading: 0.0 by contract (never NaN — count is re-derived from
+    // the buckets, so count > 0 guarantees a bucket is occupied below).
     if (count == 0) return 0.0;
     q = std::clamp(q, 0.0, 1.0);
     const auto target = static_cast<std::uint64_t>(

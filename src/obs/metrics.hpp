@@ -188,7 +188,12 @@ public:
         std::uint64_t count = 0;
         std::uint64_t sum = 0;
 
-        /// Upper bound of the bucket holding the q-th quantile (0 < q <= 1).
+        /// Upper bound of the bucket holding the q-th quantile (q clamped
+        /// to [0, 1]). Contract on degenerate readings: an empty reading
+        /// (count == 0) returns 0.0 for every q — never NaN or a division
+        /// by zero — and a single-bucket reading (all samples equal, or
+        /// one sample) returns that bucket's upper bound for every q, so
+        /// p50 == p999 == max. tests/obs/test_metrics.cpp pins both.
         [[nodiscard]] double quantile(double q) const;
         [[nodiscard]] double mean() const {
             return count > 0

@@ -67,6 +67,36 @@ TraceRing& thread_ring() {
 
 thread_local int t_rank = -1;
 thread_local std::int64_t t_epoch = -1;
+thread_local std::uint64_t t_qid = 0;
+thread_local int t_qclass = -1;
+thread_local std::int64_t t_snapshot_version = -1;
+
+/// Builds a span from the thread's current tags and pushes it to the
+/// thread's ring. Shared by Scope::~Scope and Profiler::emit_span.
+void emit_tagged(Phase phase, std::uint64_t start_ns, std::uint64_t dur_ns,
+                 std::uint64_t flow_id, FlowDir flow) {
+    TraceRing& ring = thread_ring();
+    TraceSpan span;
+    span.phase = phase;
+    span.start_ns = start_ns;
+    span.dur_ns = dur_ns;
+    span.epoch = t_epoch;
+    span.rank = t_rank;
+    span.tid = ring.tid;
+    span.qid = t_qid;
+    span.qclass = t_qclass;
+    span.snapshot_version = t_snapshot_version;
+    span.flow_id = flow_id;
+    span.flow = flow;
+    ring.emit(span);
+}
+
+std::uint64_t to_ns(std::chrono::steady_clock::time_point tp) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            tp.time_since_epoch())
+            .count());
+}
 
 }  // namespace
 
@@ -103,6 +133,22 @@ void Profiler::set_trace_capacity(std::size_t spans) {
 void Profiler::set_thread_rank(int rank) { t_rank = rank; }
 
 void Profiler::set_thread_epoch(std::int64_t epoch) { t_epoch = epoch; }
+
+void Profiler::set_thread_query(std::uint64_t qid, int qclass) {
+    t_qid = qid;
+    t_qclass = qclass;
+}
+
+void Profiler::set_thread_snapshot_version(std::int64_t version) {
+    t_snapshot_version = version;
+}
+
+void Profiler::emit_span(Phase phase,
+                         std::chrono::steady_clock::time_point start,
+                         std::uint64_t dur_ns) {
+    if (!trace_enabled()) return;
+    emit_tagged(phase, to_ns(start), dur_ns, 0, FlowDir::None);
+}
 
 TraceDump Profiler::collect_trace() {
     TraceDump dump;
@@ -149,20 +195,12 @@ Profiler::Scope::~Scope() {
     if (timing_)
         totals()[static_cast<std::size_t>(phase_)].fetch_add(
             ns, std::memory_order_relaxed);
-    if (tracing_) {
-        TraceRing& ring = thread_ring();
-        TraceSpan span;
-        span.phase = phase_;
-        span.start_ns = static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                start_.time_since_epoch())
-                .count());
-        span.dur_ns = ns;
-        span.epoch = t_epoch;
-        span.rank = t_rank;
-        span.tid = ring.tid;
-        ring.emit(span);
-    }
+    if (tracing_) emit_tagged(phase_, to_ns(start_), ns, flow_id_, flow_);
+}
+
+void Profiler::Scope::set_flow(std::uint64_t id, FlowDir dir) {
+    flow_id_ = id;
+    flow_ = dir;
 }
 
 }  // namespace dsg::par

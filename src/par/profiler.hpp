@@ -51,6 +51,7 @@ enum class Phase : int {
     ServePublish,       ///< snapshot tile freeze + seal/publish (src/serve/)
     ServeQuery,         ///< query evaluation on published snapshots
     ServeCache,         ///< result-cache lookups, inserts and invalidation
+    ServeAdmit,         ///< queue residence of an admitted query (submit→drain)
     Other,
     kCount
 };
@@ -82,6 +83,7 @@ inline constexpr std::array<std::string_view, kPhaseCount> kPhaseNames = {
     "Serve publish",    // ServePublish
     "Serve query",      // ServeQuery
     "Serve cache",      // ServeCache
+    "Serve admit",      // ServeAdmit
     "Other",            // Other
 };
 static_assert(kPhaseNames.size() == kPhaseCount,
@@ -93,6 +95,14 @@ static_assert(kPhaseNames.size() == kPhaseCount,
     return idx < kPhaseCount ? kPhaseNames[idx] : std::string_view("?");
 }
 
+/// Direction of a Chrome-trace flow binding attached to a span. A Start
+/// span is a flow producer (rendered as a `ph:"s"` event), a Finish span a
+/// consumer (`ph:"f"`); spans sharing a flow id are drawn connected by
+/// Perfetto. The serving layer uses `snapshot version + 1` as the flow id,
+/// so every query span points back at the publish span that produced the
+/// snapshot it was answered from.
+enum class FlowDir : std::uint8_t { None = 0, Start, Finish };
+
 /// One completed Scope bracket, as recorded in a trace ring.
 struct TraceSpan {
     Phase phase = Phase::Other;
@@ -101,6 +111,14 @@ struct TraceSpan {
     std::int64_t epoch = -1;  ///< engine version being applied, -1 = none
     int rank = -1;            ///< -1 = non-rank thread (producers, pools)
     std::uint32_t tid = 0;    ///< small process-local thread id
+
+    // Request-scoped tags (set via Profiler::set_thread_query /
+    // set_thread_snapshot_version by the serving layer; zero/-1 = unset).
+    std::uint64_t qid = 0;        ///< query id minted at submit(), 0 = none
+    int qclass = -1;              ///< query-class index, -1 = none
+    std::int64_t snapshot_version = -1;  ///< snapshot answering, -1 = none
+    std::uint64_t flow_id = 0;    ///< flow-event binding id, 0 = none
+    FlowDir flow = FlowDir::None;
 };
 
 /// Merged result of collect_trace(): spans from every thread's ring plus
@@ -138,6 +156,21 @@ public:
     static void set_thread_rank(int rank);
     static void set_thread_epoch(std::int64_t epoch);
 
+    /// Request-scoped tags: the query executor stamps the query id/class
+    /// around each query's processing (clear with (0, -1)), and both sides
+    /// of the serving layer stamp the snapshot version involved (clear with
+    /// -1). Like rank/epoch these are plain thread-locals copied into every
+    /// span the thread emits while set.
+    static void set_thread_query(std::uint64_t qid, int qclass);
+    static void set_thread_snapshot_version(std::int64_t version);
+
+    /// Emits one span directly (bypassing Scope) with the thread's current
+    /// tags — used for brackets whose start time predates the emitting call,
+    /// e.g. a query's queue residence recorded at drain with the submit-time
+    /// timestamp. No-op while tracing is off.
+    static void emit_span(Phase phase, std::chrono::steady_clock::time_point start,
+                          std::uint64_t dur_ns);
+
     /// Spans from all rings (completed threads' rings included), sorted by
     /// start time. Safe concurrently with emitters.
     [[nodiscard]] static TraceDump collect_trace();
@@ -155,11 +188,18 @@ public:
         Scope(const Scope&) = delete;
         Scope& operator=(const Scope&) = delete;
 
+        /// Attaches a flow binding to the span this scope will emit.
+        /// obs::to_chrome_trace renders matched Start/Finish pairs as
+        /// `ph:"s"`/`ph:"f"` flow events anchored to the two spans.
+        void set_flow(std::uint64_t id, FlowDir dir);
+
     private:
         Phase phase_;
         bool timing_;
         bool tracing_;
         std::chrono::steady_clock::time_point start_;
+        std::uint64_t flow_id_ = 0;
+        FlowDir flow_ = FlowDir::None;
     };
 };
 

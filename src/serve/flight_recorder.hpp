@@ -1,0 +1,144 @@
+// Slow-query flight recorder: a bounded worst-K retention of completed
+// queries with their full span breakdown.
+//
+// The registry's serve_query_ns histograms say THAT a p999 spike happened;
+// the flight recorder says WHICH queries it was and where their time went
+// (admission wait vs execution), what they answered from (snapshot version
+// + how far behind the engine that snapshot was) and how (status, cache
+// hit). The QueryExecutor records every completed query when a recorder is
+// configured; retention keeps the K slowest by total latency, so the
+// interesting tail survives arbitrarily long runs in O(K) memory.
+//
+// record() is called concurrently from pool workers and the dispatcher.
+// The common case — a query faster than the current K-th worst — is
+// rejected after one relaxed atomic load, without taking the mutex;
+// tests/serve/test_flight_recorder.cpp hammers this under TSan.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/query_types.hpp"
+
+namespace dsg::serve {
+
+class FlightRecorder {
+public:
+    /// One retained query: identity, outcome, and span breakdown. The
+    /// trace rings carry the same qid/snapshot_version under span args, so
+    /// an entry can be joined against a Chrome trace (the flow event of
+    /// snapshot_version links it to the publish span that produced the
+    /// snapshot it waited on).
+    struct Entry {
+        std::uint64_t qid = 0;
+        QueryKind kind = QueryKind::EdgeExists;
+        QueryStatus status = QueryStatus::Ok;
+        bool cache_hit = false;
+        std::uint64_t snapshot_version = 0;  ///< 0 = no snapshot involved
+        std::int64_t snapshot_lag = 0;  ///< versions behind the store at completion
+        std::uint64_t admission_wait_ns = 0;  ///< queue residence (submit path)
+        std::uint64_t execute_ns = 0;         ///< total minus admission wait
+        std::uint64_t total_ns = 0;           ///< submit entry to completion
+    };
+
+    explicit FlightRecorder(std::size_t worst_k = 32)
+        : worst_k_(worst_k == 0 ? 1 : worst_k) {}
+
+    FlightRecorder(const FlightRecorder&) = delete;
+    FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+    /// Offers one completed query; retained iff it ranks in the worst K so
+    /// far. Thread-safe.
+    void record(const Entry& e) {
+        offered_.fetch_add(1, std::memory_order_relaxed);
+        // Fast reject: once K entries are retained, anything at or below
+        // the floor (the K-th worst latency) can't rank. The floor only
+        // rises, so a stale read merely lets a borderline entry through to
+        // the locked re-check.
+        if (e.total_ns <= floor_ns_.load(std::memory_order_relaxed)) return;
+        std::lock_guard lock(mx_);
+        if (entries_.size() < worst_k_) {
+            entries_.push_back(e);
+            std::push_heap(entries_.begin(), entries_.end(), slower());
+            if (entries_.size() == worst_k_)
+                floor_ns_.store(entries_.front().total_ns,
+                                std::memory_order_relaxed);
+            return;
+        }
+        if (e.total_ns <= entries_.front().total_ns) return;
+        std::pop_heap(entries_.begin(), entries_.end(), slower());
+        entries_.back() = e;
+        std::push_heap(entries_.begin(), entries_.end(), slower());
+        floor_ns_.store(entries_.front().total_ns, std::memory_order_relaxed);
+    }
+
+    /// The retained entries, slowest first.
+    [[nodiscard]] std::vector<Entry> worst() const {
+        std::vector<Entry> out;
+        {
+            std::lock_guard lock(mx_);
+            out = entries_;
+        }
+        std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+            return a.total_ns > b.total_ns;
+        });
+        return out;
+    }
+
+    /// Queries ever offered to record().
+    [[nodiscard]] std::uint64_t offered() const {
+        return offered_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::size_t capacity() const { return worst_k_; }
+
+    /// The retained entries as a JSON array (slowest first) — the dump the
+    /// serving example writes next to its trace.
+    [[nodiscard]] std::string to_json() const {
+        std::string out = "[";
+        char buf[512];
+        bool first = true;
+        for (const Entry& e : worst()) {
+            std::snprintf(
+                buf, sizeof buf,
+                "%s\n{\"qid\": %llu, \"class\": \"%s\", \"status\": \"%s\", "
+                "\"cache_hit\": %s, \"snapshot_version\": %llu, "
+                "\"snapshot_lag\": %lld, \"admission_wait_ns\": %llu, "
+                "\"execute_ns\": %llu, \"total_ns\": %llu}",
+                first ? "" : ",",
+                static_cast<unsigned long long>(e.qid),
+                query_kind_name(e.kind), query_status_name(e.status),
+                e.cache_hit ? "true" : "false",
+                static_cast<unsigned long long>(e.snapshot_version),
+                static_cast<long long>(e.snapshot_lag),
+                static_cast<unsigned long long>(e.admission_wait_ns),
+                static_cast<unsigned long long>(e.execute_ns),
+                static_cast<unsigned long long>(e.total_ns));
+            out += buf;
+            first = false;
+        }
+        out += "\n]\n";
+        return out;
+    }
+
+private:
+    /// Min-heap comparator: the heap top is the FASTEST retained entry (the
+    /// eviction candidate).
+    struct slower {
+        bool operator()(const Entry& a, const Entry& b) const {
+            return a.total_ns > b.total_ns;
+        }
+    };
+
+    const std::size_t worst_k_;
+    mutable std::mutex mx_;
+    std::vector<Entry> entries_;           ///< min-heap by total_ns
+    std::atomic<std::uint64_t> floor_ns_{0};
+    std::atomic<std::uint64_t> offered_{0};
+};
+
+}  // namespace dsg::serve

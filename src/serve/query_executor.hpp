@@ -24,6 +24,16 @@
 // the ResultCache. A submit whose answer is cached under the CURRENT
 // version completes inline — it never consumes queue capacity. Version
 // advance invalidates for free (see result_cache.hpp).
+//
+// Request-scoped tracing: every entering query mints a TraceContext (a
+// process-unique qid), and all spans its processing emits — queue
+// residence (ServeAdmit, recorded at drain with the submit-time start),
+// cache lookups (ServeCache) and evaluation (ServeQuery) — carry the
+// qid/class/snapshot-version under their args. The ServeQuery span is
+// additionally flow-linked (id = snapshot version + 1) to the ServePublish
+// span that produced the snapshot it was answered from, and completed
+// queries are offered to the configured FlightRecorder with their span
+// breakdown. See docs/ARCHITECTURE.md, "Request tracing & the watchdog".
 #pragma once
 
 #include <algorithm>
@@ -44,88 +54,13 @@
 #include "obs/metrics.hpp"
 #include "par/profiler.hpp"
 #include "par/thread_pool.hpp"
+#include "serve/flight_recorder.hpp"
+#include "serve/query_types.hpp"
 #include "serve/result_cache.hpp"
 #include "serve/snapshot_store.hpp"
 #include "sparse/types.hpp"
 
 namespace dsg::serve {
-
-enum class QueryKind : std::uint8_t {
-    EdgeExists,     ///< is (row, col) a stored non-zero? value 1/0
-    Degree,         ///< stored out-degree of `row`
-    KHop,           ///< vertices within <= `hops` directed steps of `row`
-    AnalyticsRead,  ///< frozen maintainer readout named `metric`
-};
-inline constexpr std::size_t kQueryKindCount = 4;
-
-[[nodiscard]] constexpr const char* query_kind_name(QueryKind k) {
-    switch (k) {
-        case QueryKind::EdgeExists: return "edge-exists";
-        case QueryKind::Degree: return "degree";
-        case QueryKind::KHop: return "k-hop";
-        case QueryKind::AnalyticsRead: return "analytics-read";
-    }
-    return "?";
-}
-
-/// One typed query. Fields beyond `kind` are read per kind (see QueryKind).
-struct Query {
-    QueryKind kind = QueryKind::EdgeExists;
-    sparse::index_t row = 0;
-    sparse::index_t col = 0;
-    int hops = 1;        ///< KHop only
-    std::string metric;  ///< AnalyticsRead only
-
-    friend bool operator==(const Query&, const Query&) = default;
-};
-
-/// Stable 64-bit fingerprint of a query — the cache key next to the
-/// snapshot version. Collisions are as likely as any 64-bit hash; a
-/// colliding pair would serve one the other's cached double, which the
-/// serving tier tolerates (caches trade exactness of THIS kind away; the
-/// uncached path stays authoritative).
-[[nodiscard]] inline std::uint64_t fingerprint(const Query& q) {
-    auto mix = [](std::uint64_t h, std::uint64_t v) {
-        h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
-        h *= 0xff51afd7ed558ccdull;
-        return h ^ (h >> 33);
-    };
-    std::uint64_t h = 0x5851f42d4c957f2dull;
-    h = mix(h, static_cast<std::uint64_t>(q.kind));
-    h = mix(h, static_cast<std::uint64_t>(q.row));
-    h = mix(h, static_cast<std::uint64_t>(q.col));
-    h = mix(h, static_cast<std::uint64_t>(q.hops));
-    for (const char c : q.metric)
-        h = mix(h, static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
-    return h;
-}
-
-enum class QueryStatus : std::uint8_t {
-    Ok,          ///< value is the answer
-    NotFound,    ///< AnalyticsRead named an unknown metric
-    NoSnapshot,  ///< nothing published yet (store before first publication)
-    Shed,        ///< rejected by admission control (queue full / shutdown)
-    Expired,     ///< waited past its deadline; never executed
-};
-
-[[nodiscard]] constexpr const char* query_status_name(QueryStatus s) {
-    switch (s) {
-        case QueryStatus::Ok: return "ok";
-        case QueryStatus::NotFound: return "not-found";
-        case QueryStatus::NoSnapshot: return "no-snapshot";
-        case QueryStatus::Shed: return "shed";
-        case QueryStatus::Expired: return "expired";
-    }
-    return "?";
-}
-
-struct QueryResult {
-    QueryStatus status = QueryStatus::Ok;
-    double value = 0;           ///< answer (Ok): count, 0/1, or readout
-    std::uint64_t version = 0;  ///< snapshot version that answered
-    bool cache_hit = false;
-    double latency_us = 0;  ///< submit/execute entry to completion
-};
 
 /// Plain-value per-query-class accounting (copied out of atomics).
 struct QueryClassStats {
@@ -162,6 +97,9 @@ struct ExecutorConfig {
     par::ThreadPool* pool = nullptr;
     /// Result cache; nullptr disables caching entirely.
     ResultCache* cache = nullptr;
+    /// Slow-query flight recorder; every completed (non-shed) query is
+    /// offered when set. nullptr disables recording.
+    FlightRecorder* recorder = nullptr;
 };
 
 template <typename T>
@@ -199,11 +137,13 @@ public:
     /// admission control (inline callers self-limit by calling rate).
     QueryResult execute(const Query& q) {
         const auto t0 = Clock::now();
+        const TraceContext ctx{next_query_id(), q.kind};
         auto& cls = stats_[static_cast<std::size_t>(q.kind)];
         cls.submitted.fetch_add(1, std::memory_order_relaxed);
+        QueryTag tag(ctx);
         auto snap = store_->current();
         QueryResult r = evaluate(snap.get(), q, fingerprint(q));
-        finish(cls, r, t0);
+        finish(cls, r, t0, ctx.qid, 0);
         return r;
     }
 
@@ -213,6 +153,7 @@ public:
     /// deadline.
     std::future<QueryResult> submit(Query q) {
         const auto t0 = Clock::now();
+        const TraceContext ctx{next_query_id(), q.kind};
         auto& cls = stats_[static_cast<std::size_t>(q.kind)];
         cls.submitted.fetch_add(1, std::memory_order_relaxed);
         std::promise<QueryResult> promise;
@@ -221,9 +162,10 @@ public:
         const std::uint64_t fp = fingerprint(q);
         if (cfg_.cache != nullptr) {
             if (const auto ver = store_->current_version()) {
+                QueryTag tag(ctx);  // the cache-lookup span carries the qid
                 if (const auto hit = cfg_.cache->lookup(*ver, fp)) {
                     QueryResult r{QueryStatus::Ok, *hit, *ver, true, 0};
-                    finish(cls, r, t0);
+                    finish(cls, r, t0, ctx.qid, 0);
                     promise.set_value(r);
                     return future;
                 }
@@ -233,14 +175,14 @@ public:
             std::lock_guard lock(mx_);
             if (!stopping_ && pending_.size() < cfg_.pending_capacity) {
                 pending_.push_back(
-                    {std::move(q), fp, std::move(promise), t0});
+                    {std::move(q), fp, std::move(promise), t0, ctx.qid});
                 cv_.notify_one();
                 return future;
             }
         }
         cls.shed.fetch_add(1, std::memory_order_relaxed);
         obs_shed_[static_cast<std::size_t>(q.kind)]->add(1);
-        promise.set_value({QueryStatus::Shed, 0, 0, false, 0});
+        promise.set_value({QueryStatus::Shed, 0, 0, false, 0, ctx.qid});
         return future;
     }
 
@@ -305,6 +247,31 @@ private:
         std::uint64_t fp = 0;
         std::promise<QueryResult> promise;
         Clock::time_point enqueued;
+        std::uint64_t qid = 0;  ///< TraceContext minted at submit()
+    };
+
+    /// RAII thread tag for one query's processing: every span emitted while
+    /// alive (admission, cache lookup, evaluation) carries the request's
+    /// qid/class under its args.
+    struct QueryTag {
+        explicit QueryTag(const TraceContext& ctx) {
+            par::Profiler::set_thread_query(ctx.qid,
+                                            static_cast<int>(ctx.kind));
+        }
+        ~QueryTag() { par::Profiler::set_thread_query(0, -1); }
+        QueryTag(const QueryTag&) = delete;
+        QueryTag& operator=(const QueryTag&) = delete;
+    };
+
+    /// RAII thread tag for the snapshot version a query is answered from.
+    struct VersionTag {
+        explicit VersionTag(std::uint64_t v) {
+            par::Profiler::set_thread_snapshot_version(
+                static_cast<std::int64_t>(v));
+        }
+        ~VersionTag() { par::Profiler::set_thread_snapshot_version(-1); }
+        VersionTag(const VersionTag&) = delete;
+        VersionTag& operator=(const VersionTag&) = delete;
     };
 
     struct ClassCounters {
@@ -320,6 +287,7 @@ private:
         if (snap == nullptr) return {QueryStatus::NoSnapshot, 0, 0, false, 0};
         QueryResult r;
         r.version = snap->version();
+        VersionTag vtag(r.version);
         if (cfg_.cache != nullptr) {
             if (const auto hit = cfg_.cache->lookup(r.version, fp)) {
                 r.value = *hit;
@@ -329,6 +297,9 @@ private:
         }
         {
             par::Profiler::Scope scope(par::Phase::ServeQuery);
+            // Flow id = version + 1 (0 means "no flow"): the renderer links
+            // this span back to the publish span that produced the snapshot.
+            scope.set_flow(r.version + 1, par::FlowDir::Finish);
             switch (q.kind) {
                 case QueryKind::EdgeExists:
                     r.value = snap->edge_exists(q.row, q.col) ? 1.0 : 0.0;
@@ -356,12 +327,16 @@ private:
     }
 
     /// Completion bookkeeping shared by every path that produced a result.
-    void finish(ClassCounters& cls, QueryResult& r, Clock::time_point t0) {
+    /// `wait_ns` is the admission wait (queue residence) of the submit
+    /// path; inline paths pass 0.
+    void finish(ClassCounters& cls, QueryResult& r, Clock::time_point t0,
+                std::uint64_t qid, std::uint64_t wait_ns) {
         const auto ns = static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 Clock::now() - t0)
                 .count());
         r.latency_us = static_cast<double>(ns) * 1e-3;
+        r.qid = qid;
         const auto kind = static_cast<std::size_t>(&cls - stats_.data());
         switch (r.status) {
             case QueryStatus::Ok:
@@ -391,6 +366,22 @@ private:
                !cls.max_ns.compare_exchange_weak(prev, ns,
                                                  std::memory_order_relaxed)) {
         }
+        if (cfg_.recorder != nullptr) {
+            FlightRecorder::Entry e;
+            e.qid = qid;
+            e.kind = static_cast<QueryKind>(kind);
+            e.status = r.status;
+            e.cache_hit = r.cache_hit;
+            e.snapshot_version = r.version;
+            if (r.version > 0)
+                if (const auto cur = store_->current_version())
+                    e.snapshot_lag = static_cast<std::int64_t>(*cur) -
+                                     static_cast<std::int64_t>(r.version);
+            e.admission_wait_ns = std::min(wait_ns, ns);
+            e.execute_ns = ns - e.admission_wait_ns;
+            e.total_ns = ns;
+            cfg_.recorder->record(e);
+        }
     }
 
     /// Pops up to batch_max pending queries; with `wait` blocks until work
@@ -417,13 +408,22 @@ private:
         auto run_one = [&](std::size_t k) {
             Pending& p = batch[k];
             auto& cls = stats_[static_cast<std::size_t>(p.query.kind)];
+            const QueryTag tag(TraceContext{p.qid, p.query.kind});
+            const auto wait_ns = static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    now - p.enqueued)
+                    .count());
+            // The admission span brackets queue residence: emitted here (the
+            // wait is only known at drain) with the submit-time start.
+            par::Profiler::emit_span(par::Phase::ServeAdmit, p.enqueued,
+                                     wait_ns);
             QueryResult r;
             if (now - p.enqueued > cfg_.deadline) {
                 r.status = QueryStatus::Expired;
             } else {
                 r = evaluate(snap.get(), p.query, p.fp);
             }
-            finish(cls, r, p.enqueued);
+            finish(cls, r, p.enqueued, p.qid, wait_ns);
             p.promise.set_value(r);
         };
         if (cfg_.pool != nullptr && batch.size() > 1) {

@@ -1,0 +1,109 @@
+// Query vocabulary of the serving subsystem: typed queries, their stable
+// fingerprints, and result/status types. Split from query_executor.hpp so
+// sidecars (flight recorder, load generator) can speak the same types
+// without pulling in the executor.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "sparse/types.hpp"
+
+namespace dsg::serve {
+
+enum class QueryKind : std::uint8_t {
+    EdgeExists,     ///< is (row, col) a stored non-zero? value 1/0
+    Degree,         ///< stored out-degree of `row`
+    KHop,           ///< vertices within <= `hops` directed steps of `row`
+    AnalyticsRead,  ///< frozen maintainer readout named `metric`
+};
+inline constexpr std::size_t kQueryKindCount = 4;
+
+[[nodiscard]] constexpr const char* query_kind_name(QueryKind k) {
+    switch (k) {
+        case QueryKind::EdgeExists: return "edge-exists";
+        case QueryKind::Degree: return "degree";
+        case QueryKind::KHop: return "k-hop";
+        case QueryKind::AnalyticsRead: return "analytics-read";
+    }
+    return "?";
+}
+
+/// One typed query. Fields beyond `kind` are read per kind (see QueryKind).
+struct Query {
+    QueryKind kind = QueryKind::EdgeExists;
+    sparse::index_t row = 0;
+    sparse::index_t col = 0;
+    int hops = 1;        ///< KHop only
+    std::string metric;  ///< AnalyticsRead only
+
+    friend bool operator==(const Query&, const Query&) = default;
+};
+
+/// Stable 64-bit fingerprint of a query — the cache key next to the
+/// snapshot version. Collisions are as likely as any 64-bit hash; a
+/// colliding pair would serve one the other's cached double, which the
+/// serving tier tolerates (caches trade exactness of THIS kind away; the
+/// uncached path stays authoritative).
+[[nodiscard]] inline std::uint64_t fingerprint(const Query& q) {
+    auto mix = [](std::uint64_t h, std::uint64_t v) {
+        h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+        h *= 0xff51afd7ed558ccdull;
+        return h ^ (h >> 33);
+    };
+    std::uint64_t h = 0x5851f42d4c957f2dull;
+    h = mix(h, static_cast<std::uint64_t>(q.kind));
+    h = mix(h, static_cast<std::uint64_t>(q.row));
+    h = mix(h, static_cast<std::uint64_t>(q.col));
+    h = mix(h, static_cast<std::uint64_t>(q.hops));
+    for (const char c : q.metric)
+        h = mix(h, static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+    return h;
+}
+
+enum class QueryStatus : std::uint8_t {
+    Ok,          ///< value is the answer
+    NotFound,    ///< AnalyticsRead named an unknown metric
+    NoSnapshot,  ///< nothing published yet (store before first publication)
+    Shed,        ///< rejected by admission control (queue full / shutdown)
+    Expired,     ///< waited past its deadline; never executed
+};
+
+[[nodiscard]] constexpr const char* query_status_name(QueryStatus s) {
+    switch (s) {
+        case QueryStatus::Ok: return "ok";
+        case QueryStatus::NotFound: return "not-found";
+        case QueryStatus::NoSnapshot: return "no-snapshot";
+        case QueryStatus::Shed: return "shed";
+        case QueryStatus::Expired: return "expired";
+    }
+    return "?";
+}
+
+struct QueryResult {
+    QueryStatus status = QueryStatus::Ok;
+    double value = 0;           ///< answer (Ok): count, 0/1, or readout
+    std::uint64_t version = 0;  ///< snapshot version that answered
+    bool cache_hit = false;
+    double latency_us = 0;  ///< submit/execute entry to completion
+    std::uint64_t qid = 0;  ///< request id minted at submit()/execute()
+};
+
+/// Request-scoped trace context, minted when a query enters the executor
+/// (submit() or execute()). The qid is process-unique and tags every span
+/// the query's processing emits (admission, cache lookup, evaluation) via
+/// par::Profiler::set_thread_query, giving each request an end-to-end
+/// identity across the trace rings, the flight recorder, and QueryResult.
+struct TraceContext {
+    std::uint64_t qid = 0;
+    QueryKind kind = QueryKind::EdgeExists;
+};
+
+/// Mints the next process-unique query id (never 0).
+[[nodiscard]] inline std::uint64_t next_query_id() {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace dsg::serve

@@ -326,18 +326,29 @@ public:
     /// attach-time publication happens before pumping starts).
     void publish_now(const core::DistDynamicMatrix<T>& A, int rank,
                      std::uint64_t version) {
-        par::Profiler::Scope scope(par::Phase::ServePublish);
-        const auto t0 = std::chrono::steady_clock::now();
-        staging_[static_cast<std::size_t>(rank)] = A.freeze_tile();
-        auto& world = A.shape().grid().world();
-        world.barrier();  // all tiles staged
-        if (rank == 0) seal(version);
-        world.barrier();  // sealed before any rank can restage
-        if (rank == 0)
-            obs_publish_ns_->record(static_cast<std::uint64_t>(
-                std::chrono::duration_cast<std::chrono::nanoseconds>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count()));
+        // Rank 0 (the sealer) marks its publish span as the flow producer
+        // for this version: query spans answered from the snapshot carry
+        // the matching flow id, and obs::to_chrome_trace renders the pairs
+        // as s/f flow arrows ("this slow query waited on that publish").
+        par::Profiler::set_thread_snapshot_version(
+            static_cast<std::int64_t>(version));
+        {
+            par::Profiler::Scope scope(par::Phase::ServePublish);
+            if (rank == 0)
+                scope.set_flow(version + 1, par::FlowDir::Start);
+            const auto t0 = std::chrono::steady_clock::now();
+            staging_[static_cast<std::size_t>(rank)] = A.freeze_tile();
+            auto& world = A.shape().grid().world();
+            world.barrier();  // all tiles staged
+            if (rank == 0) seal(version);
+            world.barrier();  // sealed before any rank can restage
+            if (rank == 0)
+                obs_publish_ns_->record(static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count()));
+        }
+        par::Profiler::set_thread_snapshot_version(-1);
     }
 
     // -- reader side (any thread, any time) ----------------------------------

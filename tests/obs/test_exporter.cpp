@@ -50,9 +50,10 @@ TEST(Exporter, StopWritesAFinalJsonlSnapshot) {
     {
         // Long interval: the thread never ticks on its own; the final
         // snapshot on stop is the only write.
-        obs::MetricsExporter exporter(
-            reg, {path, /*interval_ms=*/60'000, obs::ExportFormat::Jsonl,
-                  nullptr});
+        obs::MetricsExporter::Config cfg;
+        cfg.path = path;
+        cfg.interval_ms = 60'000;
+        obs::MetricsExporter exporter(reg, std::move(cfg));
         exporter.stop();
         EXPECT_EQ(exporter.ticks(), 1u);
         exporter.stop();  // idempotent
@@ -72,9 +73,10 @@ TEST(Exporter, JsonlAppendsOneLinePerTick) {
     auto& counter = reg.counter("ticks_seen");
     const std::string path = temp_path("dsg_exporter_ticks.jsonl");
     {
-        obs::MetricsExporter exporter(
-            reg, {path, /*interval_ms=*/60'000, obs::ExportFormat::Jsonl,
-                  nullptr});
+        obs::MetricsExporter::Config cfg;
+        cfg.path = path;
+        cfg.interval_ms = 60'000;
+        obs::MetricsExporter exporter(reg, std::move(cfg));
         counter.add(1);
         exporter.write_now();
         counter.add(1);
@@ -95,9 +97,10 @@ TEST(Exporter, PeriodicTicksHappenWithoutExplicitWrites) {
     reg.counter("c").add(1);
     const std::string path = temp_path("dsg_exporter_periodic.jsonl");
     {
-        obs::MetricsExporter exporter(
-            reg,
-            {path, /*interval_ms=*/5, obs::ExportFormat::Jsonl, nullptr});
+        obs::MetricsExporter::Config cfg;
+        cfg.path = path;
+        cfg.interval_ms = 5;
+        obs::MetricsExporter exporter(reg, std::move(cfg));
         // Wait until the background thread has ticked at least twice.
         for (int spin = 0; spin < 2000 && exporter.ticks() < 2; ++spin)
             std::this_thread::sleep_for(std::chrono::milliseconds(2));
@@ -112,9 +115,11 @@ TEST(Exporter, PrometheusRewritesWholeFile) {
     auto& gauge = reg.gauge("depth");
     const std::string path = temp_path("dsg_exporter.prom");
     {
-        obs::MetricsExporter exporter(
-            reg, {path, /*interval_ms=*/60'000,
-                  obs::ExportFormat::Prometheus, nullptr});
+        obs::MetricsExporter::Config cfg;
+        cfg.path = path;
+        cfg.interval_ms = 60'000;
+        cfg.format = obs::ExportFormat::Prometheus;
+        obs::MetricsExporter exporter(reg, std::move(cfg));
         gauge.set(5);
         exporter.write_now();
         gauge.set(9);

@@ -147,6 +147,42 @@ TEST(HistogramQuantiles, EmptyReadsZero) {
     EXPECT_EQ(reading.summary().max, 0.0);
 }
 
+TEST(HistogramQuantiles, EmptyReadingNeverProducesNaN) {
+    // The documented degenerate contract: a zero-count reading answers 0.0
+    // for EVERY q — including the edges — never NaN or a division blowup.
+    obs::Histogram h;
+    const auto reading = h.read();
+    for (const double q : {0.0, 0.001, 0.5, 0.999, 1.0}) {
+        const double est = reading.quantile(q);
+        EXPECT_FALSE(std::isnan(est)) << "q=" << q;
+        EXPECT_EQ(est, 0.0) << "q=" << q;
+    }
+    const auto s = reading.summary();
+    EXPECT_FALSE(std::isnan(s.mean));
+    EXPECT_FALSE(std::isnan(s.p50));
+    EXPECT_FALSE(std::isnan(s.p999));
+}
+
+TEST(HistogramQuantiles, SingleBucketCollapsesAllQuantiles) {
+    DSG_SKIP_IF_NOOP();
+    // Every sample in one bucket: all quantiles are that bucket's upper
+    // bound (p50 == p999 == max), and nothing is NaN. This pins the other
+    // documented degenerate case in Histogram::Reading::quantile.
+    obs::Histogram h;
+    for (int k = 0; k < 1000; ++k) h.record(42);
+    const auto reading = h.read();
+    const double upper = static_cast<double>(
+        obs::Histogram::bucket_upper(obs::Histogram::bucket_of(42)));
+    for (const double q : {0.0, 0.001, 0.5, 0.99, 0.999, 1.0}) {
+        const double est = reading.quantile(q);
+        EXPECT_FALSE(std::isnan(est)) << "q=" << q;
+        EXPECT_EQ(est, upper) << "q=" << q;
+    }
+    const auto s = reading.summary();
+    EXPECT_EQ(s.p50, s.p999);
+    EXPECT_EQ(s.p999, s.max);
+}
+
 // ---------------------------------------------------------------------------
 // Concurrency (exercised under TSan by the obs CI label)
 // ---------------------------------------------------------------------------
@@ -345,6 +381,43 @@ TEST(Rendering, JsonObjectHasNoTimestamp) {
     EXPECT_EQ(obj.back(), '}');
     EXPECT_EQ(obj.find("ts_ms"), std::string::npos);
     EXPECT_NE(obj.find("\"histograms\""), std::string::npos);
+}
+
+TEST(Rendering, PrometheusEscapesLabelValues) {
+    DSG_SKIP_IF_NOOP();
+    // The exposition format requires backslash, double-quote and newline
+    // escaped inside label values. Render, then unescape what landed
+    // between the quotes and require the exact original back (round-trip).
+    const std::string raw = "a\\b\"c\nd";
+    obs::Registry reg;
+    reg.counter("esc", {{"path", raw}}).add(1);
+    const std::string text = reg.snapshot().to_prometheus();
+    const std::string expect = "esc{path=\"a\\\\b\\\"c\\nd\"} 1";
+    ASSERT_NE(text.find(expect), std::string::npos) << text;
+    // No raw newline may survive inside the braces of any line.
+    for (std::size_t pos = 0, nl = 0; (nl = text.find('\n', pos)) !=
+                                      std::string::npos;
+         pos = nl + 1) {
+        const std::string line = text.substr(pos, nl - pos);
+        const auto open = line.find('{');
+        if (open != std::string::npos) {
+            EXPECT_EQ(line.find('\n', open), std::string::npos);
+        }
+    }
+    // Round-trip: unescape the rendered value.
+    const auto start = text.find("esc{path=\"") + 10;
+    const auto end = text.find("\"}", start);
+    const std::string rendered = text.substr(start, end - start);
+    std::string unescaped;
+    for (std::size_t k = 0; k < rendered.size(); ++k) {
+        if (rendered[k] == '\\' && k + 1 < rendered.size()) {
+            const char c = rendered[++k];
+            unescaped.push_back(c == 'n' ? '\n' : c);
+        } else {
+            unescaped.push_back(rendered[k]);
+        }
+    }
+    EXPECT_EQ(unescaped, raw);
 }
 
 TEST(Rendering, TextTableMentionsEveryInstrument) {

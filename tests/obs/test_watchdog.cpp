@@ -1,0 +1,279 @@
+// The anomaly watchdog: rule firing and clearing with hysteresis driven by
+// synthetic registry snapshots (the deterministic evaluate(snapshot) unit),
+// metric family prefix matching, counter-rate rules, and the EventLog ring
+// (bounded retention, monotone sequence numbers, cursor-based incremental
+// collection, JSONL rendering).
+#include "obs/watchdog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "obs/event_log.hpp"
+#include "obs/metrics.hpp"
+
+namespace obs = dsg::obs;
+
+namespace {
+
+/// A snapshot with one gauge; ts_ms advances so rate rules see time flow.
+obs::MetricsSnapshot gauge_snap(std::int64_t ts_ms, const std::string& key,
+                                double value) {
+    obs::MetricsSnapshot snap;
+    snap.ts_ms = ts_ms;
+    snap.gauges.emplace_back(key, value);
+    return snap;
+}
+
+obs::Rule gauge_rule(const std::string& name, const std::string& metric,
+                     double threshold, int for_ticks, int clear_ticks) {
+    obs::Rule r;
+    r.name = name;
+    r.metric = metric;
+    r.kind = obs::RuleKind::GaugeAbove;
+    r.threshold = threshold;
+    r.for_ticks = for_ticks;
+    r.clear_ticks = clear_ticks;
+    return r;
+}
+
+TEST(Watchdog, FiresAfterForTicksAndClearsAfterClearTicks) {
+    obs::Registry reg;
+    obs::EventLog log;
+    obs::Watchdog wd(reg, log, {gauge_rule("lag", "snapshot_lag", 8.0,
+                                           /*for_ticks=*/2,
+                                           /*clear_ticks=*/2)});
+
+    // One breaching tick: hysteresis holds it back.
+    EXPECT_EQ(wd.evaluate(gauge_snap(1000, "snapshot_lag", 20.0)), 0u);
+    EXPECT_FALSE(wd.firing("lag"));
+    // Second consecutive breach: fires exactly once.
+    EXPECT_EQ(wd.evaluate(gauge_snap(2000, "snapshot_lag", 21.0)), 1u);
+    EXPECT_TRUE(wd.firing("lag"));
+    // Staying breached emits nothing new.
+    EXPECT_EQ(wd.evaluate(gauge_snap(3000, "snapshot_lag", 22.0)), 0u);
+
+    // One calm tick is not enough to clear...
+    EXPECT_EQ(wd.evaluate(gauge_snap(4000, "snapshot_lag", 1.0)), 0u);
+    EXPECT_TRUE(wd.firing("lag"));
+    // ...two are; the clear event is Info severity.
+    EXPECT_EQ(wd.evaluate(gauge_snap(5000, "snapshot_lag", 1.0)), 1u);
+    EXPECT_FALSE(wd.firing("lag"));
+
+    const auto events = log.snapshot();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].rule, "lag");
+    EXPECT_EQ(events[0].severity, obs::Severity::Warning);
+    EXPECT_EQ(events[0].value, 21.0);
+    EXPECT_EQ(events[0].threshold, 8.0);
+    EXPECT_EQ(events[1].severity, obs::Severity::Info);
+    EXPECT_LT(events[0].seq, events[1].seq);
+}
+
+TEST(Watchdog, NoisySingleTicksNeverFlap) {
+    obs::Registry reg;
+    obs::EventLog log;
+    obs::Watchdog wd(reg, log,
+                     {gauge_rule("lag", "g", 10.0, /*for_ticks=*/2,
+                                 /*clear_ticks=*/2)});
+    // Alternating breach/calm: the breach streak resets every other tick,
+    // so a 2-tick hysteresis never fires.
+    for (int k = 0; k < 10; ++k)
+        EXPECT_EQ(wd.evaluate(gauge_snap(1000 * (k + 1), "g",
+                                         k % 2 == 0 ? 100.0 : 0.0)),
+                  0u)
+            << "tick " << k;
+    EXPECT_FALSE(wd.firing("lag"));
+    EXPECT_TRUE(log.snapshot().empty());
+}
+
+TEST(Watchdog, FamilyPrefixMatchesLabelledInstances) {
+    obs::Registry reg;
+    obs::EventLog log;
+    obs::Watchdog wd(reg, log,
+                     {gauge_rule("sat", "queue_depth", 100.0, 1, 1)});
+
+    // The labelled instance "queue_depth{rank=2}" belongs to the family;
+    // "queue_depth_other" does not (prefix must end at '{').
+    obs::MetricsSnapshot snap;
+    snap.ts_ms = 1000;
+    snap.gauges.emplace_back("queue_depth{rank=0}", 5.0);
+    snap.gauges.emplace_back("queue_depth{rank=2}", 500.0);
+    snap.gauges.emplace_back("queue_depth_other", 9999.0);
+    EXPECT_EQ(wd.evaluate(snap), 1u);  // max over the family: 500 > 100
+    EXPECT_TRUE(wd.firing("sat"));
+
+    obs::MetricsSnapshot snap2;
+    snap2.ts_ms = 2000;
+    snap2.gauges.emplace_back("queue_depth_other", 9999.0);
+    // Only the non-family key remains: a missing family is a calm tick.
+    EXPECT_EQ(wd.evaluate(snap2), 1u);  // the clear event
+    EXPECT_FALSE(wd.firing("sat"));
+}
+
+TEST(Watchdog, CounterRateUsesTimestampDeltas) {
+    obs::Registry reg;
+    obs::EventLog log;
+    obs::Rule r;
+    r.name = "shed-burst";
+    r.metric = "shed";
+    r.kind = obs::RuleKind::CounterRateAbove;
+    r.threshold = 100.0;  // per second
+    obs::Watchdog wd(reg, log, {r});
+
+    auto counter_snap = [](std::int64_t ts_ms, std::uint64_t value) {
+        obs::MetricsSnapshot snap;
+        snap.ts_ms = ts_ms;
+        snap.counters.emplace_back("shed", value);
+        return snap;
+    };
+    // First observation: no delta yet, never a breach.
+    EXPECT_EQ(wd.evaluate(counter_snap(1000, 1000)), 0u);
+    // +50 over 1 s = 50/s: calm.
+    EXPECT_EQ(wd.evaluate(counter_snap(2000, 1050)), 0u);
+    // +500 over 1 s = 500/s: fires.
+    EXPECT_EQ(wd.evaluate(counter_snap(3000, 1550)), 1u);
+    EXPECT_TRUE(wd.firing("shed-burst"));
+    const auto events = log.snapshot();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_NEAR(events[0].value, 500.0, 1.0);
+}
+
+TEST(Watchdog, HistogramRuleReadsTheConfiguredField) {
+    obs::Registry reg;
+    obs::EventLog log;
+    obs::Rule r;
+    r.name = "fsync-spike";
+    r.metric = "wal_fsync_ns";
+    r.kind = obs::RuleKind::HistAbove;
+    r.threshold = 100e6;
+    r.field = obs::HistField::P99;
+    obs::Watchdog wd(reg, log, {r});
+
+    obs::MetricsSnapshot snap;
+    snap.ts_ms = 1000;
+    obs::HistogramSummary h;
+    h.count = 10;
+    h.p50 = 1e6;
+    h.p99 = 250e6;  // the spike is in the tail only
+    h.max = 300e6;
+    snap.histograms.emplace_back("wal_fsync_ns", h);
+    EXPECT_EQ(wd.evaluate(snap), 1u);
+    EXPECT_TRUE(wd.firing("fsync-spike"));
+}
+
+TEST(Watchdog, DefaultRulesCoverTheDocumentedFailureModes) {
+    const auto rules = obs::default_rules(4096);
+    std::vector<std::string> names;
+    names.reserve(rules.size());
+    for (const auto& r : rules) names.push_back(r.name);
+    for (const char* expect :
+         {"epoch-drain-stall", "queue-saturation", "shed-burst",
+          "wal-fsync-spike", "snapshot-lag-ceiling"})
+        EXPECT_NE(std::find(names.begin(), names.end(), expect),
+                  names.end())
+            << expect;
+    // The queue rule scales with the configured capacity.
+    for (const auto& r : rules) {
+        if (r.name == "queue-saturation") {
+            EXPECT_DOUBLE_EQ(r.threshold, 0.9 * 4096);
+        }
+    }
+}
+
+TEST(Watchdog, EvaluateNowSnapshotsTheLiveRegistry) {
+    if (obs::compiled_noop())
+        GTEST_SKIP() << "instruments compiled to no-ops (DSG_OBS_NOOP)";
+    obs::Registry reg;
+    obs::EventLog log;
+    obs::Watchdog wd(reg, log, {gauge_rule("lag", "serve_snapshot_lag",
+                                           8.0, 1, 1)});
+    reg.gauge("serve_snapshot_lag").set(3);
+    EXPECT_EQ(wd.evaluate_now(), 0u);
+    reg.gauge("serve_snapshot_lag").set(50);
+    EXPECT_EQ(wd.evaluate_now(), 1u);
+    EXPECT_TRUE(wd.firing("lag"));
+}
+
+// ---------------------------------------------------------------------------
+// EventLog ring semantics
+// ---------------------------------------------------------------------------
+
+TEST(EventLog, AssignsMonotoneSeqAndFillsTimestamps) {
+    obs::EventLog log;
+    obs::Event e;
+    e.rule = "r";
+    EXPECT_EQ(log.append(e), 1u);
+    EXPECT_EQ(log.append(e), 2u);
+    const auto events = log.snapshot();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_GT(events[0].ts_ms, 0);
+    EXPECT_EQ(events[0].seq, 1u);
+    EXPECT_EQ(events[1].seq, 2u);
+}
+
+TEST(EventLog, BoundedRetentionKeepsNewestAndCountsDropped) {
+    obs::EventLog log(4);
+    for (int k = 0; k < 10; ++k) {
+        obs::Event e;
+        e.rule = "r";
+        e.rule += std::to_string(k);
+        log.append(e);
+    }
+    EXPECT_EQ(log.total(), 10u);
+    EXPECT_EQ(log.dropped(), 6u);
+    const auto events = log.snapshot();
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events.front().rule, "r6");  // oldest retained
+    EXPECT_EQ(events.back().rule, "r9");
+}
+
+TEST(EventLog, CursorCollectionNeverReEmits) {
+    obs::EventLog log;
+    obs::Event e;
+    e.rule = "r";
+    log.append(e);
+    log.append(e);
+
+    std::vector<obs::Event> out;
+    std::uint64_t cursor = log.collect_since(0, out);
+    EXPECT_EQ(out.size(), 2u);
+    EXPECT_EQ(cursor, 2u);
+
+    out.clear();
+    cursor = log.collect_since(cursor, out);  // nothing new
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(cursor, 2u);
+
+    log.append(e);
+    out.clear();
+    cursor = log.collect_since(cursor, out);  // only the new one
+    EXPECT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].seq, 3u);
+}
+
+TEST(EventLog, JsonlLineEscapesAndCarriesTheSchema) {
+    obs::Event e;
+    e.ts_ms = 1234;
+    e.seq = 7;
+    e.severity = obs::Severity::Critical;
+    e.rule = "snapshot-lag-ceiling";
+    e.metric = "serve_snapshot_lag";
+    e.value = 12.0;
+    e.threshold = 8.0;
+    e.message = "lag \"high\"\nback\\slash";
+    const std::string line = obs::to_jsonl(e);
+    EXPECT_EQ(line.find('\n'), std::string::npos);  // one line, no raw LF
+    EXPECT_NE(line.find("\"ts_ms\": 1234"), std::string::npos);
+    EXPECT_NE(line.find("\"seq\": 7"), std::string::npos);
+    EXPECT_NE(line.find("\"severity\": \"critical\""), std::string::npos);
+    EXPECT_NE(line.find("\"rule\": \"snapshot-lag-ceiling\""),
+              std::string::npos);
+    EXPECT_NE(line.find("\\\"high\\\""), std::string::npos);
+    EXPECT_NE(line.find("\\u000a"), std::string::npos);
+    EXPECT_NE(line.find("back\\\\slash"), std::string::npos);
+}
+
+}  // namespace

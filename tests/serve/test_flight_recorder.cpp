@@ -1,0 +1,173 @@
+// The slow-query flight recorder: worst-K retention and ordering, the
+// atomic-floor fast-reject path, concurrent submitters (the TSan-exercised
+// part), the JSON dump, and end-to-end recording through a QueryExecutor.
+#include "serve/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "serve/query_executor.hpp"
+#include "serve/snapshot_store.hpp"
+#include "stream/epoch_engine.hpp"
+
+namespace {
+
+using namespace dsg;
+using serve::FlightRecorder;
+using serve::QueryKind;
+using serve::QueryStatus;
+
+FlightRecorder::Entry entry(std::uint64_t qid, std::uint64_t total_ns) {
+    FlightRecorder::Entry e;
+    e.qid = qid;
+    e.total_ns = total_ns;
+    e.execute_ns = total_ns;
+    return e;
+}
+
+TEST(FlightRecorder, RetainsTheKSlowestInOrder) {
+    FlightRecorder rec(4);
+    // Offer 1..10 ms in shuffled order; only {7,8,9,10} may survive.
+    for (const std::uint64_t ms : {3, 9, 1, 7, 10, 2, 8, 5, 4, 6})
+        rec.record(entry(ms, ms * 1'000'000));
+    EXPECT_EQ(rec.offered(), 10u);
+    EXPECT_EQ(rec.capacity(), 4u);
+    const auto worst = rec.worst();
+    ASSERT_EQ(worst.size(), 4u);
+    // Slowest first, strictly ordered.
+    EXPECT_EQ(worst[0].qid, 10u);
+    EXPECT_EQ(worst[1].qid, 9u);
+    EXPECT_EQ(worst[2].qid, 8u);
+    EXPECT_EQ(worst[3].qid, 7u);
+}
+
+TEST(FlightRecorder, BelowFloorEntriesAreRejected) {
+    FlightRecorder rec(2);
+    rec.record(entry(1, 100));
+    rec.record(entry(2, 200));
+    // The floor is now 100 ns; equal-or-below offers can't displace.
+    rec.record(entry(3, 100));
+    rec.record(entry(4, 50));
+    auto worst = rec.worst();
+    ASSERT_EQ(worst.size(), 2u);
+    EXPECT_EQ(worst[0].qid, 2u);
+    EXPECT_EQ(worst[1].qid, 1u);
+    // A strictly slower offer evicts the fastest retained entry.
+    rec.record(entry(5, 150));
+    worst = rec.worst();
+    EXPECT_EQ(worst[0].qid, 2u);
+    EXPECT_EQ(worst[1].qid, 5u);
+    EXPECT_EQ(rec.offered(), 5u);
+}
+
+TEST(FlightRecorder, JsonDumpCarriesTheSchema) {
+    FlightRecorder rec(2);
+    FlightRecorder::Entry e;
+    e.qid = 42;
+    e.kind = QueryKind::KHop;
+    e.status = QueryStatus::Ok;
+    e.cache_hit = true;
+    e.snapshot_version = 7;
+    e.snapshot_lag = 2;
+    e.admission_wait_ns = 1000;
+    e.execute_ns = 2000;
+    e.total_ns = 3000;
+    rec.record(e);
+    const std::string json = rec.to_json();
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_NE(json.find("\"qid\": 42"), std::string::npos);
+    EXPECT_NE(json.find("\"class\": \"k-hop\""), std::string::npos);
+    EXPECT_NE(json.find("\"status\": \"ok\""), std::string::npos);
+    EXPECT_NE(json.find("\"cache_hit\": true"), std::string::npos);
+    EXPECT_NE(json.find("\"snapshot_version\": 7"), std::string::npos);
+    EXPECT_NE(json.find("\"snapshot_lag\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"admission_wait_ns\": 1000"), std::string::npos);
+    EXPECT_NE(json.find("\"total_ns\": 3000"), std::string::npos);
+}
+
+// The TSan-exercised part: many threads offering interleaved latencies.
+// The retained set must be exactly the K slowest offers regardless of
+// interleaving (total_ns values are all distinct by construction).
+TEST(FlightRecorder, ConcurrentOffersRetainExactlyTheSlowest) {
+    constexpr std::size_t kK = 8;
+    constexpr int kThreads = 4;
+    constexpr std::uint64_t kPerThread = 2'000;
+    FlightRecorder rec(kK);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&, t] {
+            for (std::uint64_t k = 0; k < kPerThread; ++k) {
+                // Distinct latencies across all threads; the global maxima
+                // are scattered over every thread's stream.
+                const std::uint64_t total =
+                    1 + k * kThreads + static_cast<std::uint64_t>(t);
+                rec.record(entry(total, total));
+            }
+        });
+    for (auto& th : threads) th.join();
+
+    EXPECT_EQ(rec.offered(), kThreads * kPerThread);
+    const auto worst = rec.worst();
+    ASSERT_EQ(worst.size(), kK);
+    // The K slowest offered latencies are exactly
+    // {N, N-1, ..., N-K+1} where N = kThreads * kPerThread.
+    const std::uint64_t n = kThreads * kPerThread;
+    for (std::size_t k = 0; k < kK; ++k)
+        EXPECT_EQ(worst[k].total_ns, n - k) << "rank " << k;
+}
+
+// End to end: an executor with a recorder configured records every
+// completed query, and entries carry the snapshot version they answered
+// from.
+TEST(FlightRecorder, ExecutorRecordsCompletedQueries) {
+    using SR = sparse::PlusTimes<double>;
+    serve::StoreConfig scfg;
+    scfg.publish_every = 1;
+    serve::SnapshotStore<double> store(scfg);
+    par::run_world(2, [&](par::Comm& comm) {
+        core::ProcessGrid grid(comm);
+        core::DistDynamicMatrix<double> A(grid, 32, 32);
+        stream::EngineConfig cfg;
+        cfg.epoch_batch = 64;
+        stream::EpochEngine<SR> engine(A, cfg);
+        store.attach(engine, A, nullptr);
+        if (comm.rank() == 0) {
+            for (sparse::index_t v = 0; v + 1 < 8; ++v)
+                ASSERT_TRUE(engine.queue().push(
+                    {stream::OpKind::Add, {v, v + 1, 1.0}}));
+        }
+        engine.queue().close();
+        engine.run();
+    });
+
+    FlightRecorder rec(8);
+    serve::ExecutorConfig ecfg;
+    ecfg.background = false;
+    ecfg.recorder = &rec;
+    serve::QueryExecutor<double> ex(store, ecfg);
+    for (sparse::index_t v = 0; v < 4; ++v)
+        (void)ex.execute({QueryKind::Degree, v, 0, 1, ""});
+
+    EXPECT_EQ(rec.offered(), 4u);
+    const auto worst = rec.worst();
+    ASSERT_EQ(worst.size(), 4u);
+    std::set<std::uint64_t> qids;
+    for (const auto& e : worst) {
+        EXPECT_GT(e.qid, 0u);
+        EXPECT_EQ(e.kind, QueryKind::Degree);
+        EXPECT_EQ(e.status, QueryStatus::Ok);
+        EXPECT_GT(e.snapshot_version, 0u);
+        EXPECT_GE(e.total_ns, e.execute_ns);
+        qids.insert(e.qid);
+    }
+    EXPECT_EQ(qids.size(), 4u) << "query ids must be distinct";
+}
+
+}  // namespace

@@ -1,0 +1,148 @@
+// The paced load generator: the fixed arrival schedule does not slip under
+// a deliberately slow executor (the coordinated-omission proof), on-arrival
+// latency includes the submit overhang, shed/expired always count as SLO
+// violations, accounting is exact, and the stop flag halts the loop.
+#include "serve/load_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <thread>
+
+#include "serve/query_types.hpp"
+
+namespace {
+
+using namespace dsg;
+using serve::LoadGenConfig;
+using serve::LoadGenReport;
+using serve::Query;
+using serve::QueryKind;
+using serve::QueryResult;
+using serve::QueryStatus;
+
+Query degree_query(std::uint64_t k) {
+    return Query{QueryKind::Degree, static_cast<sparse::index_t>(k % 32), 0,
+                 1, ""};
+}
+
+/// A fake executor whose submit() itself stalls — the pathological server
+/// a coordinated-omission-prone generator would silently pace down to.
+struct StallingExecutor {
+    std::chrono::milliseconds stall{0};
+    QueryStatus answer = QueryStatus::Ok;
+    std::uint64_t latency_us = 0;
+    std::atomic<std::uint64_t> submitted{0};
+
+    std::future<QueryResult> submit(Query q) {
+        (void)q;
+        if (stall.count() > 0) std::this_thread::sleep_for(stall);
+        submitted.fetch_add(1, std::memory_order_relaxed);
+        std::promise<QueryResult> p;
+        QueryResult r;
+        r.status = answer;
+        r.latency_us = static_cast<double>(latency_us);
+        p.set_value(r);
+        return p.get_future();
+    }
+};
+
+TEST(LoadGen, ScheduleDoesNotSlipUnderASlowExecutor) {
+    // 1 ms arrival gap, but every submit stalls 2 ms: a re-anchoring
+    // (coordinated-omission-prone) generator would report ~zero lateness
+    // because it re-bases the schedule on its own slowed-down progress.
+    // Ours keeps arrival k due at t0 + k ms, so by arrival k the submit is
+    // at least k ms late and max_submit_lateness_ms must GROW with total.
+    StallingExecutor ex;
+    ex.stall = std::chrono::milliseconds(2);
+    LoadGenConfig cfg;
+    cfg.target_qps = 1000.0;  // 1 ms gap
+    cfg.total = 40;
+    cfg.slo_ms = 5.0;
+    const LoadGenReport rep = serve::run_paced(ex, cfg, degree_query);
+
+    EXPECT_EQ(rep.issued, 40u);
+    EXPECT_EQ(ex.submitted.load(), 40u);
+    // 40 arrivals x 2 ms stall vs a 40 ms schedule: the last arrivals run
+    // tens of ms behind. Anything near zero would mean the schedule
+    // re-anchored.
+    EXPECT_GT(rep.max_submit_lateness_ms, 20.0);
+    // The overhang lands in the on-arrival latency of the queries stuck
+    // behind the stalls, so the median reflects the backlog even though
+    // the executor itself answered "instantly".
+    EXPECT_GT(rep.p50_ms, 5.0);
+    EXPECT_GT(rep.slo_violations, rep.issued / 2);
+}
+
+TEST(LoadGen, AccountingIsExactAndPercentilesOrdered) {
+    StallingExecutor ex;  // no stall: a fast, well-behaved server
+    LoadGenConfig cfg;
+    cfg.target_qps = 2000.0;
+    cfg.total = 100;
+    cfg.slo_ms = 100.0;  // generous: nothing should violate
+    const LoadGenReport rep = serve::run_paced(ex, cfg, degree_query);
+
+    EXPECT_EQ(rep.issued, 100u);
+    EXPECT_EQ(rep.served + rep.shed + rep.expired, rep.issued);
+    EXPECT_EQ(rep.served, 100u);
+    EXPECT_EQ(rep.ok, 100u);
+    EXPECT_LE(rep.p50_ms, rep.p99_ms);
+    EXPECT_LE(rep.p99_ms, rep.p999_ms);
+    EXPECT_LE(rep.p999_ms, rep.max_ms);
+    EXPECT_GT(rep.duration_ms, 0.0);
+    EXPECT_GT(rep.achieved_qps, 0.0);
+    std::uint64_t by_class = 0;
+    for (const auto v : rep.violations_by_class) by_class += v;
+    EXPECT_EQ(by_class, rep.slo_violations);
+}
+
+TEST(LoadGen, ShedQueriesAlwaysViolateButSkipPercentiles) {
+    StallingExecutor ex;
+    ex.answer = QueryStatus::Shed;
+    LoadGenConfig cfg;
+    cfg.target_qps = 5000.0;
+    cfg.total = 50;
+    cfg.slo_ms = 1000.0;  // the SLO is generous; shed violates anyway
+    const LoadGenReport rep = serve::run_paced(ex, cfg, degree_query);
+
+    EXPECT_EQ(rep.shed, 50u);
+    EXPECT_EQ(rep.served, 0u);
+    EXPECT_EQ(rep.slo_violations, 50u);
+    EXPECT_EQ(rep.violations_by_class[static_cast<std::size_t>(
+                  QueryKind::Degree)],
+              50u);
+    // No served latencies: percentiles stay at the empty-set zero.
+    EXPECT_EQ(rep.p50_ms, 0.0);
+    EXPECT_EQ(rep.max_ms, 0.0);
+}
+
+TEST(LoadGen, ExecutorMeasuredLatencyCountsTowardTheSlo) {
+    StallingExecutor ex;
+    ex.latency_us = 50'000;  // the executor says every query took 50 ms
+    LoadGenConfig cfg;
+    cfg.target_qps = 5000.0;
+    cfg.total = 20;
+    cfg.slo_ms = 10.0;
+    const LoadGenReport rep = serve::run_paced(ex, cfg, degree_query);
+    EXPECT_EQ(rep.served, 20u);
+    EXPECT_EQ(rep.slo_violations, 20u);
+    EXPECT_GE(rep.p50_ms, 50.0);
+}
+
+TEST(LoadGen, StopFlagHaltsBetweenArrivals) {
+    StallingExecutor ex;
+    std::atomic<bool> stop{true};  // raised before the first arrival
+    LoadGenConfig cfg;
+    cfg.target_qps = 1000.0;
+    cfg.total = 1000;
+    cfg.stop = &stop;
+    const LoadGenReport rep = serve::run_paced(ex, cfg, degree_query);
+    EXPECT_EQ(rep.issued, 0u);
+    EXPECT_EQ(ex.submitted.load(), 0u);
+    EXPECT_EQ(rep.violation_rate(), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,172 @@
+// End-to-end request tracing acceptance: a deliberately induced checkpoint
+// stall must produce (a) a watchdog event that reaches the events JSONL
+// sidecar and (b) a flight-recorder entry whose trace flow event links the
+// slow query to the publish span that produced its snapshot — the
+// "slow query -> stalled epoch" join the observability ISSUE promises.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "obs/event_log.hpp"
+#include "obs/exporter.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
+#include "par/comm.hpp"
+#include "par/profiler.hpp"
+#include "serve/flight_recorder.hpp"
+#include "serve/query_executor.hpp"
+#include "serve/snapshot_store.hpp"
+#include "stream/epoch_engine.hpp"
+
+namespace {
+
+using namespace dsg;
+using SR = sparse::PlusTimes<double>;
+using Engine = stream::EpochEngine<SR>;
+using serve::QueryKind;
+using serve::QueryStatus;
+using sparse::index_t;
+
+std::string slurp(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (f == nullptr) return {};
+    std::string out;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+    std::fclose(f);
+    return out;
+}
+
+TEST(RequestTracing, CheckpointStallLinksWatchdogEventAndSlowQuery) {
+    if (obs::compiled_noop())
+        GTEST_SKIP() << "instruments compiled to no-ops (DSG_OBS_NOOP)";
+    par::Profiler::reset();
+    par::Profiler::set_enabled(true);
+    par::Profiler::set_trace_enabled(true);
+
+    serve::StoreConfig scfg;
+    scfg.publish_every = 1;
+    scfg.retain = 4;
+    serve::SnapshotStore<double> store(scfg);
+    serve::FlightRecorder recorder(8);
+    serve::ExecutorConfig ecfg;
+    ecfg.background = false;  // drained manually, AFTER the induced wait
+    ecfg.deadline = std::chrono::seconds(60);
+    ecfg.recorder = &recorder;
+    serve::QueryExecutor<double> ex(store, ecfg);
+
+    // The watchdog watches the live registry the engine publishes into. The
+    // induced stall lands in stream_epoch_persist_ns (the checkpoint hook
+    // bracket), so a max-field rule fires deterministically on the first
+    // evaluation after the run.
+    obs::EventLog log;
+    obs::Rule stall;
+    stall.name = "checkpoint-stall";
+    stall.metric = "stream_epoch_persist_ns";
+    stall.kind = obs::RuleKind::HistAbove;
+    stall.field = obs::HistField::Max;
+    stall.threshold = 10e6;  // 10 ms; the hook sleeps 30 ms
+    stall.severity = obs::Severity::Critical;
+    obs::Watchdog wd(obs::registry(), log, {stall});
+
+    // One rank, tiny epochs: every epoch publishes a snapshot and then
+    // stalls 30 ms in its checkpoint hook.
+    par::run_world(1, [&](par::Comm& comm) {
+        core::ProcessGrid grid(comm);
+        core::DistDynamicMatrix<double> A(grid, 64, 64);
+        stream::EngineConfig cfg;
+        cfg.epoch_batch = 4;
+        Engine engine(A, cfg);
+        store.attach(engine, A, nullptr);
+        engine.set_checkpoint_hook([](std::uint64_t) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        });
+        if (comm.rank() == 0) {
+            for (index_t v = 0; v + 1 < 12; ++v)
+                ASSERT_TRUE(engine.queue().push(
+                    {stream::OpKind::Add, {v, v + 1, 1.0}}));
+        }
+        engine.queue().close();
+        engine.run();
+    });
+    ASSERT_GT(store.published(), 0u);
+
+    // (a) The watchdog fires on the stalled persist histogram, and the
+    // exporter's events sidecar carries the event as JSONL.
+    EXPECT_GE(wd.evaluate_now(), 1u);
+    EXPECT_TRUE(wd.firing("checkpoint-stall"));
+    const std::string events_path =
+        ::testing::TempDir() + "/dsg_request_tracing_events.jsonl";
+    {
+        obs::MetricsExporter::Config mcfg;
+        mcfg.interval_ms = 60'000;
+        mcfg.events_path = events_path;
+        mcfg.events = &log;
+        obs::MetricsExporter exporter(obs::registry(), std::move(mcfg));
+        exporter.write_now();
+        exporter.stop();
+    }
+    const std::string events_text = slurp(events_path);
+    EXPECT_NE(events_text.find("\"rule\": \"checkpoint-stall\""),
+              std::string::npos)
+        << events_text;
+    EXPECT_NE(events_text.find("\"severity\": \"critical\""),
+              std::string::npos);
+    EXPECT_NE(events_text.find("\"metric\": \"stream_epoch_persist_ns\""),
+              std::string::npos);
+    std::remove(events_path.c_str());
+
+    // (b) A query submitted behind a deliberate drain delay becomes the
+    // flight recorder's slowest entry, with the wait attributed to
+    // admission.
+    auto fut = ex.submit({QueryKind::Degree, 0, 0, 1, ""});
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    EXPECT_EQ(ex.drain(), 1u);
+    const auto r = fut.get();
+    ASSERT_EQ(r.status, QueryStatus::Ok);
+    ASSERT_GT(r.qid, 0u);
+    ASSERT_GT(r.version, 0u);
+
+    const auto worst = recorder.worst();
+    ASSERT_FALSE(worst.empty());
+    const auto& slowest = worst.front();
+    EXPECT_EQ(slowest.qid, r.qid);
+    EXPECT_EQ(slowest.snapshot_version, r.version);
+    EXPECT_GE(slowest.admission_wait_ns, 10'000'000u)
+        << "the induced wait must be attributed to admission";
+    EXPECT_EQ(slowest.admission_wait_ns + slowest.execute_ns,
+              slowest.total_ns);
+
+    par::Profiler::set_trace_enabled(false);
+    par::Profiler::set_enabled(false);
+
+    // The trace joins the two: the query span carries the qid, the publish
+    // span carries the snapshot version, and the renderer emits an s/f
+    // flow pair whose finish names exactly (version, qid) — Perfetto draws
+    // the arrow from the stalled epoch's publish to the slow query.
+    const std::string trace =
+        obs::to_chrome_trace(par::Profiler::collect_trace());
+    EXPECT_NE(trace.find("\"name\": \"Serve publish\""), std::string::npos);
+    EXPECT_NE(trace.find("\"name\": \"Serve admit\""), std::string::npos);
+    EXPECT_NE(trace.find("\"ph\": \"s\""), std::string::npos);
+    char link[128];
+    std::snprintf(link, sizeof link,
+                  "\"args\": {\"snapshot_version\": %lld, \"qid\": %llu}",
+                  static_cast<long long>(slowest.snapshot_version),
+                  static_cast<unsigned long long>(slowest.qid));
+    EXPECT_NE(trace.find(link), std::string::npos)
+        << "no flow finish linking qid " << slowest.qid << " to version "
+        << slowest.snapshot_version;
+    char publish_args[64];
+    std::snprintf(publish_args, sizeof publish_args,
+                  "\"snapshot_version\": %lld",
+                  static_cast<long long>(slowest.snapshot_version));
+    EXPECT_NE(trace.find(publish_args), std::string::npos);
+}
+
+}  // namespace
