@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "bench_common.hpp"
+#include "obs/introspection.hpp"
 #include "stream/epoch_engine.hpp"
 #include "stream/workloads.hpp"
 
@@ -213,6 +214,67 @@ int main() {
             .field("within_gate", within ? 1 : 0)
             .field("compiled_noop", obs::compiled_noop() ? 1 : 0);
         json_record_with_metrics(std::move(rec));
+    }
+
+    // -----------------------------------------------------------------------
+    // Scrape overhead gate: the same representative cell with a live
+    // IntrospectionServer on an ephemeral port and one scraper polling
+    // GET /metrics at 10 Hz throughout — the introspection plane's
+    // steady-state cost. Same best-of-3 pairing, same 2% budget.
+    {
+        const auto scenario = stream::Scenario::SustainedUniform;
+        constexpr std::size_t kGateBatch = 4096;
+        const auto best_of_3 = [&] {
+            double best = 0;
+            for (int rep = 0; rep < 3; ++rep)
+                best = std::max(
+                    best,
+                    run_cell(scenario, kGateBatch, par::CommMode::Sync)
+                        .ops_per_s);
+            return best;
+        };
+        const double ops_quiet = best_of_3();
+
+        obs::IntrospectionServer server;
+        server.start({});
+        std::atomic<bool> stop_scraper{false};
+        std::atomic<std::uint64_t> scrapes{0};
+        std::thread scraper([&] {
+            while (!stop_scraper.load(std::memory_order_relaxed)) {
+                if (!obs::http_fetch(server.port(), "/metrics").empty())
+                    scrapes.fetch_add(1, std::memory_order_relaxed);
+                std::this_thread::sleep_for(std::chrono::milliseconds(100));
+            }
+        });
+        const double ops_scraped = best_of_3();
+        stop_scraper.store(true);
+        scraper.join();
+        server.stop();
+
+        const double ratio = ops_quiet > 0 ? ops_scraped / ops_quiet : 1.0;
+        const bool within = ratio >= 0.98;
+        std::printf(
+            "\nscrape overhead gate (%s, batch %zu, sync, best of 3, "
+            "10 Hz GET /metrics):\n",
+            stream::scenario_name(scenario), kGateBatch);
+        std::printf("%-22s %10s\n", "scraper", "ops/s");
+        std::printf("%-22s %10.0f\n", "idle", ops_quiet);
+        std::printf("%-22s %10.0f  (%llu scrapes served)\n", "polling",
+                    ops_scraped,
+                    static_cast<unsigned long long>(scrapes.load()));
+        std::printf(
+            "scraped throughput is %.3fx idle — %s the 2%% budget\n", ratio,
+            within ? "within" : "OUTSIDE");
+        JsonRecord rec("bench_stream_throughput_scrape_gate");
+        rec.field("scenario", stream::scenario_name(scenario))
+            .field("epoch_batch", kGateBatch)
+            .field("scrape_hz", 10)
+            .field("ops_per_s_idle", ops_quiet)
+            .field("ops_per_s_scraped", ops_scraped)
+            .field("scrape_slowdown", ratio)
+            .field("scrapes_served", scrapes.load())
+            .field("within_gate", within ? 1 : 0);
+        json_record(rec);
     }
 
     if (json_enabled()) json_flush();

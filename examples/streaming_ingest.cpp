@@ -43,12 +43,24 @@
 // and streams its structured events as JSONL alongside the metrics;
 // scripts/check-trace.py validates both.
 //
+// --http-port=N (0 = ephemeral, bound port printed on stdout) raises the
+// live introspection plane (obs/introspection.hpp): rank 0 serves the
+// federated cluster view — /metrics, /metrics.json, /healthz, /readyz,
+// /status, /trace, /events, /flight — and in serving mode every other
+// rank serves its own per-rank view on an ephemeral port.
+// --induce-stall-ms=MS arms the CI readiness drill: a one-shot mid-run
+// checkpoint stall (non-durable runs) or a post-recovery hold (restore
+// runs) that flips /readyz 200 -> 503 -> 200; scripts/check-endpoints.py
+// validates all of it.
+//
 // Run: ./build/examples/example_streaming_ingest
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -60,6 +72,8 @@
 #include "graph/generators.hpp"
 #include "obs/event_log.hpp"
 #include "obs/exporter.hpp"
+#include "obs/federate.hpp"
+#include "obs/introspection.hpp"
 #include "obs/metrics.hpp"
 #include "obs/mirrors.hpp"
 #include "obs/trace.hpp"
@@ -87,6 +101,38 @@ constexpr int kProducers = 2;  // per rank
 constexpr int kScale = 12;     // 4096 vertices
 constexpr std::size_t kInitialEdges = 40'000;
 constexpr std::size_t kWritesPerProducer = 6'000;
+constexpr std::size_t kQueueCapacity = 4'096;  // every mode's engine ring
+
+/// Rank 0's /metrics view: the latest federated cluster snapshot, swapped
+/// in whole by the epoch observer and read by the HTTP worker threads.
+class FederatedView {
+public:
+    void set(obs::MetricsSnapshot snap) {
+        auto p = std::make_shared<const obs::MetricsSnapshot>(std::move(snap));
+        std::lock_guard lock(mx_);
+        snap_ = std::move(p);
+    }
+    [[nodiscard]] std::shared_ptr<const obs::MetricsSnapshot> get() const {
+        std::lock_guard lock(mx_);
+        return snap_;
+    }
+
+private:
+    mutable std::mutex mx_;
+    std::shared_ptr<const obs::MetricsSnapshot> snap_;
+};
+
+/// What the streaming modes feed back into the introspection plane
+/// (--http-port): shared across the rank threads, so plain atomics.
+struct IntroContext {
+    obs::IntrospectionServer* server = nullptr;  ///< rank 0's, started in main
+    FederatedView* fed_view = nullptr;
+    obs::Watchdog* fed_watchdog = nullptr;  ///< skew rules, federated snaps
+    std::atomic<std::uint64_t> engine_version{0};  ///< newest applied version
+    std::atomic<std::uint64_t> federations{0};     ///< merges completed
+    std::atomic<std::uint64_t> stall_at{0};  ///< version pinned for the stall
+    long stall_ms = 0;                       ///< --induce-stall-ms
+};
 
 /// Streams one scenario into A and reports this rank's engine stats.
 void run_scenario(par::Comm& comm, core::DistDynamicMatrix<double>& A,
@@ -226,7 +272,8 @@ void run_live_analytics(par::Comm& comm, core::ProcessGrid& grid) {
 /// With restore == true, state is first recovered from `dir` (kill-and-
 /// resume); the run then continues appending to the same durable state.
 void run_durable(par::Comm& comm, core::ProcessGrid& grid,
-                 const std::string& dir, bool restore, std::size_t writes) {
+                 const std::string& dir, bool restore, std::size_t writes,
+                 IntroContext* intro) {
     using Manager = persist::DurabilityManager<SR>;
     const sparse::index_t n = 1024;
     const std::vector<sparse::index_t> sources = {0, 1, 2, 3};
@@ -271,6 +318,22 @@ void run_durable(par::Comm& comm, core::ProcessGrid& grid,
     cfg.initial_version = base_version;
     Engine engine(B, cfg);
     hub.attach(engine);
+
+    if (intro != nullptr) {
+        engine.add_epoch_observer([intro, r = comm.rank()](std::uint64_t v) {
+            if (r == 0) intro->engine_version.store(v, std::memory_order_relaxed);
+        });
+        if (restore) {
+            // Hold the /readyz gate down through replay (plus the drill's
+            // configured stall window): the crash-recovery script asserts
+            // 503 here, then 200 once streaming resumes.
+            if (intro->stall_ms > 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(intro->stall_ms));
+            if (comm.rank() == 0 && intro->server != nullptr)
+                intro->server->set_ready(true);
+        }
+    }
 
     persist::PersistConfig pc;
     pc.dir = dir;
@@ -328,7 +391,7 @@ void run_serving(par::Comm& comm, core::ProcessGrid& grid,
                  serve::SnapshotStore<double>& store,
                  serve::QueryExecutor<double>& executor,
                  const std::string& dir, bool restore, std::size_t writes,
-                 double query_rate) {
+                 double query_rate, IntroContext* intro) {
     using Manager = persist::DurabilityManager<SR>;
     const sparse::index_t n = 1024;
     const std::vector<sparse::index_t> sources = {0, 1, 2, 3};
@@ -378,6 +441,80 @@ void run_serving(par::Comm& comm, core::ProcessGrid& grid,
                                         restore ? Manager::Start::Resume
                                                 : Manager::Start::Fresh,
                                         &hub);
+    }
+
+    // Live introspection plane (--http-port): every rank mirrors its own
+    // engine-local stats into a small private registry and federates it at
+    // a fixed epoch cadence (collective, obs/federate.hpp). Rank 0 swaps
+    // the merged cluster snapshot into its /metrics view and feeds the
+    // rank-imbalance watchdog; ranks > 0 serve their private view on an
+    // ephemeral port. The process-wide registry and its file exporters
+    // stay untouched. Declaration order matters: rank_server is declared
+    // after rank_reg so its drain-on-destruct runs while the registry its
+    // handlers read is still alive.
+    std::unique_ptr<obs::Registry> rank_reg;
+    std::unique_ptr<obs::IntrospectionServer> rank_server;
+    if (intro != nullptr) {
+        rank_reg = std::make_unique<obs::Registry>();
+        if (comm.rank() != 0) {
+            rank_server = std::make_unique<obs::IntrospectionServer>();
+            obs::IntrospectionServer::Config rcfg;
+            rcfg.registry = rank_reg.get();
+            rank_server->start(std::move(rcfg));
+            std::printf(
+                "introspection: rank %d serving http://127.0.0.1:%u "
+                "(rank view)\n",
+                comm.rank(), rank_server->port());
+            std::fflush(stdout);
+        }
+        engine.add_epoch_observer([&comm, &engine, intro,
+                                   reg = rank_reg.get()](std::uint64_t v) {
+            const auto& st = engine.stats();
+            reg->gauge("stream_ops_applied")
+                .set(static_cast<std::int64_t>(st.local_ops));
+            reg->gauge("stream_epochs_applied")
+                .set(static_cast<std::int64_t>(st.applied_epochs));
+            reg->gauge("stream_queue_depth")
+                .set(static_cast<std::int64_t>(engine.queue().size()));
+            if (comm.rank() == 0)
+                intro->engine_version.store(v, std::memory_order_relaxed);
+            if (v % 4 != 0) return;  // federation cadence (identical on
+                                     // every rank: v is the collective
+                                     // epoch version)
+            obs::MetricsSnapshot fed = obs::federate(comm, reg->snapshot());
+            if (comm.rank() == 0) {
+                if (intro->fed_watchdog != nullptr)
+                    intro->fed_watchdog->evaluate(fed);
+                if (intro->fed_view != nullptr)
+                    intro->fed_view->set(std::move(fed));
+                intro->federations.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+        // The induced checkpoint stall (--induce-stall-ms, non-durable
+        // runs only — durable runs own the checkpoint hook): the first
+        // rank past the arming delay pins the stall to its current
+        // version, and every rank whose hook sees that version sleeps.
+        // Ranks that miss the pin block on the next collective anyway, so
+        // the whole grid stalls once: queues saturate, the Critical
+        // ingest-stall rule fires, /readyz holds 503 until the backlog
+        // drains and the rule clears.
+        if (intro->stall_ms > 0 && dir.empty()) {
+            const auto armed_at = std::chrono::steady_clock::now() +
+                                  std::chrono::milliseconds(800);
+            engine.set_checkpoint_hook([intro, armed_at](std::uint64_t v) {
+                if (std::chrono::steady_clock::now() < armed_at) return;
+                std::uint64_t expected = 0;
+                intro->stall_at.compare_exchange_strong(
+                    expected, v, std::memory_order_acq_rel);
+                if (intro->stall_at.load(std::memory_order_acquire) == v)
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(intro->stall_ms));
+            });
+        }
+        if (restore) {
+            if (comm.rank() == 0 && intro->server != nullptr)
+                intro->server->set_ready(true);  // recovery replay is done
+        }
     }
 
     const auto query_gap = std::chrono::microseconds(
@@ -450,6 +587,8 @@ int main(int argc, char** argv) {
     double target_qps = 0;      // 0 = no paced external client
     double slo_ms = 25;         // on-arrival SLO for the paced client
     std::size_t writes = 0;     // 0 = mode default
+    long http_port = -1;        // -1 = no introspection plane; 0 = ephemeral
+    long induce_stall_ms = 0;   // readiness-flip drill (CI)
     for (int a = 1; a < argc; ++a) {
         const char* arg = argv[a];
         if (std::strncmp(arg, "--checkpoint-dir=", 17) == 0) {
@@ -508,13 +647,29 @@ int main(int argc, char** argv) {
                 std::fprintf(stderr, "--trace-out needs a value\n");
                 return 2;
             }
+        } else if (std::strncmp(arg, "--http-port=", 12) == 0) {
+            http_port = std::strtol(arg + 12, nullptr, 10);
+            if (http_port < 0 || http_port > 65'535) {
+                std::fprintf(stderr,
+                             "--http-port needs a value in [0, 65535] "
+                             "(0 = ephemeral)\n");
+                return 2;
+            }
+        } else if (std::strncmp(arg, "--induce-stall-ms=", 18) == 0) {
+            induce_stall_ms = std::strtol(arg + 18, nullptr, 10);
+            if (induce_stall_ms <= 0) {
+                std::fprintf(stderr,
+                             "--induce-stall-ms needs a value > 0\n");
+                return 2;
+            }
         } else {
             std::fprintf(stderr,
                          "usage: %s [--checkpoint-dir=DIR [--restore] "
                          "[--writes=N]] [--serve-queries [--query-rate=N] "
                          "[--target-qps=N [--slo-ms=MS]]] "
                          "[--metrics-out=FILE [--metrics-interval=MS]] "
-                         "[--events-out=FILE] [--trace-out=FILE]\n",
+                         "[--events-out=FILE] [--trace-out=FILE] "
+                         "[--http-port=N [--induce-stall-ms=MS]]\n",
                          argv[0]);
             return 2;
         }
@@ -543,16 +698,76 @@ int main(int argc, char** argv) {
     // its rule breaches land in the global EventLog, which the exporter
     // drains to --events-out as JSONL. A short interval so the CI-sized
     // runs get several evaluations.
+    const bool http_enabled = http_port >= 0;
     std::unique_ptr<obs::Watchdog> watchdog;
-    if (!events_out.empty()) {
+    if (!events_out.empty() || http_enabled) {
         obs::Watchdog::Config wcfg;
         wcfg.interval = std::chrono::milliseconds(100);
         wcfg.background = true;
+        auto rules = obs::default_rules(/*queue_capacity=*/kQueueCapacity);
+        // With the introspection plane up, a deeply backed-up ingest queue
+        // is a readiness event, not just a warning: the Critical firing is
+        // what flips /readyz to 503 (obs/introspection.hpp). Half capacity
+        // sits well clear of both sides: paced producers keep the steady-
+        // state peak under ~10% of capacity, while a stalled drain backs
+        // the queue up past 70% within a couple of watchdog ticks.
+        if (http_enabled)
+            rules.push_back({"ingest-stall-critical", "stream_queue_depth",
+                             obs::RuleKind::GaugeAbove,
+                             0.5 * static_cast<double>(kQueueCapacity),
+                             obs::HistField::P99, 2, 2,
+                             obs::Severity::Critical});
         watchdog = std::make_unique<obs::Watchdog>(
-            obs::registry(), obs::EventLog::global(),
-            obs::default_rules(/*queue_capacity=*/4'096), wcfg);
+            obs::registry(), obs::EventLog::global(), std::move(rules), wcfg);
     }
+
+    // The live introspection plane (--http-port=N; 0 binds an ephemeral
+    // port, printed below for discovery). Rank 0 serves the federated
+    // cluster view once the streaming mode starts federating (global-
+    // registry fallback before that); a dedicated foreground watchdog runs
+    // the skew rules over each federated snapshot.
+    FederatedView fed_view;
+    obs::IntrospectionServer intro_server;
+    IntroContext intro_ctx;
+    std::unique_ptr<obs::Watchdog> fed_watchdog;
+    if (http_enabled) {
+        par::Profiler::set_trace_enabled(true);  // /trace serves the rings
+        fed_watchdog = std::make_unique<obs::Watchdog>(
+            obs::registry(), obs::EventLog::global(),
+            std::vector<obs::Rule>{
+                {"rank-load-imbalance", "stream_ops_applied_rank_imbalance",
+                 obs::RuleKind::GaugeAbove, 2.0, obs::HistField::P99, 3, 2,
+                 obs::Severity::Warning}});
+        intro_ctx.fed_view = &fed_view;
+        intro_ctx.fed_watchdog = fed_watchdog.get();
+        intro_ctx.stall_ms = induce_stall_ms;
+    }
+    const auto start_intro = [&](std::function<std::string()> status_fields,
+                                 std::function<std::string()> flight_json) {
+        if (!http_enabled) return;
+        obs::IntrospectionServer::Config icfg;
+        icfg.http.port = static_cast<std::uint16_t>(http_port);
+        icfg.metrics_provider = [&fed_view] {
+            if (const auto fed = fed_view.get()) return *fed;
+            return obs::registry().snapshot();  // before the 1st federation
+        };
+        icfg.status_fields = std::move(status_fields);
+        icfg.flight_json = std::move(flight_json);
+        icfg.ready = !restore;  // recovery replay holds the gate down
+        intro_server.start(std::move(icfg));
+        intro_ctx.server = &intro_server;
+        std::printf(
+            "introspection: rank 0 serving http://127.0.0.1:%u (federated)\n",
+            intro_server.port());
+        std::fflush(stdout);
+    };
+
     const auto finish_observability = [&] {
+        // Shutdown ordering (mirrored by tests/obs/test_introspection.cpp):
+        // the HTTP plane drains its in-flight requests FIRST, while every
+        // structure its handlers read (stores, registries, callback gauges)
+        // is still alive; only then do the file sinks finalize.
+        intro_server.stop();
         if (watchdog) {
             watchdog->stop();
             watchdog->evaluate_now();  // one final deterministic pass
@@ -585,6 +800,30 @@ int main(int argc, char** argv) {
         // the fire-and-forget producer queries work either way.
         ecfg.background = target_qps > 0;
         serve::QueryExecutor<double> executor(store, ecfg);
+
+        start_intro(
+            [&store, &executor, &intro_ctx] {
+                char buf[320];
+                std::snprintf(
+                    buf, sizeof buf,
+                    "\"engine_version\": %llu, \"published_version\": %llu, "
+                    "\"snapshots_published\": %llu, \"live_snapshots\": %lld, "
+                    "\"retained\": %zu, \"queries_shed\": %llu, "
+                    "\"queries_pending\": %zu, \"federations\": %llu",
+                    static_cast<unsigned long long>(
+                        intro_ctx.engine_version.load()),
+                    static_cast<unsigned long long>(
+                        store.current_version().value_or(0)),
+                    static_cast<unsigned long long>(store.published()),
+                    static_cast<long long>(store.live_snapshots()),
+                    store.retained(),
+                    static_cast<unsigned long long>(executor.shed_total()),
+                    executor.pending(),
+                    static_cast<unsigned long long>(
+                        intro_ctx.federations.load()));
+                return std::string(buf);
+            },
+            [&recorder] { return recorder.to_json(); });
 
         // The external paced client: fixed arrival schedule at
         // --target-qps, on-arrival latency against --slo-ms, coordinated-
@@ -636,7 +875,8 @@ int main(int argc, char** argv) {
         par::run_world(kRanks, [&](par::Comm& comm) {
             core::ProcessGrid grid(comm);
             run_serving(comm, grid, store, executor, checkpoint_dir, restore,
-                        serve_writes, query_rate);
+                        serve_writes, query_rate,
+                        http_enabled ? &intro_ctx : nullptr);
             if (comm.rank() == 0)
                 obs::publish_comm_stats(comm.stats().snapshot());
         });
@@ -672,10 +912,21 @@ int main(int argc, char** argv) {
     }
 
     if (!checkpoint_dir.empty()) {
+        start_intro(
+            [&intro_ctx] {
+                char buf[96];
+                std::snprintf(
+                    buf, sizeof buf, "\"engine_version\": %llu",
+                    static_cast<unsigned long long>(
+                        intro_ctx.engine_version.load()));
+                return std::string(buf);
+            },
+            {});
         par::run_world(kRanks, [&](par::Comm& comm) {
             core::ProcessGrid grid(comm);
             run_durable(comm, grid, checkpoint_dir, restore,
-                        writes > 0 ? writes : 20'000);
+                        writes > 0 ? writes : 20'000,
+                        http_enabled ? &intro_ctx : nullptr);
             if (comm.rank() == 0)
                 obs::publish_comm_stats(comm.stats().snapshot());
         });
@@ -683,6 +934,7 @@ int main(int argc, char** argv) {
         return 0;
     }
 
+    start_intro({}, {});
     par::run_world(kRanks, [&](par::Comm& comm) {
         core::ProcessGrid grid(comm);
         const sparse::index_t n = sparse::index_t{1} << kScale;

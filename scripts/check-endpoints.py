@@ -1,0 +1,272 @@
+#!/usr/bin/env python3
+"""Validates the live introspection plane (src/obs/introspection.hpp) of a
+RUNNING example_streaming_ingest --http-port process. Run in CI against the
+port the example prints on stdout:
+
+    scripts/check-endpoints.py http://127.0.0.1:PORT
+        [--ranks N]            # require federated metrics for N ranks
+        [--require-federated]  # /metrics must carry rank labels + skew
+        [--expect-flip]        # watch /readyz flip 200 -> 503 -> 200
+        [--flip-timeout S]     # how long to watch (default 60)
+
+Checks, in order:
+  - /healthz answers 200 "ok";
+  - /metrics answers 200 with Content-Type "text/plain; version=0.0.4" and
+    parses as Prometheus text exposition: exactly one # HELP and one # TYPE
+    line per family, TYPE one of counter/gauge/summary, every sample line
+    belongs to a family declared directly above it (contiguous groups);
+  - with --require-federated: a stream_* family carries rank="0..N-1"
+    labels for all --ranks ranks, and *_rank_imbalance skew gauges exist
+    (polled until the first federation lands);
+  - /metrics.json is one JSON object with ts_ms + counters/gauges/
+    histograms; histograms carry count/mean/p50/p90/p99/p999/max;
+  - /status is a JSON object with boolean ready, list critical_rules and
+    integer engine_version consistent with /readyz;
+  - /trace is Chrome trace JSON ({"traceEvents": [...]});
+  - /events is JSONL with strictly increasing integer seq, and
+    /events?since=SEQ returns only events with seq > SEQ;
+  - /flight parses as JSON;
+  - unknown paths answer 404, and a bad ?since cursor answers 400;
+  - with --expect-flip: /readyz, polled every 50 ms, goes 200 -> 503 (the
+    induced stall's Critical watchdog window) -> 200 (drained + cleared)
+    within --flip-timeout seconds.
+
+Exits non-zero with a message on the first violation.
+"""
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+
+def fail(msg):
+    print(f"check-endpoints: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def get(base, path, timeout=5):
+    """Returns (status, content_type, body_str); never raises for HTTP errors."""
+    try:
+        with urllib.request.urlopen(base + path, timeout=timeout) as resp:
+            return (resp.status, resp.headers.get("Content-Type", ""),
+                    resp.read().decode("utf-8", "replace"))
+    except urllib.error.HTTPError as e:
+        return (e.code, e.headers.get("Content-Type", ""),
+                e.read().decode("utf-8", "replace"))
+    except OSError as e:
+        fail(f"GET {path}: {e}")
+
+
+def parse_sample_name(line):
+    """Metric family name of one sample line ('name{...} v' or 'name v')."""
+    head = line.split("{", 1)[0].split(" ", 1)[0]
+    return head
+
+
+def check_prometheus(body):
+    """Validates HELP/TYPE structure; returns {family: type}."""
+    families = {}
+    helps = set()
+    current = None  # family whose contiguous sample group we're inside
+    for ln, line in enumerate(body.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not parts[2]:
+                fail(f"/metrics line {ln}: malformed HELP: {line!r}")
+            if parts[2] in helps:
+                fail(f"/metrics line {ln}: duplicate HELP for {parts[2]}")
+            helps.add(parts[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge",
+                                                   "summary", "histogram",
+                                                   "untyped"):
+                fail(f"/metrics line {ln}: malformed TYPE: {line!r}")
+            name = parts[2]
+            if name in families:
+                fail(f"/metrics line {ln}: duplicate TYPE for {name}")
+            if name not in helps:
+                fail(f"/metrics line {ln}: TYPE for {name} without HELP")
+            families[name] = parts[3]
+            current = name
+            continue
+        if line.startswith("#"):
+            continue
+        name = parse_sample_name(line)
+        # Summary families own their _sum/_count children; everything else
+        # must match the family declared directly above (contiguous group).
+        ok = (current is not None and
+              (name == current or
+               (families.get(current) == "summary" and
+                name in (current + "_sum", current + "_count"))))
+        if not ok:
+            fail(f"/metrics line {ln}: sample {name!r} outside its "
+                 f"family group (current: {current!r})")
+        try:
+            float(line.rsplit(" ", 1)[1])
+        except (IndexError, ValueError):
+            fail(f"/metrics line {ln}: unparseable sample value: {line!r}")
+    if not families:
+        fail("/metrics: no metric families")
+    return families
+
+
+def check_federated(base, ranks, timeout_s):
+    """Polls /metrics until the federated view (rank labels + skew) lands."""
+    deadline = time.monotonic() + timeout_s
+    last = ""
+    while time.monotonic() < deadline:
+        status, ctype, body = get(base, "/metrics")
+        if status != 200:
+            fail(f"/metrics: status {status}")
+        last = body
+        have = all(f'rank="{r}"' in body for r in range(ranks))
+        if have and "_rank_imbalance" in body:
+            check_prometheus(body)
+            return
+        time.sleep(0.1)
+    missing = [r for r in range(ranks) if f'rank="{r}"' not in last]
+    fail(f"/metrics: federated view never appeared (missing rank labels "
+         f"{missing}, imbalance gauges "
+         f"{'present' if '_rank_imbalance' in last else 'absent'})")
+
+
+def check_events(base):
+    status, ctype, body = get(base, "/events")
+    if status != 200:
+        fail(f"/events: status {status}")
+    seqs = []
+    for ln, line in enumerate(body.splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"/events line {ln}: not JSON: {e}")
+        for key in ("ts_ms", "seq", "severity", "rule", "message"):
+            if key not in obj:
+                fail(f"/events line {ln}: missing {key}")
+        seqs.append(obj["seq"])
+    if seqs != sorted(seqs) or len(set(seqs)) != len(seqs):
+        fail("/events: seq not strictly increasing")
+    if seqs:
+        cursor = seqs[0]
+        status, _, body = get(base, f"/events?since={cursor}")
+        if status != 200:
+            fail(f"/events?since: status {status}")
+        for line in body.splitlines():
+            if line.strip() and json.loads(line)["seq"] <= cursor:
+                fail(f"/events?since={cursor}: returned seq <= cursor")
+    status, _, _ = get(base, "/events?since=banana")
+    if status != 400:
+        fail(f"/events?since=banana: expected 400, got {status}")
+
+
+def check_flip(base, timeout_s):
+    """Requires the 200 -> 503 -> 200 readiness flip within timeout_s."""
+    transitions = []
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        status, _, _ = get(base, "/readyz", timeout=2)
+        if not transitions or transitions[-1] != status:
+            transitions.append(status)
+            print(f"check-endpoints: /readyz -> {status}")
+        if len(transitions) >= 3 and transitions[-3:] == [200, 503, 200]:
+            return
+        time.sleep(0.05)
+    fail(f"/readyz never flipped 200 -> 503 -> 200 within {timeout_s}s "
+         f"(saw {transitions})")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("base", help="base URL, e.g. http://127.0.0.1:8080")
+    ap.add_argument("--ranks", type=int, default=0)
+    ap.add_argument("--require-federated", action="store_true")
+    ap.add_argument("--expect-flip", action="store_true")
+    ap.add_argument("--flip-timeout", type=float, default=60.0)
+    args = ap.parse_args()
+    base = args.base.rstrip("/")
+
+    status, _, body = get(base, "/healthz")
+    if status != 200 or not body.startswith("ok"):
+        fail(f"/healthz: status {status}, body {body!r}")
+
+    status, ctype, body = get(base, "/metrics")
+    if status != 200:
+        fail(f"/metrics: status {status}")
+    if ctype.strip() != "text/plain; version=0.0.4":
+        fail(f"/metrics: wrong Content-Type {ctype!r}")
+    check_prometheus(body)
+
+    status, ctype, body = get(base, "/metrics.json")
+    if status != 200 or "json" not in ctype:
+        fail(f"/metrics.json: status {status}, Content-Type {ctype!r}")
+    snap = json.loads(body)
+    for key in ("ts_ms", "counters", "gauges", "histograms"):
+        if key not in snap:
+            fail(f"/metrics.json: missing {key}")
+    for name, h in snap["histograms"].items():
+        for field in ("count", "mean", "p50", "p90", "p99", "p999", "max"):
+            if field not in h:
+                fail(f"/metrics.json: histogram {name} missing {field}")
+
+    status, ctype, body = get(base, "/status")
+    if status != 200 or "json" not in ctype:
+        fail(f"/status: status {status}, Content-Type {ctype!r}")
+    st = json.loads(body)
+    for key in ("ready", "critical_rules", "engine_version"):
+        if key not in st:
+            fail(f"/status: missing {key}")
+    if not isinstance(st["ready"], bool):
+        fail("/status: ready is not a boolean")
+    if not isinstance(st["critical_rules"], list):
+        fail("/status: critical_rules is not a list")
+
+    rstatus, _, _ = get(base, "/readyz")
+    # /status and /readyz race the watchdog between the two requests, so
+    # only flag a hard inconsistency (both sampled while no flip runs).
+    if not args.expect_flip:
+        expect = 200 if st["ready"] else 503
+        if rstatus != expect:
+            fail(f"/readyz: {rstatus} inconsistent with /status.ready "
+                 f"{st['ready']}")
+
+    status, _, body = get(base, "/trace")
+    if status != 200:
+        fail(f"/trace: status {status}")
+    trace = json.loads(body)
+    if "traceEvents" not in trace or not isinstance(trace["traceEvents"],
+                                                    list):
+        fail("/trace: no traceEvents list")
+
+    check_events(base)
+
+    status, _, body = get(base, "/flight")
+    if status != 200:
+        fail(f"/flight: status {status}")
+    json.loads(body)
+
+    status, _, _ = get(base, "/no-such-endpoint")
+    if status != 404:
+        fail(f"/no-such-endpoint: expected 404, got {status}")
+
+    if args.require_federated:
+        check_federated(base, args.ranks, timeout_s=30.0)
+        print(f"check-endpoints: federated view OK ({args.ranks} ranks)")
+
+    if args.expect_flip:
+        check_flip(base, args.flip_timeout)
+        print("check-endpoints: readiness flip 200 -> 503 -> 200 OK")
+
+    print("check-endpoints: all endpoint checks OK")
+
+
+if __name__ == "__main__":
+    main()

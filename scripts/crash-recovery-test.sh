@@ -67,8 +67,63 @@ assert ok >= 1, "no metrics snapshot survived the SIGKILL"
 print(f"crash-recovery-test: {ok} metrics snapshots survived the kill")
 EOF
 
-# 3. Recovery + resumed run must succeed.
-out=$("$bin" --checkpoint-dir="$dir" --restore --writes=5000)
+# 3. Recovery + resumed run must succeed — with the introspection plane
+#    up: /readyz must answer 503 while the recovery replay (plus the
+#    --induce-stall-ms post-recovery hold) keeps the readiness gate down,
+#    and flip to 200 once the restored engine is serving.
+restore_log="$dir/restore.log"
+"$bin" --checkpoint-dir="$dir" --restore --writes=5000 \
+    --http-port=0 --induce-stall-ms=2000 >"$restore_log" 2>&1 &
+restore_pid=$!
+
+port=""
+for _ in $(seq 1 100); do
+    port=$(grep -oE 'rank 0 serving http://127\.0\.0\.1:[0-9]+' \
+        "$restore_log" | grep -oE '[0-9]+$' || true)
+    [[ -n "$port" ]] && break
+    sleep 0.1
+done
+if [[ -z "$port" ]]; then
+    echo "crash-recovery-test: no introspection port in the restore run" >&2
+    cat "$restore_log" >&2
+    exit 1
+fi
+
+python3 - "$port" <<'EOF'
+import sys, time, urllib.error, urllib.request
+
+def readyz(port):
+    try:
+        with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/readyz", timeout=2) as resp:
+            return resp.status
+    except urllib.error.HTTPError as e:
+        return e.code
+    except OSError:
+        return None
+
+port = sys.argv[1]
+# The gate starts down (recovery replay + the induced hold): the FIRST
+# reachable answer must be 503.
+first = None
+deadline = time.monotonic() + 10.0
+while time.monotonic() < deadline and first is None:
+    first = readyz(port)
+    if first is None:
+        time.sleep(0.05)
+assert first == 503, f"expected 503 during recovery replay, got {first}"
+# ...and must flip to 200 once the restored engine serves.
+deadline = time.monotonic() + 30.0
+status = first
+while time.monotonic() < deadline and status != 200:
+    time.sleep(0.05)
+    status = readyz(port)
+assert status == 200, f"/readyz never reached 200 after recovery ({status})"
+print("crash-recovery-test: /readyz held 503 through replay, then 200")
+EOF
+
+wait "$restore_pid"
+out=$(cat "$restore_log")
 echo "$out"
 grep -q "recovery OK" <<<"$out"
 grep -q "durable run OK" <<<"$out"

@@ -1,0 +1,225 @@
+// Cross-rank metric federation: every rank serializes a MetricsSnapshot
+// through par::Buffer, the grid allgathers the buffers, and each rank
+// merges the per-rank views into one cluster snapshot where
+//
+//  - every instrument key gains a `rank` label (inserted in sorted label
+//    position, matching the registry's render order), and
+//  - every counter/gauge family additionally grows three derived skew
+//    gauges — `<family>_rank_max`, `<family>_rank_min` and
+//    `<family>_rank_imbalance` (max / mean across ranks; 1.0 == perfectly
+//    balanced) — the load-skew diagnostic rank 0's /metrics endpoint and
+//    the `rank-load-imbalance` watchdog rule consume.
+//
+// Layering: obs already depends on par (obs/mirrors.hpp), never the other
+// way around — federate() takes any par::Comm and any snapshot, so callers
+// decide what a "per-rank view" is (the streaming example maintains one
+// small private Registry per rank and federates that, leaving the
+// process-wide registry and its file exporters untouched).
+//
+// federate() is a COLLECTIVE: every rank of the communicator must call it
+// in the same slot of its collective sequence, exactly like comm.allgather.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "par/buffer.hpp"
+#include "par/comm.hpp"
+
+namespace dsg::obs {
+
+/// Wire-format tag guarding snapshot frames against cross-version decode.
+inline constexpr std::uint32_t kSnapshotWireMagic = 0x4d534e31;  // "MSN1"
+
+namespace detail {
+
+inline void write_string(par::BufferWriter& w, const std::string& s) {
+    w.write_span(std::span<const char>(s.data(), s.size()));
+}
+
+inline std::string read_string(par::BufferReader& r) {
+    const std::vector<char> chars = r.read_vector<char>();
+    return {chars.begin(), chars.end()};
+}
+
+/// Splits a registry key into its name and the braced label block
+/// ("name{a=b}" -> {"name", "a=b"}; "name" -> {"name", ""}).
+inline std::pair<std::string, std::string> split_key(const std::string& key) {
+    const auto brace = key.find('{');
+    if (brace == std::string::npos) return {key, ""};
+    return {key.substr(0, brace),
+            key.substr(brace + 1, key.size() - brace - 2)};
+}
+
+}  // namespace detail
+
+/// Packs a snapshot into a par::Buffer (the federation wire frame).
+inline par::Buffer serialize_snapshot(const MetricsSnapshot& snap) {
+    par::Buffer buf;
+    par::BufferWriter w(buf);
+    w.write(kSnapshotWireMagic);
+    w.write(snap.ts_ms);
+    w.write(static_cast<std::uint64_t>(snap.counters.size()));
+    for (const auto& [key, v] : snap.counters) {
+        detail::write_string(w, key);
+        w.write(v);
+    }
+    w.write(static_cast<std::uint64_t>(snap.gauges.size()));
+    for (const auto& [key, v] : snap.gauges) {
+        detail::write_string(w, key);
+        w.write(v);
+    }
+    w.write(static_cast<std::uint64_t>(snap.histograms.size()));
+    for (const auto& [key, h] : snap.histograms) {
+        detail::write_string(w, key);
+        w.write(h);  // HistogramSummary is trivially copyable
+    }
+    return buf;
+}
+
+/// Unpacks a frame written by serialize_snapshot(). Throws
+/// par::TruncatedBufferError on truncation and std::runtime_error on a
+/// magic mismatch (a frame from an incompatible build).
+inline MetricsSnapshot deserialize_snapshot(const par::Buffer& buf) {
+    par::BufferReader r(buf);
+    if (r.read<std::uint32_t>() != kSnapshotWireMagic)
+        throw std::runtime_error(
+            "deserialize_snapshot: bad wire magic (incompatible frame)");
+    MetricsSnapshot snap;
+    snap.ts_ms = r.read<std::int64_t>();
+    const auto nc = r.read<std::uint64_t>();
+    snap.counters.reserve(nc);
+    for (std::uint64_t k = 0; k < nc; ++k) {
+        std::string key = detail::read_string(r);
+        const auto v = r.read<std::uint64_t>();
+        snap.counters.emplace_back(std::move(key), v);
+    }
+    const auto ng = r.read<std::uint64_t>();
+    snap.gauges.reserve(ng);
+    for (std::uint64_t k = 0; k < ng; ++k) {
+        std::string key = detail::read_string(r);
+        const auto v = r.read<double>();
+        snap.gauges.emplace_back(std::move(key), v);
+    }
+    const auto nh = r.read<std::uint64_t>();
+    snap.histograms.reserve(nh);
+    for (std::uint64_t k = 0; k < nh; ++k) {
+        std::string key = detail::read_string(r);
+        const auto h = r.read<HistogramSummary>();
+        snap.histograms.emplace_back(std::move(key), h);
+    }
+    return snap;
+}
+
+/// Returns `key` with `label=value` inserted in sorted label position —
+/// the same identity the registry itself would render. Existing `label`
+/// keys are left untouched (first writer wins).
+inline std::string with_label(const std::string& key,
+                              const std::string& label,
+                              const std::string& value) {
+    auto [name, inner] = detail::split_key(key);
+    std::vector<std::pair<std::string, std::string>> labels;
+    std::size_t pos = 0;
+    while (pos < inner.size()) {
+        auto comma = inner.find(',', pos);
+        if (comma == std::string::npos) comma = inner.size();
+        const std::string pair = inner.substr(pos, comma - pos);
+        const auto eq = pair.find('=');
+        if (eq == std::string::npos)
+            labels.emplace_back(pair, "");
+        else
+            labels.emplace_back(pair.substr(0, eq), pair.substr(eq + 1));
+        pos = comma + 1;
+    }
+    bool present = false;
+    for (const auto& [k, v] : labels)
+        if (k == label) present = true;
+    if (!present) labels.emplace_back(label, value);
+    std::sort(labels.begin(), labels.end());
+    std::string out = name + '{';
+    for (std::size_t k = 0; k < labels.size(); ++k) {
+        if (k > 0) out += ',';
+        out += labels[k].first;
+        out += '=';
+        out += labels[k].second;
+    }
+    out += '}';
+    return out;
+}
+
+/// Merges per-rank snapshots (indexed by rank) into one cluster snapshot:
+/// rank labels on every instrument, skew gauges per counter/gauge family,
+/// plus a `cluster_ranks` gauge. Pure — the unit under test.
+inline MetricsSnapshot merge_rank_snapshots(
+    const std::vector<MetricsSnapshot>& per_rank) {
+    MetricsSnapshot out;
+    // Values per original key, across ranks, for the skew derivation.
+    std::map<std::string, std::vector<double>> counter_family;
+    std::map<std::string, std::vector<double>> gauge_family;
+    for (std::size_t rank = 0; rank < per_rank.size(); ++rank) {
+        const MetricsSnapshot& snap = per_rank[rank];
+        out.ts_ms = std::max(out.ts_ms, snap.ts_ms);
+        const std::string r = std::to_string(rank);
+        for (const auto& [key, v] : snap.counters) {
+            out.counters.emplace_back(with_label(key, "rank", r), v);
+            counter_family[key].push_back(static_cast<double>(v));
+        }
+        for (const auto& [key, v] : snap.gauges) {
+            out.gauges.emplace_back(with_label(key, "rank", r), v);
+            gauge_family[key].push_back(v);
+        }
+        for (const auto& [key, h] : snap.histograms)
+            out.histograms.emplace_back(with_label(key, "rank", r), h);
+    }
+    auto emit_skew = [&](const std::map<std::string, std::vector<double>>& fam) {
+        for (const auto& [key, values] : fam) {
+            const auto [name, inner] = detail::split_key(key);
+            const std::string suffix = inner.empty() ? "" : '{' + inner + '}';
+            const double mx = *std::max_element(values.begin(), values.end());
+            const double mn = *std::min_element(values.begin(), values.end());
+            double sum = 0.0;
+            for (const double v : values) sum += v;
+            const double mean = sum / static_cast<double>(values.size());
+            // max/mean: 1.0 == balanced. A family that is zero everywhere
+            // (mean == 0) is balanced by definition, not infinitely skewed.
+            const double imb = mean > 0.0 ? mx / mean : 1.0;
+            out.gauges.emplace_back(name + "_rank_max" + suffix, mx);
+            out.gauges.emplace_back(name + "_rank_min" + suffix, mn);
+            out.gauges.emplace_back(name + "_rank_imbalance" + suffix, imb);
+        }
+    };
+    emit_skew(counter_family);
+    emit_skew(gauge_family);
+    out.gauges.emplace_back("cluster_ranks",
+                            static_cast<double>(per_rank.size()));
+    auto by_key = [](const auto& a, const auto& b) {
+        return a.first < b.first;
+    };
+    std::sort(out.counters.begin(), out.counters.end(), by_key);
+    std::sort(out.gauges.begin(), out.gauges.end(), by_key);
+    std::sort(out.histograms.begin(), out.histograms.end(), by_key);
+    return out;
+}
+
+/// COLLECTIVE. Allgathers `local` across the communicator and returns the
+/// merged cluster snapshot (identical on every rank).
+inline MetricsSnapshot federate(par::Comm& comm,
+                                const MetricsSnapshot& local) {
+    std::vector<par::Buffer> frames =
+        comm.allgather(serialize_snapshot(local));
+    std::vector<MetricsSnapshot> per_rank;
+    per_rank.reserve(frames.size());
+    for (const par::Buffer& f : frames)
+        per_rank.push_back(deserialize_snapshot(f));
+    return merge_rank_snapshots(per_rank);
+}
+
+}  // namespace dsg::obs

@@ -1,0 +1,333 @@
+#include "obs/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace dsg::obs {
+
+namespace {
+
+const char* status_text(int status) {
+    switch (status) {
+        case 200: return "OK";
+        case 400: return "Bad Request";
+        case 404: return "Not Found";
+        case 405: return "Method Not Allowed";
+        case 408: return "Request Timeout";
+        case 431: return "Request Header Fields Too Large";
+        case 500: return "Internal Server Error";
+        case 503: return "Service Unavailable";
+        default: return "Unknown";
+    }
+}
+
+void set_io_timeout(int fd, int timeout_ms) {
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+/// Writes all of `data`, looping over short writes. MSG_NOSIGNAL: a peer
+/// that closed early yields EPIPE instead of killing the process.
+bool send_all(int fd, const char* data, std::size_t size) {
+    std::size_t sent = 0;
+    while (sent < size) {
+        const ssize_t n =
+            ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR) continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/// `head_only` (a HEAD request) advertises the Content-Length the GET
+/// would carry but sends no body.
+void write_response(int fd, const HttpResponse& resp,
+                    bool head_only = false) {
+    std::string head = "HTTP/1.1 " + std::to_string(resp.status) + ' ' +
+                       status_text(resp.status) + "\r\n";
+    head += "Content-Type: " + resp.content_type + "\r\n";
+    head += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+    head += "Connection: close\r\n\r\n";
+    if (send_all(fd, head.data(), head.size()) && !head_only)
+        send_all(fd, resp.body.data(), resp.body.size());
+}
+
+/// Reads until the end-of-headers blank line, `limit` bytes, or an error.
+/// Returns -1 on socket error/timeout, 0 when the peer closed before the
+/// headers completed, +1 on a complete header block.
+int read_headers(int fd, std::size_t limit, std::string& raw) {
+    char buf[2048];
+    while (raw.size() < limit) {
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return -1;  // timeout or hard error
+        }
+        if (n == 0) return 0;  // premature close
+        raw.append(buf, static_cast<std::size_t>(n));
+        if (raw.find("\r\n\r\n") != std::string::npos ||
+            raw.find("\n\n") != std::string::npos)
+            return 1;
+    }
+    return -2;  // over limit with no terminator
+}
+
+/// Parses "GET /path?k=v HTTP/1.1" into `req`. False on any malformation.
+bool parse_request_line(const std::string& raw, HttpRequest& req) {
+    const auto eol = raw.find("\r\n");
+    if (eol == std::string::npos || eol == 0) return false;
+    const std::string line = raw.substr(0, eol);
+    const auto sp1 = line.find(' ');
+    const auto sp2 = line.rfind(' ');
+    if (sp1 == std::string::npos || sp2 == sp1) return false;
+    req.method = line.substr(0, sp1);
+    std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::string version = line.substr(sp2 + 1);
+    if (req.method.empty() || target.empty() || target[0] != '/')
+        return false;
+    if (version.rfind("HTTP/1.", 0) != 0) return false;
+    const auto qmark = target.find('?');
+    req.path = target.substr(0, qmark);
+    if (qmark != std::string::npos) {
+        std::string qs = target.substr(qmark + 1);
+        std::size_t pos = 0;
+        while (pos <= qs.size()) {
+            auto amp = qs.find('&', pos);
+            if (amp == std::string::npos) amp = qs.size();
+            const std::string pair = qs.substr(pos, amp - pos);
+            if (!pair.empty()) {
+                const auto eq = pair.find('=');
+                if (eq == std::string::npos)
+                    req.query.emplace_back(pair, "");
+                else
+                    req.query.emplace_back(pair.substr(0, eq),
+                                           pair.substr(eq + 1));
+            }
+            pos = amp + 1;
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
+void HttpServer::handle(std::string path, Handler fn) {
+    handlers_[std::move(path)] = std::move(fn);
+}
+
+void HttpServer::start(const Config& cfg) {
+    if (running()) throw std::runtime_error("HttpServer: already started");
+    cfg_ = cfg;
+    if (cfg_.workers == 0) cfg_.workers = 1;
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw std::runtime_error("HttpServer: socket() failed");
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(cfg_.port);
+    if (::inet_pton(AF_INET, cfg_.bind_address.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        throw std::runtime_error("HttpServer: bad bind address " +
+                                 cfg_.bind_address);
+    }
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+        const int err = errno;
+        ::close(fd);
+        throw std::runtime_error(std::string("HttpServer: bind failed: ") +
+                                 std::strerror(err));
+    }
+    if (::listen(fd, 64) != 0) {
+        const int err = errno;
+        ::close(fd);
+        throw std::runtime_error(std::string("HttpServer: listen failed: ") +
+                                 std::strerror(err));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+    port_ = ntohs(bound.sin_port);
+    listen_fd_.store(fd, std::memory_order_release);
+
+    {
+        std::lock_guard lock(mx_);
+        stopping_ = false;
+    }
+    workers_.reserve(cfg_.workers);
+    for (std::size_t k = 0; k < cfg_.workers; ++k)
+        workers_.emplace_back([this] { worker_loop(); });
+    accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void HttpServer::stop() {
+    const int lfd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+    if (lfd < 0) return;  // never started, or already stopped
+    // Wake the blocking accept() and refuse new connections.
+    ::shutdown(lfd, SHUT_RDWR);
+    ::close(lfd);
+    if (accept_thread_.joinable()) accept_thread_.join();
+    // Workers drain every already-accepted connection before exiting: the
+    // stopping_ flag only ends a worker's loop once pending_ is empty, so a
+    // request in flight at stop() still gets its full response.
+    {
+        std::lock_guard lock(mx_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_)
+        if (t.joinable()) t.join();
+    workers_.clear();
+    port_ = 0;
+}
+
+std::uint64_t HttpServer::served() const {
+    std::lock_guard lock(mx_);
+    return served_;
+}
+
+std::uint64_t HttpServer::rejected() const {
+    std::lock_guard lock(mx_);
+    return rejected_;
+}
+
+void HttpServer::accept_loop() {
+    const int lfd = listen_fd_.load(std::memory_order_acquire);
+    if (lfd < 0) return;
+    while (true) {
+        const int fd = ::accept(lfd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR) continue;
+            break;  // listener closed by stop(), or hard error
+        }
+        set_io_timeout(fd, cfg_.io_timeout_ms);
+        bool queued = false;
+        {
+            std::lock_guard lock(mx_);
+            if (pending_.size() < cfg_.max_pending) {
+                pending_.push_back(fd);
+                queued = true;
+            }
+        }
+        if (queued) {
+            cv_.notify_one();
+        } else {
+            // Queue full: best-effort 503 and close, never block accept.
+            write_response(fd, HttpResponse{503, "text/plain; charset=utf-8",
+                                            "overloaded\n"});
+            ::close(fd);
+        }
+    }
+}
+
+void HttpServer::worker_loop() {
+    while (true) {
+        int fd = -1;
+        {
+            std::unique_lock lock(mx_);
+            cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+            if (pending_.empty()) return;  // stopping_ && drained
+            fd = pending_.front();
+            pending_.pop_front();
+        }
+        serve_connection(fd);
+        ::close(fd);
+    }
+}
+
+void HttpServer::serve_connection(int fd) {
+    std::string raw;
+    raw.reserve(1024);
+    const int got = read_headers(fd, cfg_.max_request_bytes, raw);
+    auto reject = [&](int status, const char* body) {
+        write_response(fd,
+                       HttpResponse{status, "text/plain; charset=utf-8", body});
+        std::lock_guard lock(mx_);
+        ++rejected_;
+    };
+    if (got == 0) {
+        // Peer closed before completing the headers; nothing to answer.
+        std::lock_guard lock(mx_);
+        ++rejected_;
+        return;
+    }
+    if (got < 0) {
+        reject(got == -2 ? 431 : 408,
+               got == -2 ? "headers too large\n" : "timeout\n");
+        return;
+    }
+    HttpRequest req;
+    if (!parse_request_line(raw, req)) {
+        reject(400, "malformed request\n");
+        return;
+    }
+    if (req.method != "GET" && req.method != "HEAD") {
+        reject(405, "only GET is supported\n");
+        return;
+    }
+    const auto it = handlers_.find(req.path);
+    HttpResponse resp;
+    if (it == handlers_.end()) {
+        resp = HttpResponse{404, "text/plain; charset=utf-8", "not found\n"};
+    } else {
+        try {
+            resp = it->second(req);
+        } catch (const std::exception& e) {
+            resp = HttpResponse{500, "text/plain; charset=utf-8",
+                                std::string("handler error: ") + e.what() +
+                                    "\n"};
+        }
+    }
+    write_response(fd, resp, /*head_only=*/req.method == "HEAD");
+    std::lock_guard lock(mx_);
+    ++served_;
+}
+
+std::string http_fetch(std::uint16_t port, const std::string& target,
+                       int timeout_ms) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return "";
+    set_io_timeout(fd, timeout_ms);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) != 0) {
+        ::close(fd);
+        return "";
+    }
+    const std::string req = "GET " + target +
+                            " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                            "Connection: close\r\n\r\n";
+    if (!send_all(fd, req.data(), req.size())) {
+        ::close(fd);
+        return "";
+    }
+    std::string out;
+    char buf[4096];
+    while (true) {
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) break;
+        out.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return out;
+}
+
+}  // namespace dsg::obs

@@ -1,0 +1,129 @@
+// Minimal dependency-free HTTP/1.1 server — the live-introspection plane's
+// transport and the repo's first real socket code.
+//
+// Shape: one background accept thread pushes connections onto a bounded
+// queue drained by a small worker pool; each worker reads one request
+// (bounded header size, SO_RCVTIMEO against stalled peers), dispatches to
+// an exact-path GET handler, writes one response and closes (Connection:
+// close — scrapers reconnect per poll, which keeps the server stateless).
+// Port 0 binds an ephemeral port (read back via port()) so tests and CI
+// never collide. The listener/accept/drain loop is deliberately free of
+// anything HTTP-specific except parse_request/write_response — it is the
+// seed for the ROADMAP-item-3 TCP comm backend's connection handling.
+//
+// stop() is idempotent and *ordered*: it closes the listener, serves every
+// connection already accepted, joins the threads, and only then returns —
+// so callers may tear down the data structures their handlers capture
+// (registry callback gauges, snapshot stores) immediately after stop()
+// returns. tests/obs/test_introspection.cpp pins that ordering.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dsg::obs {
+
+/// One parsed request. Only the request line is interpreted: method, path
+/// ("/metrics"), and the query string split into key=value pairs. Header
+/// fields are read (and bounded) but not retained — no handler needs them.
+struct HttpRequest {
+    std::string method;
+    std::string path;
+    std::vector<std::pair<std::string, std::string>> query;
+
+    /// Value of the first query parameter named `key`, or `fallback`.
+    [[nodiscard]] std::string_view param(std::string_view key,
+                                         std::string_view fallback = "") const {
+        for (const auto& [k, v] : query)
+            if (k == key) return v;
+        return fallback;
+    }
+};
+
+/// One response. Handlers fill status/content_type/body; the server owns
+/// framing (Content-Length, Connection: close).
+struct HttpResponse {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+};
+
+class HttpServer {
+public:
+    struct Config {
+        std::string bind_address = "127.0.0.1";
+        std::uint16_t port = 0;       ///< 0 = ephemeral (read back via port())
+        std::size_t workers = 2;      ///< connection-handling threads
+        std::size_t max_pending = 64; ///< accepted-fd queue bound
+        std::size_t max_request_bytes = 16 * 1024;  ///< request-line + headers
+        int io_timeout_ms = 5000;     ///< per-socket recv/send timeout
+    };
+
+    using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+    HttpServer() = default;
+    ~HttpServer() { stop(); }
+    HttpServer(const HttpServer&) = delete;
+    HttpServer& operator=(const HttpServer&) = delete;
+
+    /// Registers a handler for an exact path (before start()).
+    void handle(std::string path, Handler fn);
+
+    /// Binds, listens and spawns the accept/worker threads. Throws
+    /// std::runtime_error when the bind/listen fails (port in use).
+    void start(const Config& cfg);
+
+    /// Drains accepted connections, joins all threads. Idempotent.
+    void stop();
+
+    [[nodiscard]] bool running() const {
+        return listen_fd_.load(std::memory_order_acquire) >= 0;
+    }
+    /// The bound port (after start(); meaningful with cfg.port == 0).
+    [[nodiscard]] std::uint16_t port() const { return port_; }
+
+    /// Requests fully served (any status). For tests.
+    [[nodiscard]] std::uint64_t served() const;
+    /// Requests rejected at the parse stage (400/405/408/431). For tests.
+    [[nodiscard]] std::uint64_t rejected() const;
+
+private:
+    void accept_loop();
+    void worker_loop();
+    void serve_connection(int fd);
+
+    Config cfg_;
+    std::map<std::string, Handler> handlers_;
+
+    std::atomic<int> listen_fd_{-1};
+    std::uint16_t port_ = 0;
+
+    std::thread accept_thread_;
+    std::vector<std::thread> workers_;
+
+    mutable std::mutex mx_;
+    std::condition_variable cv_;
+    std::deque<int> pending_;      ///< accepted fds awaiting a worker
+    bool stopping_ = false;
+
+    std::uint64_t served_ = 0;     ///< guarded by mx_
+    std::uint64_t rejected_ = 0;   ///< guarded by mx_
+};
+
+/// Blocking loopback GET: connects to 127.0.0.1:`port`, requests `target`
+/// and returns the raw response (status line + headers + body), or an empty
+/// string on any socket error. A deliberately tiny client for tests and the
+/// bench scrape gate — not a general HTTP client.
+[[nodiscard]] std::string http_fetch(std::uint16_t port,
+                                     const std::string& target,
+                                     int timeout_ms = 5000);
+
+}  // namespace dsg::obs

@@ -1,0 +1,157 @@
+#include "obs/introspection.hpp"
+
+#include <utility>
+
+#include "obs/trace.hpp"
+
+namespace dsg::obs {
+
+namespace {
+
+constexpr const char* kPromContentType = "text/plain; version=0.0.4";
+constexpr const char* kJsonContentType = "application/json";
+
+}  // namespace
+
+void IntrospectionServer::start(Config cfg) {
+    cfg_ = std::move(cfg);
+    if (cfg_.registry == nullptr) cfg_.registry = &Registry::global();
+    if (cfg_.events == nullptr) cfg_.events = &EventLog::global();
+    ready_.store(cfg_.ready, std::memory_order_relaxed);
+    {
+        std::lock_guard lock(state_mx_);
+        cursor_ = 0;
+        rule_state_.clear();
+    }
+
+    http_.handle("/metrics", [this](const HttpRequest&) {
+        return on_metrics();
+    });
+    http_.handle("/metrics.json", [this](const HttpRequest&) {
+        return on_metrics_json();
+    });
+    http_.handle("/healthz", [](const HttpRequest&) {
+        return HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};
+    });
+    http_.handle("/readyz", [this](const HttpRequest&) {
+        return on_readyz();
+    });
+    http_.handle("/status", [this](const HttpRequest&) {
+        return on_status();
+    });
+    http_.handle("/trace", [](const HttpRequest&) {
+        return HttpResponse{200, kJsonContentType,
+                            to_chrome_trace(par::Profiler::collect_trace())};
+    });
+    http_.handle("/events", [this](const HttpRequest& req) {
+        return on_events(req);
+    });
+    http_.handle("/flight", [this](const HttpRequest&) {
+        const std::string body =
+            cfg_.flight_json ? cfg_.flight_json() : "{\"worst\": []}";
+        return HttpResponse{200, kJsonContentType, body};
+    });
+    http_.start(cfg_.http);
+}
+
+void IntrospectionServer::stop() { http_.stop(); }
+
+MetricsSnapshot IntrospectionServer::current_snapshot() {
+    if (cfg_.metrics_provider) return cfg_.metrics_provider();
+    return cfg_.registry->snapshot();
+}
+
+HttpResponse IntrospectionServer::on_metrics() {
+    return HttpResponse{200, kPromContentType,
+                        current_snapshot().to_prometheus()};
+}
+
+HttpResponse IntrospectionServer::on_metrics_json() {
+    // to_jsonl() renders exactly one JSON object (newline-terminated).
+    return HttpResponse{200, kJsonContentType, current_snapshot().to_jsonl()};
+}
+
+void IntrospectionServer::drain_events() {
+    std::vector<Event> fresh;
+    const std::uint64_t next = cfg_.events->collect_since(cursor_, fresh);
+    cursor_ = next;
+    for (const Event& e : fresh) {
+        // A firing records the rule's severity; a clear (Severity::Info by
+        // the watchdog's contract) resets it. Warnings never gate /readyz.
+        rule_state_[e.rule] = e.severity;
+    }
+}
+
+bool IntrospectionServer::ready() {
+    if (!ready_.load(std::memory_order_relaxed)) return false;
+    return critical_rules().empty();
+}
+
+std::vector<std::string> IntrospectionServer::critical_rules() {
+    std::lock_guard lock(state_mx_);
+    drain_events();
+    std::vector<std::string> out;
+    for (const auto& [rule, sev] : rule_state_)
+        if (sev == Severity::Critical) out.push_back(rule);
+    return out;
+}
+
+HttpResponse IntrospectionServer::on_readyz() {
+    const std::vector<std::string> critical = critical_rules();
+    const bool manual = ready_.load(std::memory_order_relaxed);
+    if (manual && critical.empty())
+        return HttpResponse{200, "text/plain; charset=utf-8", "ready\n"};
+    std::string body = "not ready";
+    if (!manual) body += ": startup/recovery in progress";
+    for (const std::string& rule : critical) body += ": " + rule;
+    body += '\n';
+    return HttpResponse{503, "text/plain; charset=utf-8", std::move(body)};
+}
+
+HttpResponse IntrospectionServer::on_status() {
+    const std::vector<std::string> critical = critical_rules();
+    const bool manual = ready_.load(std::memory_order_relaxed);
+    const bool is_ready = manual && critical.empty();
+    std::string body = "{\"ready\": ";
+    body += is_ready ? "true" : "false";
+    body += ", \"manual_gate\": ";
+    body += manual ? "true" : "false";
+    body += ", \"critical_rules\": [";
+    for (std::size_t k = 0; k < critical.size(); ++k) {
+        if (k > 0) body += ", ";
+        body += '"' + critical[k] + '"';
+    }
+    body += "], \"events_total\": " + std::to_string(cfg_.events->total());
+    body += ", \"requests_served\": " + std::to_string(http_.served());
+    if (cfg_.status_fields) {
+        const std::string extra = cfg_.status_fields();
+        if (!extra.empty()) body += ", " + extra;
+    }
+    body += "}\n";
+    return HttpResponse{200, kJsonContentType, std::move(body)};
+}
+
+HttpResponse IntrospectionServer::on_events(const HttpRequest& req) {
+    std::uint64_t since = 0;
+    const std::string_view raw = req.param("since");
+    if (!raw.empty()) {
+        std::uint64_t parsed = 0;
+        for (const char c : raw) {
+            if (c < '0' || c > '9')
+                return HttpResponse{400, "text/plain; charset=utf-8",
+                                    "bad ?since cursor\n"};
+            parsed = parsed * 10 + static_cast<std::uint64_t>(c - '0');
+        }
+        since = parsed;
+    }
+    std::vector<Event> events;
+    cfg_.events->collect_since(since, events);
+    std::string body;
+    for (const Event& e : events) {
+        body += to_jsonl(e);
+        body += '\n';
+    }
+    return HttpResponse{200, "application/x-ndjson", std::move(body)};
+}
+
+}  // namespace dsg::obs

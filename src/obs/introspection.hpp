@@ -1,0 +1,107 @@
+// The live introspection plane: an HttpServer wired to the observability
+// stack, serving the running system's state over loopback HTTP.
+//
+//   GET /metrics       Prometheus text exposition (Content-Type:
+//                      text/plain; version=0.0.4) of the metrics provider —
+//                      by default the bound registry, on rank 0 typically
+//                      the federated cluster snapshot (obs/federate.hpp)
+//   GET /metrics.json  the same snapshot as one JSON object
+//   GET /healthz       liveness — 200 "ok" while the server thread answers
+//   GET /readyz        readiness — 503 while any watchdog rule's latest
+//                      EventLog transition is a Critical firing, or while
+//                      the manual gate is held down (recovery replay);
+//                      200 otherwise
+//   GET /status        one JSON object: readiness, critical rules, served-
+//                      request counters, plus caller-supplied fields
+//                      (engine version, snapshot-store population, serve
+//                      admission counters)
+//   GET /trace         Chrome trace JSON of the current profiler rings
+//   GET /events        event-log tail as JSONL; ?since=SEQ returns only
+//                      events with seq > SEQ (the incremental cursor)
+//   GET /flight        flight-recorder worst-K JSON (caller-supplied)
+//
+// Readiness is DERIVED FROM THE EVENT LOG, not from a Watchdog pointer:
+// any number of watchdogs (the process-wide one, the federated one on
+// rank 0) append transitions into one EventLog, and /readyz folds them by
+// rule — last firing at Critical marks the rule down until its clear
+// arrives. That keeps the server decoupled from who evaluates the rules.
+//
+// stop() is ordered and idempotent: it returns only after every in-flight
+// request has been answered (HttpServer::stop drains), so callers may tear
+// down registries/callback gauges captured by the providers right after.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/event_log.hpp"
+#include "obs/http_server.hpp"
+#include "obs/metrics.hpp"
+
+namespace dsg::obs {
+
+class IntrospectionServer {
+public:
+    struct Config {
+        HttpServer::Config http;          ///< bind/port/worker knobs
+        Registry* registry = nullptr;     ///< nullptr = Registry::global()
+        EventLog* events = nullptr;       ///< nullptr = EventLog::global()
+        /// Snapshot served by /metrics and /metrics.json. Defaults to
+        /// `registry->snapshot()`; rank 0 installs the federated view here.
+        std::function<MetricsSnapshot()> metrics_provider;
+        /// Extra /status fields as a `"key": value, ...` JSON fragment
+        /// (no braces, no trailing comma). Optional.
+        std::function<std::string()> status_fields;
+        /// Body for /flight. Defaults to an empty worst-K list.
+        std::function<std::string()> flight_json;
+        /// Initial manual readiness gate (false while recovery replays).
+        bool ready = true;
+    };
+
+    IntrospectionServer() = default;
+    ~IntrospectionServer() { stop(); }
+    IntrospectionServer(const IntrospectionServer&) = delete;
+    IntrospectionServer& operator=(const IntrospectionServer&) = delete;
+
+    void start(Config cfg);
+    void stop();  ///< drains in-flight requests; idempotent
+
+    [[nodiscard]] bool running() const { return http_.running(); }
+    [[nodiscard]] std::uint16_t port() const { return http_.port(); }
+
+    /// Manual readiness gate, AND-ed with the watchdog-derived state.
+    void set_ready(bool ready) {
+        ready_.store(ready, std::memory_order_relaxed);
+    }
+
+    /// Current readiness (manual gate && no rule critically firing).
+    [[nodiscard]] bool ready();
+    /// Rules whose latest event-log transition is a Critical firing.
+    [[nodiscard]] std::vector<std::string> critical_rules();
+
+private:
+    HttpResponse on_metrics();
+    HttpResponse on_metrics_json();
+    HttpResponse on_readyz();
+    HttpResponse on_status();
+    HttpResponse on_events(const HttpRequest& req);
+    MetricsSnapshot current_snapshot();
+    void drain_events();
+
+    Config cfg_;
+    HttpServer http_;
+    std::atomic<bool> ready_{true};
+
+    // Watchdog-rule fold over the event log (guarded by state_mx_).
+    std::mutex state_mx_;
+    std::uint64_t cursor_ = 0;
+    std::map<std::string, Severity> rule_state_;  ///< rule -> last severity
+};
+
+}  // namespace dsg::obs

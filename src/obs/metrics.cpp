@@ -129,6 +129,50 @@ void prom_line(std::string& out, const std::string& name,
     out += '\n';
 }
 
+/// One-line HELP text per known metric family; generic fallback otherwise.
+/// HELP is free text — the scrape contract only requires the line to exist
+/// once per family (scripts/check-endpoints.py validates that).
+std::string prom_help(const std::string& name) {
+    struct Entry {
+        const char* name;
+        const char* help;
+    };
+    static constexpr Entry kKnown[] = {
+        {"stream_queue_depth", "per-rank update-queue occupancy"},
+        {"stream_backlog", "per-rank updates admitted but not yet applied"},
+        {"stream_epoch_drain_ns", "per-epoch queue-drain latency"},
+        {"stream_epoch_apply_ns", "per-epoch delta-apply latency"},
+        {"stream_queue_blocked_ns", "producer time blocked on a full queue"},
+        {"serve_query_ns", "query service latency by class"},
+        {"serve_query_shed", "queries shed by admission control"},
+        {"serve_snapshot_lag", "published-behind-applied version lag"},
+        {"persist_wal_fsync_ns", "WAL fsync latency"},
+        {"cluster_ranks", "ranks contributing to the federated snapshot"},
+    };
+    for (const Entry& e : kKnown)
+        if (name == e.name) return e.help;
+    if (name.size() > 15 &&
+        name.compare(name.size() - 15, 15, "_rank_imbalance") == 0)
+        return "max/mean skew of " + name.substr(0, name.size() - 15) +
+               " across ranks (1 = balanced)";
+    if (name.size() > 9 && name.compare(name.size() - 9, 9, "_rank_max") == 0)
+        return "max of " + name.substr(0, name.size() - 9) + " across ranks";
+    if (name.size() > 9 && name.compare(name.size() - 9, 9, "_rank_min") == 0)
+        return "min of " + name.substr(0, name.size() - 9) + " across ranks";
+    return "dsg metric " + name;
+}
+
+/// Emits the per-family "# HELP" / "# TYPE" header once: tracks the last
+/// family emitted (entries arrive sorted by key, so one family's labelled
+/// instances are adjacent).
+void prom_family_header(std::string& out, std::string& last,
+                        const std::string& name, const char* type) {
+    if (name == last) return;
+    last = name;
+    out += "# HELP " + name + ' ' + prom_help(name) + '\n';
+    out += "# TYPE " + name + ' ' + type + '\n';
+}
+
 /// True when the instrument's name part carries the _ns unit suffix (its
 /// labels, if any, start at '{').
 bool is_ns(const std::string& key) {
@@ -316,23 +360,42 @@ std::string MetricsSnapshot::to_jsonl() const {
 }
 
 std::string MetricsSnapshot::to_prometheus() const {
+    // The exposition-format contract (pinned by the round-trip test in
+    // tests/obs/test_metrics.cpp and scripts/check-endpoints.py): exactly
+    // one "# HELP"/"# TYPE" pair per family, every family's samples in one
+    // contiguous group, histograms rendered as summaries (quantile lines +
+    // _sum + _count) with the bucket-ceiling max as a separate _max gauge
+    // family (summaries have no max series of their own).
     std::string out;
+    std::string last;
     for (const auto& [key, value] : counters) {
         const auto [name, labels] = prom_parts(key);
+        prom_family_header(out, last, name, "counter");
         prom_line(out, name, labels, nullptr, static_cast<double>(value));
     }
+    last.clear();
     for (const auto& [key, value] : gauges) {
         const auto [name, labels] = prom_parts(key);
+        prom_family_header(out, last, name, "gauge");
         prom_line(out, name, labels, nullptr, value);
     }
+    last.clear();
     for (const auto& [key, h] : histograms) {
         const auto [name, labels] = prom_parts(key);
+        prom_family_header(out, last, name, "summary");
         prom_line(out, name, labels, "quantile=\"0.5\"", h.p50);
         prom_line(out, name, labels, "quantile=\"0.9\"", h.p90);
         prom_line(out, name, labels, "quantile=\"0.99\"", h.p99);
         prom_line(out, name, labels, "quantile=\"0.999\"", h.p999);
+        prom_line(out, name + "_sum", labels, nullptr,
+                  h.mean * static_cast<double>(h.count));
         prom_line(out, name + "_count", labels, nullptr,
                   static_cast<double>(h.count));
+    }
+    last.clear();
+    for (const auto& [key, h] : histograms) {
+        const auto [name, labels] = prom_parts(key);
+        prom_family_header(out, last, name + "_max", "gauge");
         prom_line(out, name + "_max", labels, nullptr, h.max);
     }
     return out;

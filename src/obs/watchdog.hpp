@@ -77,6 +77,12 @@ inline std::vector<Rule> default_rules(std::size_t queue_capacity = 1 << 15) {
     rules.push_back({"snapshot-lag-ceiling", "serve_snapshot_lag",
                      RuleKind::GaugeAbove, 8.0, HistField::P99, 2, 2,
                      Severity::Critical});
+    // Federated snapshots only (obs/federate.hpp): sustained max/mean skew
+    // of applied work across ranks. In a non-federated registry the family
+    // never exists, so the rule sits calm — safe in the default set.
+    rules.push_back({"rank-load-imbalance", "stream_ops_applied_rank_imbalance",
+                     RuleKind::GaugeAbove, 2.0, HistField::P99, 3, 2,
+                     Severity::Warning});
     return rules;
 }
 

@@ -223,6 +223,17 @@ public:
     using PublishHook = std::function<void(std::uint64_t version)>;
     void set_publish_hook(PublishHook hook) { publish_hook_ = std::move(hook); }
 
+    /// Multi-subscriber epoch observers: appended (never replaced), invoked
+    /// LAST among the applied-epoch subscribers — after the checkpoint hook,
+    /// on every rank of the same epochs — so observers see the fully
+    /// published + persisted state. Same all-ranks-or-none contract as the
+    /// other hooks: observer bodies may issue collectives (the live
+    /// introspection plane federates per-rank metric snapshots here,
+    /// obs/federate.hpp). Register before the collective loop starts.
+    void add_epoch_observer(PublishHook observer) {
+        epoch_observers_.push_back(std::move(observer));
+    }
+
     /// Runs one epoch (collective). Returns false once every rank's queue is
     /// exhausted — the caller may stop pumping.
     bool pump() {
@@ -380,6 +391,8 @@ public:
                 checkpoint_hook_(version_);
                 e.persist_ms += ms_since(t3);
             }
+            for (const PublishHook& observer : epoch_observers_)
+                observer(version_);
         }
 
         e.backlog_after = queue_.size();
@@ -448,6 +461,7 @@ private:
     std::thread wal_worker_;  // in-flight overlapped WAL write, if any
     CheckpointHook checkpoint_hook_;
     PublishHook publish_hook_;
+    std::vector<PublishHook> epoch_observers_;
 
     mutable std::shared_mutex snapshot_mx_;
     std::uint64_t version_ = 0;  // written under unique snapshot_mx_

@@ -1,0 +1,263 @@
+// The embedded HTTP server (the introspection plane's transport):
+// routing/status codes over real loopback sockets, the robustness matrix
+// (malformed request lines, oversized headers, byte-at-a-time partial
+// reads, premature peer close), large-body short-write handling, and
+// concurrent scrapers hammering one server (run under TSan via the obs CI
+// label).
+#include "obs/http_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace obs = dsg::obs;
+
+namespace {
+
+/// Raw loopback client for the malformed-input tests: connects, sends
+/// `payload` verbatim (optionally in 1-byte chunks), reads to EOF.
+std::string raw_exchange(std::uint16_t port, const std::string& payload,
+                         bool byte_at_a_time = false,
+                         bool close_after_send = true) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return "";
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) != 0) {
+        ::close(fd);
+        return "";
+    }
+    if (byte_at_a_time) {
+        for (const char c : payload) {
+            if (::send(fd, &c, 1, MSG_NOSIGNAL) != 1) break;
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+    } else if (!payload.empty()) {
+        (void)::send(fd, payload.data(), payload.size(), MSG_NOSIGNAL);
+    }
+    std::string out;
+    if (close_after_send) {
+        char buf[4096];
+        for (;;) {
+            const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+            if (n <= 0) break;
+            out.append(buf, static_cast<std::size_t>(n));
+        }
+    }
+    ::close(fd);
+    return out;
+}
+
+std::string status_line(const std::string& response) {
+    const auto eol = response.find("\r\n");
+    return eol == std::string::npos ? response : response.substr(0, eol);
+}
+
+/// One running server with a couple of routes; every test gets a fresh
+/// ephemeral port, so suites never collide.
+struct Fixture {
+    obs::HttpServer server;
+    std::atomic<int> hits{0};
+
+    explicit Fixture(obs::HttpServer::Config cfg = {}) {
+        server.handle("/hello", [this](const obs::HttpRequest&) {
+            hits.fetch_add(1, std::memory_order_relaxed);
+            obs::HttpResponse resp;
+            resp.body = "hi\n";
+            return resp;
+        });
+        server.handle("/echo", [](const obs::HttpRequest& req) {
+            obs::HttpResponse resp;
+            resp.body = std::string(req.param("q", "<absent>")) + "\n";
+            return resp;
+        });
+        server.handle("/boom", [](const obs::HttpRequest&) -> obs::HttpResponse {
+            throw std::runtime_error("handler exploded");
+        });
+        server.start(cfg);
+    }
+};
+
+TEST(HttpServer, RoutesOnAnEphemeralPort) {
+    Fixture fx;
+    ASSERT_TRUE(fx.server.running());
+    ASSERT_NE(fx.server.port(), 0);
+    const std::string resp = obs::http_fetch(fx.server.port(), "/hello");
+    EXPECT_EQ(status_line(resp), "HTTP/1.1 200 OK");
+    EXPECT_NE(resp.find("\r\n\r\nhi\n"), std::string::npos);
+    EXPECT_EQ(fx.hits.load(), 1);
+    EXPECT_GE(fx.server.served(), 1u);
+}
+
+TEST(HttpServer, UnknownPathIs404AndWrongMethodIs405) {
+    Fixture fx;
+    EXPECT_EQ(status_line(obs::http_fetch(fx.server.port(), "/nope")),
+              "HTTP/1.1 404 Not Found");
+    const std::string post = raw_exchange(
+        fx.server.port(), "POST /hello HTTP/1.1\r\nHost: x\r\n\r\n");
+    EXPECT_EQ(status_line(post), "HTTP/1.1 405 Method Not Allowed");
+    EXPECT_EQ(fx.hits.load(), 0);
+}
+
+TEST(HttpServer, HeadAnswersWithoutABody) {
+    Fixture fx;
+    const std::string resp = raw_exchange(
+        fx.server.port(), "HEAD /hello HTTP/1.1\r\nHost: x\r\n\r\n");
+    EXPECT_EQ(status_line(resp), "HTTP/1.1 200 OK");
+    // Framing headers survive; the body does not.
+    EXPECT_NE(resp.find("Content-Length: 3"), std::string::npos);
+    EXPECT_EQ(resp.find("hi\n"), std::string::npos);
+}
+
+TEST(HttpServer, QueryStringSplitsIntoParams) {
+    Fixture fx;
+    const std::string resp =
+        obs::http_fetch(fx.server.port(), "/echo?q=value&other=1");
+    EXPECT_NE(resp.find("\r\n\r\nvalue\n"), std::string::npos);
+    const std::string missing = obs::http_fetch(fx.server.port(), "/echo");
+    EXPECT_NE(missing.find("<absent>"), std::string::npos);
+}
+
+TEST(HttpServer, HandlerExceptionsBecome500) {
+    Fixture fx;
+    EXPECT_EQ(status_line(obs::http_fetch(fx.server.port(), "/boom")),
+              "HTTP/1.1 500 Internal Server Error");
+    // The worker survives; the next request is served normally.
+    EXPECT_EQ(status_line(obs::http_fetch(fx.server.port(), "/hello")),
+              "HTTP/1.1 200 OK");
+}
+
+// ---------------------------------------------------------------------------
+// Robustness: garbage in, bounded and specific errors out
+// ---------------------------------------------------------------------------
+
+TEST(HttpServer, MalformedRequestLineIs400) {
+    Fixture fx;
+    for (const char* garbage :
+         {"GARBAGE\r\n\r\n", "GET\r\n\r\n", "GET /hello\r\n\r\n",
+          "GET /hello SMTP/1.0\r\n\r\n", "\r\n\r\n"}) {
+        const std::string resp = raw_exchange(fx.server.port(), garbage);
+        EXPECT_EQ(status_line(resp), "HTTP/1.1 400 Bad Request") << garbage;
+    }
+    EXPECT_GE(fx.server.rejected(), 5u);
+    EXPECT_EQ(fx.hits.load(), 0);
+}
+
+TEST(HttpServer, OversizedHeadersAre431) {
+    obs::HttpServer::Config cfg;
+    cfg.max_request_bytes = 1024;
+    Fixture fx(cfg);
+    std::string req = "GET /hello HTTP/1.1\r\n";
+    req += "X-Padding: " + std::string(4096, 'x') + "\r\n\r\n";
+    const std::string resp = raw_exchange(fx.server.port(), req);
+    EXPECT_EQ(status_line(resp),
+              "HTTP/1.1 431 Request Header Fields Too Large");
+    EXPECT_EQ(fx.hits.load(), 0);
+}
+
+TEST(HttpServer, PartialByteAtATimeReadsStillParse) {
+    Fixture fx;
+    const std::string resp = raw_exchange(
+        fx.server.port(), "GET /hello HTTP/1.1\r\nHost: x\r\n\r\n",
+        /*byte_at_a_time=*/true);
+    EXPECT_EQ(status_line(resp), "HTTP/1.1 200 OK");
+    EXPECT_EQ(fx.hits.load(), 1);
+}
+
+TEST(HttpServer, PrematureCloseLeavesTheServerServing) {
+    Fixture fx;
+    // Half a request line, then an immediate close, several times over.
+    for (int k = 0; k < 8; ++k)
+        (void)raw_exchange(fx.server.port(), "GET /hel",
+                           /*byte_at_a_time=*/false,
+                           /*close_after_send=*/false);
+    // And one bare connect-then-close with no bytes at all.
+    (void)raw_exchange(fx.server.port(), "",
+                       /*byte_at_a_time=*/false, /*close_after_send=*/false);
+    const std::string resp = obs::http_fetch(fx.server.port(), "/hello");
+    EXPECT_EQ(status_line(resp), "HTTP/1.1 200 OK");
+}
+
+TEST(HttpServer, LargeBodiesSurviveShortWrites) {
+    obs::HttpServer server;
+    const std::string big(4 * 1024 * 1024, 'z');
+    server.handle("/big", [&big](const obs::HttpRequest&) {
+        obs::HttpResponse resp;
+        resp.body = big;
+        return resp;
+    });
+    server.start({});
+    const std::string resp = obs::http_fetch(server.port(), "/big",
+                                             /*timeout_ms=*/30'000);
+    const auto split = resp.find("\r\n\r\n");
+    ASSERT_NE(split, std::string::npos);
+    EXPECT_EQ(resp.size() - split - 4, big.size());
+    EXPECT_EQ(resp.compare(split + 4, std::string::npos, big), 0);
+}
+
+TEST(HttpServer, BindConflictThrows) {
+    Fixture fx;
+    obs::HttpServer second;
+    obs::HttpServer::Config cfg;
+    cfg.port = fx.server.port();
+    EXPECT_THROW(second.start(cfg), std::runtime_error);
+    EXPECT_FALSE(second.running());
+}
+
+TEST(HttpServer, StopIsIdempotentAndRestartable) {
+    obs::HttpServer server;
+    server.handle("/ping", [](const obs::HttpRequest&) {
+        return obs::HttpResponse{200, "text/plain", "pong"};
+    });
+    server.start({});
+    const std::uint16_t first_port = server.port();
+    EXPECT_NE(obs::http_fetch(first_port, "/ping").find("pong"),
+              std::string::npos);
+    server.stop();
+    server.stop();  // second stop: no-op, no crash
+    EXPECT_FALSE(server.running());
+    EXPECT_EQ(obs::http_fetch(first_port, "/ping"), "");  // really down
+    server.start({});
+    EXPECT_TRUE(server.running());
+    EXPECT_NE(obs::http_fetch(server.port(), "/ping").find("pong"),
+              std::string::npos);
+}
+
+// Exercised under TSan by the obs CI label: many clients, one server.
+TEST(HttpServer, ConcurrentScrapersAllGetAnswers) {
+    Fixture fx;
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 25;
+    std::atomic<int> ok{0};
+    std::vector<std::thread> scrapers;
+    scrapers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        scrapers.emplace_back([&] {
+            for (int k = 0; k < kPerThread; ++k) {
+                const std::string resp =
+                    obs::http_fetch(fx.server.port(), "/hello");
+                if (status_line(resp) == "HTTP/1.1 200 OK")
+                    ok.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    for (auto& th : scrapers) th.join();
+    EXPECT_EQ(ok.load(), kThreads * kPerThread);
+    EXPECT_EQ(fx.hits.load(), kThreads * kPerThread);
+    EXPECT_GE(fx.server.served(),
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace

@@ -1,0 +1,314 @@
+// The introspection server over real loopback HTTP: endpoint content types
+// and bodies, readiness derived from the EventLog fold plus the manual
+// gate, the /events incremental cursor, concurrent scrapers racing registry
+// writers (TSan via the obs CI label), and the shutdown-ordering contract
+// (stop() drains in-flight requests before the handler-captured state may
+// be torn down).
+#include "obs/introspection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/event_log.hpp"
+#include "obs/exporter.hpp"
+#include "obs/metrics.hpp"
+
+namespace obs = dsg::obs;
+
+namespace {
+
+std::string status_line(const std::string& response) {
+    const auto eol = response.find("\r\n");
+    return eol == std::string::npos ? response : response.substr(0, eol);
+}
+
+std::string body_of(const std::string& response) {
+    const auto split = response.find("\r\n\r\n");
+    return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+bool has_header(const std::string& response, const std::string& header) {
+    return response.find("\r\n" + header + "\r\n") != std::string::npos;
+}
+
+obs::Event rule_event(const std::string& rule, obs::Severity sev) {
+    obs::Event e;
+    e.severity = sev;
+    e.rule = rule;
+    e.metric = "m";
+    e.message = rule;
+    return e;
+}
+
+/// Server bound to a private registry + event log (never the globals, so
+/// tests cannot interfere with each other or the process).
+struct Fixture {
+    obs::Registry reg;
+    obs::EventLog log;
+    obs::IntrospectionServer server;
+
+    explicit Fixture(bool ready = true) {
+        reg.counter("probe_total", {{"kind", "x"}}).add(7);
+        reg.gauge("probe_depth").set(3);
+        obs::IntrospectionServer::Config cfg;
+        cfg.registry = &reg;
+        cfg.events = &log;
+        cfg.ready = ready;
+        server.start(std::move(cfg));
+    }
+
+    [[nodiscard]] std::string get(const std::string& target) const {
+        return obs::http_fetch(server.port(), target);
+    }
+};
+
+TEST(Introspection, MetricsServesPrometheusWithTheExactContentType) {
+    if (obs::compiled_noop())
+        GTEST_SKIP() << "instruments compiled to no-ops (DSG_OBS_NOOP)";
+    Fixture fx;
+    const std::string resp = fx.get("/metrics");
+    EXPECT_EQ(status_line(resp), "HTTP/1.1 200 OK");
+    EXPECT_TRUE(
+        has_header(resp, "Content-Type: text/plain; version=0.0.4"))
+        << resp;
+    const std::string body = body_of(resp);
+    EXPECT_NE(body.find("# TYPE probe_total counter"), std::string::npos);
+    EXPECT_NE(body.find("probe_total{kind=\"x\"} 7"), std::string::npos);
+    EXPECT_NE(body.find("probe_depth 3"), std::string::npos);
+}
+
+TEST(Introspection, MetricsJsonAndHealthzAnswer) {
+    if (obs::compiled_noop())
+        GTEST_SKIP() << "instruments compiled to no-ops (DSG_OBS_NOOP)";
+    Fixture fx;
+    const std::string json = fx.get("/metrics.json");
+    EXPECT_EQ(status_line(json), "HTTP/1.1 200 OK");
+    EXPECT_NE(body_of(json).find("\"probe_total{kind=x}\": 7"),
+              std::string::npos);
+    EXPECT_NE(body_of(json).find("\"ts_ms\""), std::string::npos);
+    const std::string health = fx.get("/healthz");
+    EXPECT_EQ(status_line(health), "HTTP/1.1 200 OK");
+    EXPECT_EQ(body_of(health), "ok\n");
+}
+
+TEST(Introspection, MetricsProviderOverridesTheRegistry) {
+    Fixture fx;
+    fx.server.stop();
+    obs::IntrospectionServer::Config cfg;
+    cfg.registry = &fx.reg;
+    cfg.events = &fx.log;
+    cfg.metrics_provider = [] {
+        obs::MetricsSnapshot snap;
+        snap.gauges.emplace_back("synthetic_gauge", 42.0);
+        return snap;
+    };
+    fx.server.start(std::move(cfg));
+    const std::string body = body_of(fx.get("/metrics"));
+    EXPECT_NE(body.find("synthetic_gauge 42"), std::string::npos);
+    EXPECT_EQ(body.find("probe_total"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Readiness: the EventLog fold AND the manual gate
+// ---------------------------------------------------------------------------
+
+TEST(Introspection, ReadyzFlipsOnCriticalFiringAndClear) {
+    Fixture fx;
+    EXPECT_EQ(status_line(fx.get("/readyz")), "HTTP/1.1 200 OK");
+
+    // A Critical firing takes the rule (and readiness) down...
+    fx.log.append(rule_event("stall", obs::Severity::Critical));
+    const std::string down = fx.get("/readyz");
+    EXPECT_EQ(status_line(down), "HTTP/1.1 503 Service Unavailable");
+    EXPECT_NE(body_of(down).find("stall"), std::string::npos);
+    EXPECT_EQ(fx.server.critical_rules(),
+              std::vector<std::string>{"stall"});
+
+    // ...a Warning firing of another rule does not...
+    fx.log.append(rule_event("minor", obs::Severity::Warning));
+    EXPECT_EQ(status_line(fx.get("/readyz")),
+              "HTTP/1.1 503 Service Unavailable");  // stall still down
+
+    // ...and the rule's clear (an Info transition) brings it back.
+    fx.log.append(rule_event("stall", obs::Severity::Info));
+    EXPECT_EQ(status_line(fx.get("/readyz")), "HTTP/1.1 200 OK");
+    EXPECT_TRUE(fx.server.critical_rules().empty());
+}
+
+TEST(Introspection, ManualGateHolds503UntilReleased) {
+    Fixture fx(/*ready=*/false);  // e.g. recovery replay in progress
+    const std::string down = fx.get("/readyz");
+    EXPECT_EQ(status_line(down), "HTTP/1.1 503 Service Unavailable");
+    EXPECT_NE(body_of(down).find("startup/recovery"), std::string::npos);
+    fx.server.set_ready(true);
+    EXPECT_EQ(status_line(fx.get("/readyz")), "HTTP/1.1 200 OK");
+    // The gate AND-s with the fold: a Critical firing still wins.
+    fx.log.append(rule_event("stall", obs::Severity::Critical));
+    EXPECT_EQ(status_line(fx.get("/readyz")),
+              "HTTP/1.1 503 Service Unavailable");
+}
+
+TEST(Introspection, StatusReportsReadinessAndCriticalRules) {
+    Fixture fx;
+    std::string body = body_of(fx.get("/status"));
+    EXPECT_NE(body.find("\"ready\": true"), std::string::npos);
+    EXPECT_NE(body.find("\"critical_rules\": []"), std::string::npos);
+    fx.log.append(rule_event("stall", obs::Severity::Critical));
+    body = body_of(fx.get("/status"));
+    EXPECT_NE(body.find("\"ready\": false"), std::string::npos);
+    EXPECT_NE(body.find("\"critical_rules\": [\"stall\"]"),
+              std::string::npos);
+}
+
+TEST(Introspection, StatusMergesCallerFields) {
+    Fixture fx;
+    fx.server.stop();
+    obs::IntrospectionServer::Config cfg;
+    cfg.registry = &fx.reg;
+    cfg.events = &fx.log;
+    cfg.status_fields = [] {
+        return std::string("\"engine_version\": 99");
+    };
+    fx.server.start(std::move(cfg));
+    const std::string body = body_of(fx.get("/status"));
+    EXPECT_NE(body.find("\"engine_version\": 99"), std::string::npos);
+    EXPECT_NE(body.find("\"ready\": true"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// /events: the incremental cursor
+// ---------------------------------------------------------------------------
+
+TEST(Introspection, EventsTailAndSinceCursor) {
+    Fixture fx;
+    fx.log.append(rule_event("a", obs::Severity::Warning));
+    fx.log.append(rule_event("b", obs::Severity::Warning));
+    fx.log.append(rule_event("c", obs::Severity::Info));
+
+    const std::string all = body_of(fx.get("/events"));
+    EXPECT_NE(all.find("\"rule\": \"a\""), std::string::npos);
+    EXPECT_NE(all.find("\"rule\": \"c\""), std::string::npos);
+
+    // seq > 2: only the third event comes back.
+    const std::string tail = body_of(fx.get("/events?since=2"));
+    EXPECT_EQ(tail.find("\"rule\": \"a\""), std::string::npos);
+    EXPECT_EQ(tail.find("\"rule\": \"b\""), std::string::npos);
+    EXPECT_NE(tail.find("\"rule\": \"c\""), std::string::npos);
+
+    EXPECT_EQ(status_line(fx.get("/events?since=banana")),
+              "HTTP/1.1 400 Bad Request");
+    EXPECT_EQ(status_line(fx.get("/events?since=12banana")),
+              "HTTP/1.1 400 Bad Request");
+}
+
+TEST(Introspection, TraceAndFlightAnswerJson) {
+    Fixture fx;
+    const std::string trace = body_of(fx.get("/trace"));
+    EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+    const std::string flight = body_of(fx.get("/flight"));
+    EXPECT_EQ(flight.find('{'), 0u);  // default worst-K body is JSON
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency and shutdown ordering (TSan via the obs CI label)
+// ---------------------------------------------------------------------------
+
+TEST(Introspection, ScrapersRaceRegistryWritersSafely) {
+    if (obs::compiled_noop())
+        GTEST_SKIP() << "instruments compiled to no-ops (DSG_OBS_NOOP)";
+    Fixture fx;
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+        int k = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+            fx.reg.counter("probe_total", {{"kind", "x"}}).add(1);
+            fx.reg.gauge("probe_depth").set(++k);
+            fx.reg.histogram("probe_ns").record(static_cast<std::uint64_t>(k));
+        }
+    });
+    std::vector<std::thread> scrapers;
+    scrapers.reserve(4);
+    std::atomic<int> ok{0};
+    for (int t = 0; t < 4; ++t)
+        scrapers.emplace_back([&] {
+            for (int k = 0; k < 25; ++k) {
+                const char* target = (k % 2) != 0 ? "/metrics"
+                                                  : "/metrics.json";
+                if (status_line(fx.get(target)) == "HTTP/1.1 200 OK")
+                    ok.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    for (auto& th : scrapers) th.join();
+    stop.store(true);
+    writer.join();
+    EXPECT_EQ(ok.load(), 100);
+}
+
+TEST(Introspection, StopDrainsInFlightRequestsBeforeReturning) {
+    // The ordering contract teardown code relies on: a handler reads state
+    // (here a callback gauge) that the caller destroys right after stop()
+    // returns. stop() must therefore finish every accepted request first.
+    auto reg = std::make_unique<obs::Registry>();
+    std::atomic<bool> in_handler{false};
+    reg->set_callback("slow_gauge", {}, [&in_handler] {
+        in_handler.store(true, std::memory_order_release);
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        return 1.0;
+    });
+
+    obs::IntrospectionServer server;
+    obs::IntrospectionServer::Config cfg;
+    cfg.registry = reg.get();
+    cfg.events = nullptr;  // global log is fine; nothing is appended
+    server.start(std::move(cfg));
+    const std::uint16_t port = server.port();
+
+    std::string response;
+    std::thread scraper([&] {
+        response = obs::http_fetch(port, "/metrics", /*timeout_ms=*/10'000);
+    });
+    // Wait until the request is genuinely inside the slow callback...
+    while (!in_handler.load(std::memory_order_acquire))
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    // ...then stop. Once stop() returns, the registry may die.
+    server.stop();
+    server.stop();  // idempotent
+    reg.reset();    // would be a use-after-free if stop() didn't drain
+    scraper.join();
+    EXPECT_EQ(status_line(response), "HTTP/1.1 200 OK");
+    EXPECT_NE(response.find("slow_gauge"), std::string::npos);
+}
+
+TEST(Introspection, ExporterAndServerStopOrderIsSafe) {
+    // The example's teardown order: introspection server first, then the
+    // exporter, then the instruments — each stop idempotent.
+    obs::Registry reg;
+    reg.gauge("g").set(1);
+
+    obs::MetricsExporter::Config ecfg;
+    ecfg.path = ::testing::TempDir() + "dsg_introspection_order.jsonl";
+    ecfg.interval_ms = 60'000;
+    obs::MetricsExporter exporter(reg, std::move(ecfg));
+
+    obs::IntrospectionServer server;
+    obs::IntrospectionServer::Config cfg;
+    cfg.registry = &reg;
+    server.start(std::move(cfg));
+    EXPECT_EQ(status_line(obs::http_fetch(server.port(), "/healthz")),
+              "HTTP/1.1 200 OK");
+
+    server.stop();
+    server.stop();
+    exporter.stop();
+    exporter.stop();  // double-stop: no second write, no crash
+    std::remove((::testing::TempDir() + "dsg_introspection_order.jsonl")
+                    .c_str());
+}
+
+}  // namespace

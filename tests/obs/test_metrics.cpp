@@ -10,7 +10,10 @@
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <map>
 #include <random>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -373,6 +376,78 @@ TEST(Rendering, PrometheusSplitsLabelsAndEmitsQuantiles) {
               std::string::npos);
     EXPECT_NE(text.find("query_ns_count{class=\"k-hop\"} 100"),
               std::string::npos);
+}
+
+TEST(Rendering, PrometheusEmitsOneHelpAndTypePerContiguousFamily) {
+    DSG_SKIP_IF_NOOP();
+    // The exposition contract the introspection plane serves: every family
+    // is announced by exactly one "# HELP" and one "# TYPE" line directly
+    // above its (adjacent) samples, TYPE is a legal exposition type, and a
+    // multi-instance family shares one header. Round-trip: parse the text
+    // back and require the original values.
+    obs::Registry reg;
+    reg.counter("ops", {{"rank", "0"}}).add(5);
+    reg.counter("ops", {{"rank", "1"}}).add(11);
+    reg.gauge("stream_queue_depth").set(9);
+    auto& h = reg.histogram("lat_ns");
+    h.record(100);
+    h.record(300);
+    const std::string text = reg.snapshot().to_prometheus();
+
+    std::map<std::string, std::string> type_of;   // family -> TYPE
+    std::map<std::string, int> help_count, type_count;
+    std::map<std::string, double> samples;        // key -> parsed value
+    std::string current;  // family of the contiguous group we're inside
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.empty()) continue;
+        if (line.rfind("# HELP ", 0) == 0) {
+            const std::string name =
+                line.substr(7, line.find(' ', 7) - 7);
+            ++help_count[name];
+            continue;
+        }
+        if (line.rfind("# TYPE ", 0) == 0) {
+            const std::string name =
+                line.substr(7, line.find(' ', 7) - 7);
+            const std::string type = line.substr(line.rfind(' ') + 1);
+            EXPECT_TRUE(type == "counter" || type == "gauge" ||
+                        type == "summary")
+                << line;
+            EXPECT_EQ(help_count[name], 1) << "TYPE before HELP: " << name;
+            ++type_count[name];
+            type_of[name] = type;
+            current = name;
+            continue;
+        }
+        // A sample line: belongs to the family declared directly above
+        // (summaries own their _sum/_count children).
+        const auto cut = std::min(line.find('{'), line.find(' '));
+        const std::string name = line.substr(0, cut);
+        const bool owned =
+            name == current ||
+            (type_of[current] == "summary" &&
+             (name == current + "_sum" || name == current + "_count"));
+        EXPECT_TRUE(owned) << "sample " << name << " outside family "
+                           << current;
+        samples[line.substr(0, line.rfind(' '))] =
+            std::stod(line.substr(line.rfind(' ') + 1));
+    }
+    for (const auto& [name, n] : help_count) EXPECT_EQ(n, 1) << name;
+    for (const auto& [name, n] : type_count) EXPECT_EQ(n, 1) << name;
+    EXPECT_EQ(type_of["ops"], "counter");
+    EXPECT_EQ(type_of["stream_queue_depth"], "gauge");
+    EXPECT_EQ(type_of["lat_ns"], "summary");
+    EXPECT_EQ(type_of["lat_ns_max"], "gauge");
+
+    // Round-trip of the recorded values.
+    EXPECT_EQ(samples.at("ops{rank=\"0\"}"), 5.0);
+    EXPECT_EQ(samples.at("ops{rank=\"1\"}"), 11.0);
+    EXPECT_EQ(samples.at("stream_queue_depth"), 9.0);
+    EXPECT_EQ(samples.at("lat_ns_count"), 2.0);
+    EXPECT_EQ(samples.at("lat_ns_sum"), 400.0);  // mean * count, exact here
+    EXPECT_GE(samples.at("lat_ns{quantile=\"0.99\"}"), 300.0);
 }
 
 TEST(Rendering, JsonObjectHasNoTimestamp) {

@@ -171,7 +171,8 @@ TEST(Watchdog, DefaultRulesCoverTheDocumentedFailureModes) {
     for (const auto& r : rules) names.push_back(r.name);
     for (const char* expect :
          {"epoch-drain-stall", "queue-saturation", "shed-burst",
-          "wal-fsync-spike", "snapshot-lag-ceiling"})
+          "wal-fsync-spike", "snapshot-lag-ceiling",
+          "rank-load-imbalance"})
         EXPECT_NE(std::find(names.begin(), names.end(), expect),
                   names.end())
             << expect;
@@ -181,6 +182,40 @@ TEST(Watchdog, DefaultRulesCoverTheDocumentedFailureModes) {
             EXPECT_DOUBLE_EQ(r.threshold, 0.9 * 4096);
         }
     }
+}
+
+TEST(Watchdog, RankImbalanceRuleFiresOnFederatedSnapshotsOnly) {
+    // The default rank-load-imbalance rule watches a family only federated
+    // snapshots (obs/federate.hpp) carry. A plain registry never has it,
+    // so the rule sits calm; sustained skew above 2x fires it.
+    obs::Registry reg;
+    obs::EventLog log;
+    obs::Watchdog wd(reg, log, obs::default_rules(4096));
+
+    // Non-federated snapshots: the family is absent -> calm forever.
+    for (int tick = 0; tick < 5; ++tick)
+        EXPECT_EQ(wd.evaluate(gauge_snap(1000 * (tick + 1),
+                                         "stream_ops_applied", 1e9)),
+                  0u);
+    EXPECT_FALSE(wd.firing("rank-load-imbalance"));
+
+    // Federated skew of 3x for the rule's 3 for_ticks: fires once.
+    for (int tick = 0; tick < 2; ++tick)
+        EXPECT_EQ(
+            wd.evaluate(gauge_snap(
+                10'000 + 1000 * tick,
+                "stream_ops_applied_rank_imbalance{grid=2x3}", 3.0)),
+            0u);
+    EXPECT_EQ(wd.evaluate(gauge_snap(
+                  12'000, "stream_ops_applied_rank_imbalance{grid=2x3}",
+                  3.0)),
+              1u);
+    EXPECT_TRUE(wd.firing("rank-load-imbalance"));
+    std::vector<obs::Event> events;
+    log.collect_since(0, events);
+    ASSERT_FALSE(events.empty());
+    EXPECT_EQ(events.back().rule, "rank-load-imbalance");
+    EXPECT_EQ(events.back().severity, obs::Severity::Warning);
 }
 
 TEST(Watchdog, EvaluateNowSnapshotsTheLiveRegistry) {
